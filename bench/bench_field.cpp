@@ -1,0 +1,110 @@
+// Microbenchmarks of the computational substrate (supports experiment E8):
+// GF(2^k) arithmetic across field sizes, polynomial evaluation, Lagrange
+// interpolation, Berlekamp–Welch decoding.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "math/berlekamp_welch.hpp"
+#include "math/bivariate.hpp"
+
+namespace gfor14 {
+namespace {
+
+template <typename F>
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  F a = F::random_nonzero(rng);
+  const F b = F::random_nonzero(rng);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul<F8>);
+BENCHMARK(BM_FieldMul<F16>);
+BENCHMARK(BM_FieldMul<F32>);
+BENCHMARK(BM_FieldMul<F64>);
+BENCHMARK(BM_FieldMul<F128>);
+
+template <typename F>
+void BM_FieldAdd(benchmark::State& state) {
+  Rng rng(2);
+  F a = F::random(rng);
+  const F b = F::random(rng);
+  for (auto _ : state) {
+    a = a + b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldAdd<F64>);
+BENCHMARK(BM_FieldAdd<F128>);
+
+template <typename F>
+void BM_FieldInverse(benchmark::State& state) {
+  Rng rng(3);
+  F a = F::random_nonzero(rng);
+  for (auto _ : state) {
+    a = a.inverse();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInverse<F32>);
+BENCHMARK(BM_FieldInverse<F64>);
+BENCHMARK(BM_FieldInverse<F128>);
+
+void BM_PolyEval(benchmark::State& state) {
+  Rng rng(4);
+  const Poly p = Poly::random(rng, state.range(0));
+  const Fld x = Fld::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.eval(x));
+  }
+}
+BENCHMARK(BM_PolyEval)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_LagrangeInterpolate(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<Fld> xs(m), ys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    xs[i] = eval_point<64>(i);
+    ys[i] = Fld::random(rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_interpolate(xs, ys));
+  }
+}
+BENCHMARK(BM_LagrangeInterpolate)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_BerlekampWelch(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 3;
+  const Poly p = Poly::random(rng, t);
+  std::vector<Fld> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = eval_point<64>(i);
+    ys[i] = p.eval(xs[i]);
+  }
+  for (std::size_t e = 0; e < t; ++e) ys[e] = Fld::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(berlekamp_welch(xs, ys, t, t));
+  }
+}
+BENCHMARK(BM_BerlekampWelch)->Arg(4)->Arg(7)->Arg(13);
+
+void BM_BivariateShareGeneration(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto f =
+        SymmetricBivariate::random_with_secret(rng, t, Fld::from_u64(5));
+    benchmark::DoNotOptimize(f.slice(eval_point<64>(1)));
+  }
+}
+BENCHMARK(BM_BivariateShareGeneration)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace gfor14
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Experiment E8 — feasibility/scalability: wall-clock, traffic and round
+// scaling of full AnonChan executions on laptop-scale parameters, plus the
+// multi-session amortization that Section 4's setup exploits.
+//
+// Expected shape: rounds flat in n (constant-round protocol); p2p traffic
+// grows polynomially (the ell = 4 n^2 d vectors dominate); multi-session
+// runs amortize the fixed round bill over S sessions.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "anonchan/anonchan.hpp"
+#include "vss/schemes.hpp"
+
+using namespace gfor14;
+
+namespace {
+
+std::vector<Fld> inputs_for(std::size_t n) {
+  std::vector<Fld> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Fld::from_u64(100 + i);
+  return x;
+}
+
+void print_tables() {
+  std::printf("=== E8: full-run scaling (practical profile, RB VSS) ===\n");
+  std::printf("%4s %6s %6s %8s %8s %10s %14s %12s\n", "n", "kappa", "d",
+              "ell", "rounds", "p2p msgs", "field elems", "wall ms");
+  for (std::size_t n : {4u, 5u, 6u}) {
+    for (std::size_t kappa : {2u, 4u, 8u}) {
+      net::Network net(n, 11);
+      auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+      const auto params = anonchan::Params::practical(n, kappa);
+      anonchan::AnonChan chan(net, *vss, params);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto out = chan.run(0, inputs_for(n));
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      std::printf("%4zu %6zu %6zu %8zu %8zu %10zu %14zu %12.1f\n", n, kappa,
+                  params.d, params.ell, out.costs.rounds,
+                  out.costs.p2p_messages, out.costs.p2p_elements, ms);
+    }
+  }
+
+  std::printf("\n--- multi-session amortization (n=4, kappa=2) ---\n");
+  std::printf("%10s %8s %14s %12s\n", "sessions", "rounds", "field elems",
+              "wall ms");
+  for (std::size_t sessions : {1u, 2u, 4u, 8u}) {
+    net::Network net(4, 12);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(4, 2));
+    std::vector<std::vector<Fld>> many(sessions, inputs_for(4));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = chan.run_many(0, many);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("%10zu %8zu %14zu %12.1f\n", sessions, out.costs.rounds,
+                out.costs.p2p_elements, ms);
+  }
+  std::printf("expected shape: rounds CONSTANT in the session count —\n"
+              "the property the pseudosignature setup relies on.\n\n");
+}
+
+void BM_AnonChanWallClock(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t kappa = static_cast<std::size_t>(state.range(1));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    net::Network net(n, seed++);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss,
+                            anonchan::Params::practical(n, kappa));
+    benchmark::DoNotOptimize(chan.run(0, inputs_for(n)));
+  }
+}
+BENCHMARK(BM_AnonChanWallClock)
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({6, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_AnonChanMultiSession(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    net::Network net(4, seed++);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(4, 2));
+    std::vector<std::vector<Fld>> many(sessions, inputs_for(4));
+    benchmark::DoNotOptimize(chan.run_many(0, many));
+  }
+}
+BENCHMARK(BM_AnonChanMultiSession)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Side-by-side comparison of the anonymous-channel landscape the paper
+// surveys (Section 1.2): Chaum's DC-net (passive only), PW96 trap-based
+// (Omega(n^2) rounds under attack), Zhang'11 (constant but in the
+// hundreds), vABH03 (1/2 reliability), and AnonChan over three VSS
+// profiles.
+//
+//   $ ./examples/dcnet_comparison
+#include <cstdio>
+
+#include "anonchan/anonchan.hpp"
+#include "baselines/dcnet.hpp"
+#include "baselines/pw96.hpp"
+#include "baselines/vabh03.hpp"
+#include "baselines/zhang11.hpp"
+#include "vss/schemes.hpp"
+
+using namespace gfor14;
+
+namespace {
+
+std::vector<Fld> inputs_for(std::size_t n) {
+  std::vector<Fld> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Fld::from_u64(100 + i);
+  return x;
+}
+
+void row(const char* name, std::size_t rounds, std::size_t bc_rounds,
+         const char* active, const char* reliability) {
+  std::printf("%-28s %8zu %10zu   %-18s %s\n", name, rounds, bc_rounds,
+              active, reliability);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 6;
+  const auto inputs = inputs_for(n);
+  std::printf("anonymous channels at n = %zu, t = %zu (honest majority)\n\n",
+              n, (n - 1) / 2);
+  std::printf("%-28s %8s %10s   %-18s %s\n", "protocol", "rounds",
+              "bc-rounds", "active security", "reliability");
+
+  {  // Chaum DC-net, honest
+    net::Network net(n, 1);
+    auto out = baselines::run_dcnet(net, 4 * n * n, inputs,
+                                    std::vector<bool>(n, false));
+    row("Chaum DC-net (honest)", out.costs.rounds,
+        out.costs.broadcast_rounds, "none (jammable)", "collisions only");
+  }
+  {  // PW96 under maximal disruption
+    net::Network net(n, 2);
+    net.corrupt_first((n - 1) / 2);
+    auto out = baselines::run_pw96(net, inputs,
+                                   baselines::Pw96Adversary::kMaximal);
+    row("PW96 traps (under attack)", out.costs.rounds,
+        out.costs.broadcast_rounds, "fault localization",
+        "full, Omega(n^2) rounds");
+  }
+  {  // Zhang'11 cost model + functional shuffle
+    net::Network net(n, 3);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    auto out = baselines::run_zhang11(net, *vss, 0, inputs);
+    row("Zhang'11 oblivious shuffle", out.costs.rounds,
+        out.costs.broadcast_rounds, "yes (t < n/2)",
+        "full, ~hundreds of rounds");
+  }
+  {  // vABH03
+    net::Network net(n, 4);
+    auto out = baselines::run_vabh03(net, inputs, n);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "1/2 per run (%zu lost here)", out.lost);
+    row("vABH03 k-anonymous darts", out.costs.rounds,
+        out.costs.broadcast_rounds, "k-anonymity only", buf);
+  }
+  for (auto kind : {vss::SchemeKind::kBGW, vss::SchemeKind::kRB,
+                    vss::SchemeKind::kGGOR13}) {
+    net::Network net(n, 5);
+    auto vss = vss::make_vss(kind, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::light(n));
+    auto out = chan.run(0, inputs);
+    char name[64];
+    std::snprintf(name, sizeof name, "AnonChan over %s VSS",
+                  vss::scheme_name(kind));
+    row(name, out.costs.rounds, out.costs.broadcast_rounds,
+        kind == vss::SchemeKind::kBGW ? "yes (t < n/3)" : "yes (t < n/2)",
+        "full, 2^-Omega(kappa) err");
+  }
+
+  std::printf(
+      "\nAnonChan is constant-round at r_VSS-share + 5, broadcast-round\n"
+      "preserving (2 broadcast rounds with GGOR13), which is the paper's\n"
+      "headline result.\n");
+  return 0;
+}

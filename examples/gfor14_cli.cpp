@@ -1,0 +1,221 @@
+// gfor14_cli — command-line driver for the library.
+//
+//   gfor14_cli channel   [--n N] [--scheme rb|bgw|ggor] [--kappa K]
+//                        [--receiver R] [--attack NAME] [--seed S]
+//   gfor14_cli publish   [--n N] [--scheme ...] [--kappa K] [--seed S]
+//   gfor14_cli pseudosig [--n N] [--scheme ...] [--seed S]
+//   gfor14_cli compare   [--n N] [--seed S]
+//
+// Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
+// party 0, which is marked corrupt).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "anonchan/anon_broadcast.hpp"
+#include "anonchan/attacks.hpp"
+#include "baselines/pw96.hpp"
+#include "baselines/zhang11.hpp"
+#include "pseudosig/broadcast_sim.hpp"
+#include "vss/schemes.hpp"
+
+using namespace gfor14;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::size_t n = 5;
+  std::size_t kappa = 6;
+  std::size_t receiver = SIZE_MAX;  // default: n - 1
+  vss::SchemeKind scheme = vss::SchemeKind::kRB;
+  std::string attack;
+  std::uint64_t seed = 2014;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gfor14_cli <channel|publish|pseudosig|compare>\n"
+               "  [--n N] [--scheme rb|bgw|ggor] [--kappa K]\n"
+               "  [--receiver R] [--attack dense|unequal|wrongcopy|guessing"
+               "|zero|fixed]\n"
+               "  [--seed S]\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    try {
+      if (key == "--n") {
+        opt.n = std::stoul(value);
+      } else if (key == "--kappa") {
+        opt.kappa = std::stoul(value);
+      } else if (key == "--receiver") {
+        opt.receiver = std::stoul(value);
+      } else if (key == "--seed") {
+        opt.seed = std::stoull(value);
+      } else if (key == "--scheme") {
+        if (value == "rb") opt.scheme = vss::SchemeKind::kRB;
+        else if (value == "bgw") opt.scheme = vss::SchemeKind::kBGW;
+        else if (value == "ggor") opt.scheme = vss::SchemeKind::kGGOR13;
+        else return false;
+      } else if (key == "--attack") {
+        opt.attack = value;
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (opt.n < 3 || opt.n > 32 || opt.kappa < 1 || opt.kappa > 32)
+    return false;
+  if (opt.receiver == SIZE_MAX) opt.receiver = opt.n - 1;
+  if (opt.receiver >= opt.n) return false;
+  return true;
+}
+
+std::shared_ptr<anonchan::SenderStrategy> make_attack(const std::string& name) {
+  if (name == "dense") return std::make_shared<anonchan::DenseVectorAttack>();
+  if (name == "unequal")
+    return std::make_shared<anonchan::UnequalEntriesAttack>();
+  if (name == "wrongcopy") return std::make_shared<anonchan::WrongCopyAttack>();
+  if (name == "guessing") return std::make_shared<anonchan::GuessingAttack>();
+  if (name == "zero") return std::make_shared<anonchan::ZeroVectorAttack>();
+  if (name == "fixed") return std::make_shared<anonchan::FixedPositionSender>();
+  return nullptr;
+}
+
+void print_costs(const net::CostReport& c) {
+  std::printf("costs: %zu rounds | %zu broadcast rounds | %zu broadcast "
+              "invocations | %zu p2p messages | %zu field elements\n",
+              c.rounds, c.broadcast_rounds, c.broadcast_invocations,
+              c.p2p_messages, c.p2p_elements);
+}
+
+std::vector<Fld> default_inputs(std::size_t n) {
+  std::vector<Fld> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = Fld::from_u64(0xA0000 + i);
+  return x;
+}
+
+int run_channel(const Options& opt) {
+  net::Network net(opt.n, opt.seed);
+  auto vss = vss::make_vss(opt.scheme, net);
+  anonchan::AnonChan chan(net, *vss,
+                          anonchan::Params::practical(opt.n, opt.kappa));
+  std::printf("AnonChan over %s VSS, %s, receiver P%zu\n", vss->name(),
+              chan.params().describe().c_str(), opt.receiver);
+  if (!opt.attack.empty()) {
+    auto strategy = make_attack(opt.attack);
+    if (!strategy) {
+      std::fprintf(stderr, "unknown attack '%s'\n", opt.attack.c_str());
+      return 2;
+    }
+    net.set_corrupt(0, true);
+    chan.set_strategy(0, strategy);
+    std::printf("party 0 is corrupt, mounting '%s'\n", opt.attack.c_str());
+  }
+  const auto inputs = default_inputs(opt.n);
+  const auto out = chan.run(opt.receiver, inputs);
+  std::printf("PASS:");
+  for (std::size_t i = 0; i < opt.n; ++i)
+    std::printf(" P%zu=%s", i, out.pass[i] ? "ok" : "OUT");
+  std::printf("\nY (%zu):", out.y.size());
+  for (Fld y : out.y)
+    std::printf(" %llx", static_cast<unsigned long long>(y.to_u64()));
+  std::printf("\n");
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < opt.n; ++i)
+    if (out.delivered(inputs[i])) ++delivered;
+  std::printf("inputs delivered: %zu/%zu\n", delivered, opt.n);
+  print_costs(out.costs);
+  return 0;
+}
+
+int run_publish(const Options& opt) {
+  net::Network net(opt.n, opt.seed);
+  auto vss = vss::make_vss(opt.scheme, net);
+  anonchan::AnonBroadcast chan(net, *vss,
+                               anonchan::Params::practical(opt.n, opt.kappa));
+  const auto out = chan.run(default_inputs(opt.n));
+  std::printf("anonymous publication over %s VSS\npublished (%zu):",
+              vss->name(), out.y.size());
+  for (Fld y : out.y)
+    std::printf(" %llx", static_cast<unsigned long long>(y.to_u64()));
+  std::printf("\n");
+  print_costs(out.costs);
+  return 0;
+}
+
+int run_pseudosig(const Options& opt) {
+  net::Network net(opt.n, opt.seed);
+  pseudosig::BroadcastSimulator sim(
+      net, opt.scheme, anonchan::Params::practical(opt.n, 2),
+      pseudosig::PsParams{4, 2, 3});
+  sim.setup();
+  std::printf("pseudosignature setup (all %zu signers in parallel):\n",
+              opt.n);
+  print_costs(sim.setup_costs());
+  auto result = sim.broadcast(0, pseudosig::Msg::from_u64(0xFACE));
+  std::printf("Dolev-Strong broadcast: agreement=%s validity=%s, "
+              "%zu p2p rounds, %zu physical broadcasts in main phase\n",
+              result.agreement ? "yes" : "NO",
+              result.validity ? "yes" : "NO", result.costs.rounds,
+              sim.main_phase_broadcasts());
+  return 0;
+}
+
+int run_compare(const Options& opt) {
+  const auto inputs = default_inputs(opt.n);
+  std::printf("%-24s %8s %10s\n", "protocol", "rounds", "bc-rounds");
+  for (auto kind : {vss::SchemeKind::kBGW, vss::SchemeKind::kRB,
+                    vss::SchemeKind::kGGOR13}) {
+    net::Network net(opt.n, opt.seed);
+    if (kind == vss::SchemeKind::kBGW && net.max_t_third() == 0) continue;
+    auto vss = vss::make_vss(kind, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::light(opt.n));
+    const auto out = chan.run(0, inputs);
+    std::printf("AnonChan/%-15s %8zu %10zu\n", vss->name(),
+                out.costs.rounds, out.costs.broadcast_rounds);
+  }
+  {
+    net::Network net(opt.n, opt.seed);
+    net.corrupt_first(net.max_t_half());
+    const auto out = baselines::run_pw96(net, inputs,
+                                         baselines::Pw96Adversary::kMaximal);
+    std::printf("%-24s %8zu %10zu\n", "PW96 (attack)", out.costs.rounds,
+                out.costs.broadcast_rounds);
+  }
+  {
+    net::Network net(opt.n, opt.seed);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    const auto out = baselines::run_zhang11(net, *vss, 0, inputs);
+    std::printf("%-24s %8zu %10zu\n", "Zhang'11 (model)", out.costs.rounds,
+                out.costs.broadcast_rounds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+  try {
+    if (opt.command == "channel") return run_channel(opt);
+    if (opt.command == "publish") return run_publish(opt);
+    if (opt.command == "pseudosig") return run_pseudosig(opt);
+    if (opt.command == "compare") return run_compare(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

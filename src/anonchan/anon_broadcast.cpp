@@ -1,0 +1,143 @@
+#include "anonchan/anon_broadcast.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace gfor14::anonchan {
+
+AnonBroadcast::AnonBroadcast(net::Network& net, vss::VssScheme& vss,
+                             Params params)
+    : net_(net), vss_(vss), params_(params), strategies_(net.n()) {
+  GFOR14_EXPECTS(params_.n == net.n());
+  auto honest = std::make_shared<HonestSender>();
+  for (auto& s : strategies_) s = honest;
+}
+
+void AnonBroadcast::set_strategy(net::PartyId p,
+                                 std::shared_ptr<SenderStrategy> s) {
+  GFOR14_EXPECTS(p < net_.n());
+  strategies_[p] = std::move(s);
+}
+
+BroadcastOutput AnonBroadcast::run(const std::vector<Fld>& inputs) {
+  const std::size_t n = net_.n();
+  GFOR14_EXPECTS(inputs.size() == n);
+  const auto cost_before = net_.cost_snapshot();
+
+  // Step 1: commitments — same sender batches as AnonChan, no g slabs.
+  std::vector<BatchLayout> layouts(n);
+  std::vector<SenderCommitment> commitments(n);
+  std::vector<std::vector<Fld>> batches(n);
+  for (net::PartyId i = 0; i < n; ++i) {
+    const std::size_t base = vss_.count(i);
+    BatchLayout layout = BatchLayout::make(params_, i, /*is_receiver=*/false);
+    commitments[i] =
+        strategies_[i]->build(params_, layout, inputs[i], net_.rng_of(i));
+    batches[i] = std::move(commitments[i].secrets);
+    auto shift = [base](vss::Slab& sl) { sl.base += base; };
+    shift(layout.v_x);
+    shift(layout.v_a);
+    for (auto& sl : layout.w_x) shift(sl);
+    for (auto& sl : layout.w_a) shift(sl);
+    for (auto& sl : layout.perm) shift(sl);
+    for (auto& sl : layout.idx) shift(sl);
+    shift(layout.r);
+    layouts[i] = std::move(layout);
+  }
+  const auto share_result = vss_.share_all(batches);
+
+  BroadcastOutput out;
+  out.pass.assign(n, true);
+  for (net::PartyId i = 0; i < n; ++i)
+    if (!share_result.qualified[i]) out.pass[i] = false;
+
+  // Step 2: challenge (also seeds the public relocation permutations,
+  // domain-separated; both are fixed only after all commitments).
+  vss::LinComb r_comb;
+  for (net::PartyId i = 0; i < n; ++i)
+    if (out.pass[i]) r_comb.add(layouts[i].r.ref(0), Fld::one());
+  const Fld r = vss_.reconstruct_public({r_comb})[0];
+  std::vector<bool> bits(params_.kappa_cc);
+  for (std::size_t j = 0; j < params_.kappa_cc; ++j)
+    bits[j] = r.bit(static_cast<unsigned>(j));
+
+  // Step 3 round A.
+  struct ARef {
+    net::PartyId dealer;
+    std::size_t copy;
+    std::size_t offset;
+  };
+  std::vector<vss::LinComb> open_a;
+  std::vector<ARef> a_refs;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!out.pass[i]) continue;
+    for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+      a_refs.push_back({i, j, open_a.size()});
+      const auto& slab = bits[j] ? layouts[i].idx[j] : layouts[i].perm[j];
+      for (std::size_t k = 0; k < slab.size; ++k) open_a.push_back(slab.lc(k));
+    }
+  }
+  const auto opened_a = vss_.reconstruct_public(open_a);
+  std::vector<std::vector<std::optional<Permutation>>> pi_open(
+      n, std::vector<std::optional<Permutation>>(params_.kappa_cc));
+  std::vector<std::vector<std::optional<std::vector<std::size_t>>>> idx_open(
+      n,
+      std::vector<std::optional<std::vector<std::size_t>>>(params_.kappa_cc));
+  for (const auto& ref : a_refs) {
+    if (bits[ref.copy]) {
+      std::span<const Fld> enc(opened_a.data() + ref.offset, params_.d);
+      auto decoded = decode_index_list(enc, params_.ell);
+      if (!decoded) out.pass[ref.dealer] = false;
+      idx_open[ref.dealer][ref.copy] = std::move(decoded);
+    } else {
+      std::vector<Fld> enc(opened_a.begin() + ref.offset,
+                           opened_a.begin() + ref.offset + params_.ell);
+      auto decoded = Permutation::from_field(enc);
+      if (!decoded) out.pass[ref.dealer] = false;
+      pi_open[ref.dealer][ref.copy] = std::move(decoded);
+    }
+  }
+
+  // Step 3 round B.
+  std::vector<vss::LinComb> open_b;
+  std::vector<ARef> b_refs;
+  std::vector<std::size_t> b_sizes;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!out.pass[i]) continue;
+    for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+      auto checks =
+          bits[j]
+              ? sparse_check_values(params_, layouts[i], j, *idx_open[i][j])
+              : perm_diff_values(params_, layouts[i], j, *pi_open[i][j]);
+      b_refs.push_back({i, j, open_b.size()});
+      b_sizes.push_back(checks.size());
+      for (auto& c : checks) open_b.push_back(std::move(c));
+    }
+  }
+  const auto opened_b = vss_.reconstruct_public(open_b);
+  for (std::size_t bi = 0; bi < b_refs.size(); ++bi) {
+    for (std::size_t k = 0; k < b_sizes[bi]; ++k) {
+      if (!opened_b[b_refs[bi].offset + k].is_zero()) {
+        out.pass[b_refs[bi].dealer] = false;
+        break;
+      }
+    }
+  }
+
+  // Step 4 (publication): relocation permutations from the joint
+  // randomness, then one PUBLIC reconstruction of the summed vector.
+  Rng g_rng(r.to_u64() ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<Permutation> g(n);
+  for (auto& gp : g) gp = Permutation::random(g_rng, params_.ell);
+  const auto v_values = delivery_values(params_, layouts, out.pass, g);
+  const auto v = vss_.reconstruct_public(v_values);
+  const std::span<const Fld> v_x(v.data(), params_.ell);
+  const std::span<const Fld> v_a(v.data() + params_.ell, params_.ell);
+  out.y = extract_output(params_, v_x, v_a).y;
+
+  out.costs = net_.costs() - cost_before;
+  return out;
+}
+
+}  // namespace gfor14::anonchan

@@ -1,0 +1,41 @@
+// Anonymous message publication (many-to-ALL) — Chaum's original DC-net
+// use case, obtained from AnonChan by replacing the private delivery of
+// step 4 with a public reconstruction: every party learns the multiset of
+// messages, nobody learns who sent what.
+//
+// The receiver-permutation role is played by jointly generated randomness
+// (derived from the reconstructed challenge, which is fixed only after all
+// commitments) instead of P*'s g_i, since there is no designated P* to
+// choose them; everything else — the commitments, the challenge, the
+// cut-and-choose — is protocol AnonChan verbatim. Dropping the g
+// reconstruction makes publication one round CHEAPER than the
+// many-to-one channel: r_VSS-share + 4.
+#pragma once
+
+#include "anonchan/anonchan.hpp"
+
+namespace gfor14::anonchan {
+
+struct BroadcastOutput {
+  std::vector<Fld> y;          ///< the published multiset (all parties)
+  std::vector<bool> pass;
+  net::CostReport costs;
+};
+
+class AnonBroadcast {
+ public:
+  AnonBroadcast(net::Network& net, vss::VssScheme& vss, Params params);
+
+  void set_strategy(net::PartyId p, std::shared_ptr<SenderStrategy> s);
+
+  /// Publishes every party's message anonymously to everyone.
+  BroadcastOutput run(const std::vector<Fld>& inputs);
+
+ private:
+  net::Network& net_;
+  vss::VssScheme& vss_;
+  Params params_;
+  std::vector<std::shared_ptr<SenderStrategy>> strategies_;
+};
+
+}  // namespace gfor14::anonchan

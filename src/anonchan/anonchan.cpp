@@ -1,0 +1,282 @@
+#include "anonchan/anonchan.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace gfor14::anonchan {
+
+bool Output::delivered(Fld message) const {
+  return std::find(y.begin(), y.end(), message) != y.end();
+}
+
+std::vector<std::size_t> Output::positions_of(Fld message) const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < v_x.size(); ++k)
+    if (v_x[k] == message) out.push_back(k);
+  return out;
+}
+
+AnonChan::AnonChan(net::Network& net, vss::VssScheme& vss, Params params)
+    : net_(net), vss_(vss), params_(params), strategies_(net.n()) {
+  GFOR14_EXPECTS(params_.n == net.n());
+  GFOR14_EXPECTS(params_.kappa_cc <= Fld::kBits);
+  auto honest = std::make_shared<HonestSender>();
+  for (auto& s : strategies_) s = honest;
+}
+
+void AnonChan::set_strategy(net::PartyId p,
+                            std::shared_ptr<SenderStrategy> s) {
+  GFOR14_EXPECTS(p < net_.n());
+  strategies_[p] = std::move(s);
+}
+
+std::size_t AnonChan::expected_rounds() const {
+  return vss_.share_rounds() + 5;
+}
+
+std::size_t AnonChan::expected_broadcast_rounds() const {
+  return vss_.share_broadcast_rounds();
+}
+
+Output AnonChan::run(net::PartyId receiver, const std::vector<Fld>& inputs) {
+  ManyOutput many = run_many(receiver, {inputs});
+  Output out = std::move(many.sessions[0]);
+  out.pass = std::move(many.pass);
+  out.costs = many.costs;
+  return out;
+}
+
+ManyOutput AnonChan::run_many(net::PartyId receiver,
+                              const std::vector<std::vector<Fld>>& sessions) {
+  return run_many_to(std::vector<net::PartyId>(sessions.size(), receiver),
+                     sessions);
+}
+
+ManyOutput AnonChan::run_many_to(
+    const std::vector<net::PartyId>& receivers,
+    const std::vector<std::vector<Fld>>& sessions) {
+  const std::size_t n = net_.n();
+  const std::size_t S = sessions.size();
+  GFOR14_EXPECTS(receivers.size() == S);
+  for (net::PartyId r : receivers) GFOR14_EXPECTS(r < n);
+  GFOR14_EXPECTS(S >= 1);
+  for (const auto& inputs : sessions) GFOR14_EXPECTS(inputs.size() == n);
+  const auto cost_before = net_.cost_snapshot();
+
+  // --- Step 1: commitments (all sessions in one parallel sharing phase) ---
+  // layouts[s][i]: session s slabs of dealer i, with bases shifted past the
+  // dealer's pre-existing sharings and the preceding sessions' slabs.
+  std::vector<std::vector<BatchLayout>> layouts(
+      S, std::vector<BatchLayout>(n));
+  std::vector<std::vector<SenderCommitment>> commitments(
+      S, std::vector<SenderCommitment>(n));
+  std::vector<std::vector<Fld>> batches(n);
+  // g_truth[s][i]: receiver's permutation for dealer i in session s.
+  std::vector<std::vector<Permutation>> g_truth(S);
+
+  for (net::PartyId i = 0; i < n; ++i) {
+    std::size_t base = vss_.count(i);
+    for (std::size_t s = 0; s < S; ++s) {
+      const bool is_recv = receivers[s] == i;
+      const BatchLayout zero_based = BatchLayout::make(params_, i, is_recv);
+      commitments[s][i] = strategies_[i]->build(params_, zero_based,
+                                                sessions[s][i],
+                                                net_.rng_of(i));
+      GFOR14_ENSURES(commitments[s][i].secrets.size() ==
+                     params_.sender_batch_size());
+      std::vector<Fld> chunk = std::move(commitments[s][i].secrets);
+      if (is_recv) {
+        chunk.resize(params_.sender_batch_size() +
+                     params_.receiver_extra_size());
+        for (std::size_t gi = 0; gi < n; ++gi) {
+          Permutation gp = identity_g_
+                               ? Permutation::identity(params_.ell)
+                               : Permutation::random(net_.rng_of(i),
+                                                     params_.ell);
+          std::vector<Fld> enc = gp.to_field();
+          if (garbage_g_) {
+            for (auto& f : enc) f = Fld::random(net_.rng_of(i));
+          }
+          std::copy(enc.begin(), enc.end(),
+                    chunk.begin() + zero_based.g[gi].base);
+          g_truth[s].push_back(std::move(gp));
+        }
+      }
+      // Shift the layout to the dealer's global batch offsets.
+      BatchLayout shifted = zero_based;
+      auto shift = [base](vss::Slab& sl) { sl.base += base; };
+      shift(shifted.v_x);
+      shift(shifted.v_a);
+      for (auto& sl : shifted.w_x) shift(sl);
+      for (auto& sl : shifted.w_a) shift(sl);
+      for (auto& sl : shifted.perm) shift(sl);
+      for (auto& sl : shifted.idx) shift(sl);
+      shift(shifted.r);
+      for (auto& sl : shifted.g) shift(sl);
+      layouts[s][i] = std::move(shifted);
+      base += chunk.size();
+      batches[i].insert(batches[i].end(), chunk.begin(), chunk.end());
+    }
+  }
+  const auto share_result = vss_.share_all(batches);
+
+  ManyOutput result;
+  result.pass.assign(n, true);
+  for (net::PartyId i = 0; i < n; ++i)
+    if (!share_result.qualified[i]) result.pass[i] = false;
+  auto& pass = result.pass;
+
+  // --- Step 2: joint random challenge (one element, shared by sessions) ---
+  vss::LinComb r_comb;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!pass[i]) continue;
+    for (std::size_t s = 0; s < S; ++s)
+      r_comb.add(layouts[s][i].r.ref(0), Fld::one());
+  }
+  const Fld r = vss_.reconstruct_public({r_comb})[0];
+  std::vector<bool> bits(params_.kappa_cc);
+  for (std::size_t j = 0; j < params_.kappa_cc; ++j)
+    bits[j] = r.bit(static_cast<unsigned>(j));
+
+  // --- Step 3, round A: open permutations / index lists --------------------
+  struct ARef {
+    net::PartyId dealer;
+    std::size_t session;
+    std::size_t copy;
+    std::size_t offset;
+  };
+  std::vector<vss::LinComb> open_a;
+  std::vector<ARef> a_refs;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!pass[i]) continue;
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+        a_refs.push_back({i, s, j, open_a.size()});
+        const auto& slab =
+            bits[j] ? layouts[s][i].idx[j] : layouts[s][i].perm[j];
+        for (std::size_t k = 0; k < slab.size; ++k)
+          open_a.push_back(slab.lc(k));
+      }
+    }
+  }
+  const auto opened_a = vss_.reconstruct_public(open_a);
+
+  // Decoded openings, indexed by [session][dealer][copy].
+  std::vector<std::vector<std::vector<std::optional<Permutation>>>> pi_open(
+      S, std::vector<std::vector<std::optional<Permutation>>>(
+             n, std::vector<std::optional<Permutation>>(params_.kappa_cc)));
+  std::vector<std::vector<std::vector<std::optional<std::vector<std::size_t>>>>>
+      idx_open(S,
+               std::vector<std::vector<std::optional<std::vector<std::size_t>>>>(
+                   n, std::vector<std::optional<std::vector<std::size_t>>>(
+                          params_.kappa_cc)));
+  for (const auto& ref : a_refs) {
+    if (bits[ref.copy]) {
+      std::span<const Fld> enc(opened_a.data() + ref.offset, params_.d);
+      auto decoded = decode_index_list(enc, params_.ell);
+      if (!decoded) pass[ref.dealer] = false;
+      idx_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
+    } else {
+      std::vector<Fld> enc(opened_a.begin() + ref.offset,
+                           opened_a.begin() + ref.offset + params_.ell);
+      auto decoded = Permutation::from_field(enc);
+      if (!decoded) pass[ref.dealer] = false;
+      pi_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
+    }
+  }
+
+  // --- Step 3, round B: dependent zero/equality checks ---------------------
+  std::vector<vss::LinComb> open_b;
+  std::vector<ARef> b_refs;
+  std::vector<std::size_t> b_sizes;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!pass[i]) continue;
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+        std::vector<vss::LinComb> checks =
+            bits[j] ? sparse_check_values(params_, layouts[s][i], j,
+                                          *idx_open[s][i][j])
+                    : perm_diff_values(params_, layouts[s][i], j,
+                                       *pi_open[s][i][j]);
+        b_refs.push_back({i, s, j, open_b.size()});
+        b_sizes.push_back(checks.size());
+        for (auto& c : checks) open_b.push_back(std::move(c));
+      }
+    }
+  }
+  const auto opened_b = vss_.reconstruct_public(open_b);
+  for (std::size_t bi = 0; bi < b_refs.size(); ++bi) {
+    const auto& ref = b_refs[bi];
+    for (std::size_t k = 0; k < b_sizes[bi]; ++k) {
+      if (!opened_b[ref.offset + k].is_zero()) {
+        pass[ref.dealer] = false;
+        break;
+      }
+    }
+  }
+
+  // --- Step 4: delivery (all sessions batched into two rounds) -------------
+  std::vector<vss::LinComb> g_values;
+  for (std::size_t s = 0; s < S; ++s)
+    for (std::size_t gi = 0; gi < n; ++gi)
+      for (std::size_t k = 0; k < params_.ell; ++k)
+        g_values.push_back(layouts[s][receivers[s]].g[gi].lc(k));
+  const auto g_opened = vss_.reconstruct_public(g_values);
+  std::vector<std::vector<Permutation>> g(S, std::vector<Permutation>(n));
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      const std::size_t off = (s * n + gi) * params_.ell;
+      std::vector<Fld> enc(g_opened.begin() + off,
+                           g_opened.begin() + off + params_.ell);
+      auto decoded = Permutation::from_field(enc);
+      // An invalid permutation (only possible for a corrupt receiver) is
+      // replaced by the identity: the protocol stays total, and the random
+      // relocation only protected against adversarially placed indices,
+      // which a corrupt receiver cannot exploit against itself.
+      g[s][gi] = decoded ? *decoded : Permutation::identity(params_.ell);
+    }
+  }
+
+  // One round serves every receiver: the private reconstructions of all
+  // sessions are batched per receiver.
+  std::vector<vss::VssScheme::PrivateRequest> requests;
+  requests.reserve(S);
+  for (std::size_t s = 0; s < S; ++s)
+    requests.push_back(
+        {receivers[s], delivery_values(params_, layouts[s], pass, g[s])});
+  const auto v_per_session = vss_.reconstruct_private_multi(requests);
+
+  result.sessions.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& v_all = v_per_session[s];
+    const std::span<const Fld> v_x(v_all.data(), params_.ell);
+    const std::span<const Fld> v_a(v_all.data() + params_.ell, params_.ell);
+    auto delivered = extract_output(params_, v_x, v_a);
+    Output& out = result.sessions[s];
+    out.t_pairs = std::move(delivered.t_pairs);
+    out.y = std::move(delivered.y);
+    out.challenge_bits = bits;
+    out.v_x.assign(v_x.begin(), v_x.end());
+    out.v_a.assign(v_a.begin(), v_a.end());
+
+    // Ground-truth collision diagnostics (Claim 2's quantity) per session.
+    std::vector<std::size_t> occupancy(params_.ell, 0);
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (!pass[i] || commitments[s][i].v_indices.empty()) continue;
+      for (std::size_t k = 0; k < params_.ell; ++k) {
+        if (std::binary_search(commitments[s][i].v_indices.begin(),
+                               commitments[s][i].v_indices.end(),
+                               g[s][i](k)))
+          occupancy[k] += 1;
+      }
+    }
+    for (std::size_t o : occupancy)
+      if (o > 1) out.pairwise_collisions += o * (o - 1);
+  }
+
+  result.costs = net_.costs() - cost_before;
+  return result;
+}
+
+}  // namespace gfor14::anonchan

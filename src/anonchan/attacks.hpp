@@ -1,0 +1,87 @@
+// Sender-side attacks on AnonChan: concrete realizations of the cheating
+// strategies the security proof must defeat (Claim 1 / Theorem 1), plus the
+// optimal generic bit-guessing strategy whose escape probability is exactly
+// 2^-kappa — the quantity experiment E5 (bench_cutandchoose) measures.
+#pragma once
+
+#include "anonchan/sparse_vector.hpp"
+
+namespace gfor14::anonchan {
+
+/// Commits to a v that is NOT d-sparse (extra non-zero entries, all pairs
+/// random garbage — the "vector full of random entries" of Section 3 that
+/// would destroy honest inputs if it entered the sum), with CONSISTENT
+/// copies w_j = pi_j(v). Every challenge bit b_j = 1 catches it (the index
+/// list cannot cover the extra non-zero entries); bits b_j = 0 pass. Escape
+/// probability 2^-kappa (all bits 0).
+class DenseVectorAttack final : public SenderStrategy {
+ public:
+  /// extra: additional non-zero positions beyond d. Defaults to ell - d
+  /// (fully dense), the most destructive variant.
+  explicit DenseVectorAttack(std::size_t extra = SIZE_MAX) : extra_(extra) {}
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+
+ private:
+  std::size_t extra_;
+};
+
+/// Commits to a d-sparse v whose non-zero entries are NOT all equal (two
+/// distinct (x, a) pairs), with consistent copies. Bits b_j = 0 pass; bits
+/// b_j = 1 catch it through the consecutive-difference checks. Escape
+/// probability 2^-kappa.
+class UnequalEntriesAttack final : public SenderStrategy {
+ public:
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+};
+
+/// Commits to an honest v but to copies w_j drawn independently (proper,
+/// with truthful index lists) and unrelated permutations. Bits b_j = 1 pass
+/// (each w_j IS proper); bits b_j = 0 catch the permutation mismatch.
+/// Escape probability 2^-kappa (all bits 1) — and an escape is harmless for
+/// reliability since v itself is proper (the attack probes the checker, not
+/// the channel).
+class WrongCopyAttack final : public SenderStrategy {
+ public:
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+};
+
+/// The optimal generic cheat: an improper (dense) v, where for each copy j
+/// the attacker GUESSES the challenge bit and prepares w_j to pass that
+/// branch — consistent permuted copy for guess 0, independent proper vector
+/// for guess 1. Escapes the cut-and-choose iff every guess is right:
+/// probability exactly 2^-kappa, the bound Claim 1's argument gives for a
+/// single dealer. An escape injects the dense vector into the sum and
+/// destroys reliability — the failure mode E5 quantifies.
+class GuessingAttack final : public SenderStrategy {
+ public:
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+};
+
+/// A PROPER commitment whose non-zero positions are the fixed block
+/// 0..d-1 instead of random indices. Passes the cut-and-choose (the vector
+/// is genuinely d-sparse with equal entries); used by the ablation study to
+/// show what the receiver's g_i permutations fix: with them, the delivered
+/// positions are uniform regardless; without them, this dealer's entries
+/// appear exactly where it chose — the non-uniformity Claim 2's premise
+/// excludes.
+class FixedPositionSender final : public SenderStrategy {
+ public:
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+};
+
+/// Shares the all-zero vector (e.g. an absent-minded or crashed sender):
+/// index lists then decode as invalid, so the dealer is disqualified at
+/// step 3 round A — the protocol-level cleanup after VSS's default-zero
+/// convention for silent dealers.
+class ZeroVectorAttack final : public SenderStrategy {
+ public:
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override;
+};
+
+}  // namespace gfor14::anonchan

@@ -1,0 +1,113 @@
+#include "anonchan/cut_and_choose.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+
+namespace gfor14::anonchan {
+
+std::optional<std::vector<std::size_t>> decode_index_list(
+    std::span<const Fld> enc, std::size_t ell) {
+  std::vector<std::size_t> out;
+  out.reserve(enc.size());
+  std::uint64_t prev = 0;  // encoded values are >= 1, so 0 is "none yet"
+  for (const Fld& f : enc) {
+    const std::uint64_t v = f.to_u64();
+    // Reject non-canonical field elements, out-of-range and non-increasing
+    // values (strict increase enforces distinctness).
+    if (f != Fld::from_u64(v) || v == 0 || v > ell || v <= prev)
+      return std::nullopt;
+    prev = v;
+    out.push_back(static_cast<std::size_t>(v - 1));
+  }
+  return out;
+}
+
+std::vector<vss::LinComb> perm_diff_values(const Params& params,
+                                           const BatchLayout& layout,
+                                           std::size_t j,
+                                           const Permutation& pi) {
+  GFOR14_EXPECTS(j < params.kappa_cc);
+  GFOR14_EXPECTS(pi.size() == params.ell);
+  std::vector<vss::LinComb> out;
+  out.reserve(2 * params.ell);
+  for (std::size_t k = 0; k < params.ell; ++k)
+    out.push_back(layout.v_x.lc(pi(k)) - layout.w_x[j].lc(k));
+  for (std::size_t k = 0; k < params.ell; ++k)
+    out.push_back(layout.v_a.lc(pi(k)) - layout.w_a[j].lc(k));
+  return out;
+}
+
+std::vector<vss::LinComb> sparse_check_values(
+    const Params& params, const BatchLayout& layout, std::size_t j,
+    const std::vector<std::size_t>& w_indices) {
+  GFOR14_EXPECTS(j < params.kappa_cc);
+  GFOR14_EXPECTS(w_indices.size() == params.d);
+  std::vector<bool> nonzero(params.ell, false);
+  for (std::size_t idx : w_indices) {
+    GFOR14_EXPECTS(idx < params.ell);
+    nonzero[idx] = true;
+  }
+  std::vector<vss::LinComb> out;
+  out.reserve(2 * (params.ell - params.d) + 2 * (params.d - 1));
+  // Alleged zero entries (both components).
+  for (std::size_t k = 0; k < params.ell; ++k)
+    if (!nonzero[k]) out.push_back(layout.w_x[j].lc(k));
+  for (std::size_t k = 0; k < params.ell; ++k)
+    if (!nonzero[k]) out.push_back(layout.w_a[j].lc(k));
+  // Consecutive differences of alleged non-zero entries (both components).
+  for (std::size_t m = 0; m + 1 < w_indices.size(); ++m)
+    out.push_back(layout.w_x[j].lc(w_indices[m + 1]) -
+                  layout.w_x[j].lc(w_indices[m]));
+  for (std::size_t m = 0; m + 1 < w_indices.size(); ++m)
+    out.push_back(layout.w_a[j].lc(w_indices[m + 1]) -
+                  layout.w_a[j].lc(w_indices[m]));
+  return out;
+}
+
+std::vector<vss::LinComb> delivery_values(
+    const Params& params, const std::vector<BatchLayout>& layouts,
+    const std::vector<bool>& pass, const std::vector<Permutation>& g) {
+  GFOR14_EXPECTS(layouts.size() == params.n && pass.size() == params.n &&
+                 g.size() == params.n);
+  std::vector<vss::LinComb> out(2 * params.ell);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    if (!pass[i]) continue;
+    GFOR14_EXPECTS(g[i].size() == params.ell);
+    for (std::size_t k = 0; k < params.ell; ++k) {
+      // Entry k of g_i(v^(i)) is v^(i)[g_i(k)].
+      out[k].add(layouts[i].v_x.ref(g[i](k)), Fld::one());
+      out[params.ell + k].add(layouts[i].v_a.ref(g[i](k)), Fld::one());
+    }
+  }
+  return out;
+}
+
+Delivered extract_output(const Params& params, std::span<const Fld> v_x,
+                         std::span<const Fld> v_a) {
+  GFOR14_EXPECTS(v_x.size() == params.ell && v_a.size() == params.ell);
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::pair<std::pair<Fld, Fld>, std::size_t>>
+      counts;
+  for (std::size_t k = 0; k < params.ell; ++k) {
+    if (v_x[k].is_zero() && v_a[k].is_zero()) continue;
+    auto key = std::make_pair(v_x[k].to_u64(), v_a[k].to_u64());
+    auto [it, inserted] = counts.try_emplace(
+        key, std::make_pair(std::make_pair(v_x[k], v_a[k]), std::size_t{0}));
+    it->second.second += 1;
+  }
+  Delivered out;
+  const double threshold =
+      params.threshold_factor * static_cast<double>(params.d);
+  for (const auto& [key, entry] : counts) {
+    // "appears >= d/2 times" (threshold_factor = 1/2; ablatable).
+    if (static_cast<double>(entry.second) >= threshold) {
+      out.t_pairs.push_back(entry.first);
+      out.y.push_back(entry.first.first);
+    }
+  }
+  return out;
+}
+
+}  // namespace gfor14::anonchan

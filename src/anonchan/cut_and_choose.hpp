@@ -1,0 +1,58 @@
+// Builders and validators for the cut-and-choose sparseness proof
+// (Figure 1, step 3) and the delivery step (step 4).
+//
+// Everything here is expressed as linear combinations over sharings, so
+// each check is a VSS-Rec of a public LinComb — exactly what the Linearity
+// property licenses. Step 3 needs two reconstruction rounds: the opened
+// permutation / index list first (round A), then the difference / zero /
+// equality checks that depend on it (round B).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anonchan/params.hpp"
+#include "math/permutation.hpp"
+#include "vss/share_algebra.hpp"
+
+namespace gfor14::anonchan {
+
+/// Decodes a reconstructed index list: d strictly increasing values in
+/// [1, ell] (encoding is index + 1). nullopt on any violation — the dealer
+/// is then disqualified, matching "if the result is not a valid list of d
+/// distinct indices in [ell]".
+std::optional<std::vector<std::size_t>> decode_index_list(
+    std::span<const Fld> enc, std::size_t ell);
+
+/// Round B values for an opened permutation (challenge bit 0):
+/// u[k] = v[pi(k)] - w_j[k] for both components — must reconstruct to the
+/// all-zero vector.
+std::vector<vss::LinComb> perm_diff_values(const Params& params,
+                                           const BatchLayout& layout,
+                                           std::size_t j,
+                                           const Permutation& pi);
+
+/// Round B values for an opened index list (challenge bit 1): the alleged
+/// zero entries of w_j (both components), then the consecutive differences
+/// of alleged non-zero entries (both components) — all must be zero.
+std::vector<vss::LinComb> sparse_check_values(
+    const Params& params, const BatchLayout& layout, std::size_t j,
+    const std::vector<std::size_t>& w_indices);
+
+/// Step 4: the 2*ell linear combinations of the delivered vector
+/// v = sum_{i in PASS} g_i(v^(i)) — x components first, then a components.
+std::vector<vss::LinComb> delivery_values(
+    const Params& params, const std::vector<BatchLayout>& layouts,
+    const std::vector<bool>& pass, const std::vector<Permutation>& g);
+
+/// Step 4 receiver logic: pairs appearing at least d/2 times among the
+/// non-zero entries (the set T), and the output multiset Y (tags stripped).
+struct Delivered {
+  std::vector<std::pair<Fld, Fld>> t_pairs;  ///< the set T
+  std::vector<Fld> y;                        ///< the multiset Y
+};
+Delivered extract_output(const Params& params, std::span<const Fld> v_x,
+                         std::span<const Fld> v_a);
+
+}  // namespace gfor14::anonchan

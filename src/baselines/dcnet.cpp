@@ -1,0 +1,134 @@
+#include "baselines/dcnet.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace gfor14::baselines {
+
+PadSchedule::PadSchedule(std::size_t n, std::size_t slots, Rng& rng)
+    : n_(n), slots_(slots), pads_(n * n * slots) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      for (std::size_t s = 0; s < slots; ++s)
+        pads_[(i * n_ + j) * slots_ + s] = Fld::random(rng);
+}
+
+Fld PadSchedule::pad(std::size_t i, std::size_t j, std::size_t slot) const {
+  GFOR14_EXPECTS(i != j && i < n_ && j < n_ && slot < slots_);
+  if (i > j) std::swap(i, j);
+  return pads_[(i * n_ + j) * slots_ + slot];
+}
+
+Fld PadSchedule::combined(std::size_t i, std::size_t slot) const {
+  Fld acc = Fld::zero();
+  for (std::size_t j = 0; j < n_; ++j)
+    if (j != i) acc += pad(i, j, slot);
+  return acc;
+}
+
+DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
+                      const std::vector<Fld>& inputs,
+                      const std::vector<bool>& jammers) {
+  const std::size_t n = net.n();
+  GFOR14_EXPECTS(inputs.size() == n && jammers.size() == n);
+  GFOR14_EXPECTS(slots >= 1);
+  const auto before = net.cost_snapshot();
+
+  // Setup round: pairwise key agreement over the secure channels (one seed
+  // element per ordered pair; pads are expanded locally).
+  net.begin_round();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i < j) net.send(i, j, {Fld::random(net.rng_of(i))});
+  net.end_round();
+  PadSchedule pads(n, slots, net.adversary_rng());
+
+  // Each party draws a slot; senders with zero input stay silent.
+  std::vector<std::size_t> slot_of(n);
+  for (std::size_t i = 0; i < n; ++i)
+    slot_of[i] = static_cast<std::size_t>(net.rng_of(i).next_below(slots));
+
+  // Superposed sending: one broadcast round, every party announces its
+  // pad-combination per slot (plus message, plus garbage when jamming).
+  net.begin_round();
+  std::vector<std::vector<Fld>> announcements(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Fld> ann(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      ann[s] = pads.combined(i, s);
+      if (!inputs[i].is_zero() && slot_of[i] == s) ann[s] += inputs[i];
+      if (jammers[i]) ann[s] += Fld::random(net.adversary_rng());
+    }
+    announcements[i] = ann;
+    net.broadcast(i, std::move(ann));
+  }
+  net.end_round();
+
+  // Everyone sums the announcements; pads cancel.
+  DcNetOutput out;
+  out.slots_used = slots;
+  std::vector<std::size_t> senders_per_slot(slots, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!inputs[i].is_zero()) senders_per_slot[slot_of[i]] += 1;
+  for (std::size_t s = 0; s < slots; ++s) {
+    Fld sum = Fld::zero();
+    for (std::size_t i = 0; i < n; ++i) sum += announcements[i][s];
+    if (senders_per_slot[s] > 1) out.collisions += 1;
+    // A slot is delivered when exactly one sender used it and no jamming
+    // garbled it; with jammers every slot is garbage (sum != the message
+    // except with negligible probability), which the receiver cannot even
+    // detect without higher-layer redundancy.
+    if (!sum.is_zero()) out.delivered.push_back(sum);
+  }
+  out.costs = net.costs() - before;
+  return out;
+}
+
+RepetitionOutput run_dcnet_with_repetition(net::Network& net,
+                                           std::size_t slots,
+                                           const std::vector<Fld>& inputs,
+                                           std::size_t max_attempts,
+                                           bool inject_correlated) {
+  const std::size_t n = net.n();
+  GFOR14_EXPECTS(inputs.size() == n);
+  const auto before = net.cost_snapshot();
+  RepetitionOutput out;
+  std::vector<Fld> pending = inputs;  // zero == already delivered / silent
+  const std::vector<bool> no_jammers(n, false);
+  Fld observed_honest = Fld::zero();
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // The malleability attack of Section 1.2: a corrupt party re-enters
+    // later attempts with a value correlated to what it OBSERVED earlier.
+    if (inject_correlated && attempt > 0 && !observed_honest.is_zero()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (net.is_corrupt(i)) {
+          pending[i] = observed_honest + Fld::one();
+          break;
+        }
+      }
+    }
+    bool any_pending = false;
+    for (Fld p : pending) any_pending = any_pending || !p.is_zero();
+    if (!any_pending) break;
+    ++out.attempts;
+    auto round = run_dcnet(net, slots, pending, no_jammers);
+    // Delivered values (publicly visible — everything is broadcast) clear
+    // the matching pending entries.
+    for (Fld v : round.delivered) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pending[i] == v) {
+          if (!net.is_corrupt(i) && observed_honest.is_zero())
+            observed_honest = v;
+          pending[i] = Fld::zero();
+          out.delivered.push_back(v);
+          break;
+        }
+      }
+    }
+  }
+  out.costs = net.costs() - before;
+  return out;
+}
+
+}  // namespace gfor14::baselines

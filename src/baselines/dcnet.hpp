@@ -1,0 +1,71 @@
+// Chaum's original Dining-Cryptographers network [Cha88] — the passive
+// baseline AnonChan improves on.
+//
+// Parties share pairwise one-time pads; in a slotted superposed-sending
+// round every party broadcasts the XOR of its pads (plus its message, if it
+// owns the slot); pads cancel in the sum, leaving the message with the
+// sender untraceable. The two classic weaknesses AnonChan's design answers:
+//   * slot collisions — two senders picking the same slot destroy both
+//     messages (the channel retries, leaking timing and costing rounds);
+//   * jamming — an actively malicious party can add garbage to every slot,
+//     destroying the channel while remaining anonymous itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfor14::baselines {
+
+/// Pairwise pad material for one slotted round: pad(i, j, slot) with
+/// pad(i, j, s) == pad(j, i, s), as established by pairwise key agreement
+/// over the secure channels (we derive them from a shared seed per pair;
+/// one setup round is charged).
+class PadSchedule {
+ public:
+  PadSchedule(std::size_t n, std::size_t slots, Rng& rng);
+  Fld pad(std::size_t i, std::size_t j, std::size_t slot) const;
+  /// XOR of party i's pads with everyone else for one slot.
+  Fld combined(std::size_t i, std::size_t slot) const;
+  std::size_t slots() const { return slots_; }
+
+ private:
+  std::size_t n_;
+  std::size_t slots_;
+  std::vector<Fld> pads_;  // upper-triangular (i < j) by slot
+};
+
+struct DcNetOutput {
+  std::vector<Fld> delivered;      ///< non-garbled slot contents (non-zero)
+  std::size_t collisions = 0;      ///< slots with more than one sender
+  std::size_t slots_used = 0;
+  net::CostReport costs;
+};
+
+/// One slotted DC-net execution: every party picks a uniformly random slot
+/// in [0, slots) and superposes its message there. `jammers` lists corrupt
+/// parties that add random garbage to EVERY slot (undetectably).
+DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
+                      const std::vector<Fld>& inputs,
+                      const std::vector<bool>& jammers);
+
+/// Repeat-until-delivered wrapper (the naive reliability fix): reruns the
+/// slotted round for colliding senders until everyone got through or
+/// max_attempts is reached. This is the construction whose *malleability*
+/// the paper criticizes (Section 1.2): an adversary can observe earlier
+/// attempts and inject correlated values in later ones. When
+/// `inject_correlated` is true, the first corrupt party does exactly that —
+/// re-sending the first honest value it saw plus one.
+struct RepetitionOutput {
+  std::vector<Fld> delivered;
+  std::size_t attempts = 0;
+  net::CostReport costs;
+};
+RepetitionOutput run_dcnet_with_repetition(net::Network& net,
+                                           std::size_t slots,
+                                           const std::vector<Fld>& inputs,
+                                           std::size_t max_attempts,
+                                           bool inject_correlated);
+
+}  // namespace gfor14::baselines

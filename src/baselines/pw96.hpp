@@ -1,0 +1,63 @@
+// Pfitzmann–Waidner'96-style DC-net with traps and fault localization —
+// the long-standing best unconditional anonymous channel before this paper.
+//
+// Mechanism (simplified to the cost-relevant skeleton, per DESIGN.md): the
+// channel proceeds in attempts; an actively malicious party may disrupt an
+// attempt (jam the reserved slots). Disruption triggers an investigation
+// that publicly identifies a PAIR of parties of which at least one is
+// corrupt ("fault localization"); the pair's shared keys are burned and the
+// attempt repeats. A corrupt party that has burned its pairs with every
+// honest party is eliminated. The adversary can therefore force
+// Theta(t * n) = Theta(n^2) disrupted attempts, each costing a constant
+// number of rounds — the Omega(n^2) round bound the paper cites (footnote
+// 1). When no disruption happens, an attempt is a plain slotted DC-net
+// round and everything is delivered.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfor14::baselines {
+
+struct Pw96Output {
+  std::vector<Fld> delivered;
+  std::size_t attempts = 0;
+  std::size_t disrupted_attempts = 0;
+  std::size_t pairs_burned = 0;
+  std::size_t parties_eliminated = 0;
+  net::CostReport costs;
+};
+
+/// Adversarial disruption budget strategy.
+enum class Pw96Adversary {
+  kNone,       ///< no disruption: constant rounds
+  kMaximal,    ///< burn every corrupt-honest pair: Theta(t * n) attempts
+};
+
+/// Rounds charged per disrupted attempt (reservation + trap opening +
+/// investigation + verdict), a constant.
+inline constexpr std::size_t kPw96RoundsPerInvestigation = 4;
+
+Pw96Output run_pw96(net::Network& net, const std::vector<Fld>& inputs,
+                    Pw96Adversary adversary);
+
+/// Closed-form worst-case attempt count for a given (n, t): t * (n - t)
+/// burnable pairs, plus the final clean attempt.
+std::size_t pw96_worst_case_attempts(std::size_t n, std::size_t t);
+
+/// The player-elimination improvement the paper's footnote 1 sketches
+/// (via [HMP00]): a disrupted attempt eliminates BOTH members of the
+/// localized pair, so the adversary burns a whole corrupt party per
+/// disruption — at most t disruptions, Theta(n) rounds instead of
+/// Theta(n^2). Eliminated corrupt parties can no longer disrupt
+/// undetectably (their pad keys are public), so the final attempt is clean.
+Pw96Output run_pw96_elimination(net::Network& net,
+                                const std::vector<Fld>& inputs,
+                                Pw96Adversary adversary);
+
+/// Worst-case attempts under player elimination: t + 1.
+std::size_t pw96_elimination_worst_case_attempts(std::size_t t);
+
+}  // namespace gfor14::baselines

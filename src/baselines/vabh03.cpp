@@ -1,0 +1,88 @@
+#include "baselines/vabh03.hpp"
+
+#include <algorithm>
+
+#include "baselines/dcnet.hpp"
+#include "common/expect.hpp"
+
+namespace gfor14::baselines {
+
+double vabh03_success_probability(std::size_t k, std::size_t slots) {
+  GFOR14_EXPECTS(slots >= k);
+  double p = 1.0;
+  for (std::size_t i = 1; i < k; ++i)
+    p *= 1.0 - static_cast<double>(i) / static_cast<double>(slots);
+  return p;
+}
+
+std::size_t vabh03_slots_for_half(std::size_t k) {
+  GFOR14_EXPECTS(k >= 1);
+  std::size_t slots = k;
+  while (vabh03_success_probability(k, slots) < 0.5) ++slots;
+  return slots;
+}
+
+Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
+                        std::size_t k) {
+  const std::size_t n = net.n();
+  GFOR14_EXPECTS(inputs.size() == n);
+  GFOR14_EXPECTS(k >= 2 && k <= n);
+  const auto before = net.cost_snapshot();
+  Vabh03Output out;
+
+  const std::size_t slots = vabh03_slots_for_half(k);
+  // Partition parties into ceil(n/k) groups of ~k (the last group may be
+  // larger by up to k-1; anonymity holds within each group — that is the
+  // "k" of k-anonymity).
+  std::size_t group_start = 0;
+  while (group_start < n) {
+    const std::size_t remaining = n - group_start;
+    const std::size_t size = remaining < 2 * k ? remaining : k;
+    out.groups += 1;
+
+    // Pairwise pad setup within the group (one secure-channel round).
+    net.begin_round();
+    for (std::size_t a = 0; a < size; ++a)
+      for (std::size_t b = a + 1; b < size; ++b)
+        net.send(group_start + a, group_start + b,
+                 {Fld::random(net.rng_of(group_start + a))});
+    net.end_round();
+    PadSchedule pads(size, slots, net.adversary_rng());
+
+    // One throw each, then superposed announcement (one broadcast round).
+    std::vector<std::size_t> slot_of(size);
+    for (std::size_t a = 0; a < size; ++a)
+      slot_of[a] = static_cast<std::size_t>(
+          net.rng_of(group_start + a).next_below(slots));
+    net.begin_round();
+    std::vector<std::vector<Fld>> anns(size);
+    for (std::size_t a = 0; a < size; ++a) {
+      std::vector<Fld> ann(slots);
+      for (std::size_t s = 0; s < slots; ++s) {
+        ann[s] = pads.combined(a, s);
+        if (!inputs[group_start + a].is_zero() && slot_of[a] == s)
+          ann[s] += inputs[group_start + a];
+      }
+      anns[a] = ann;
+      net.broadcast(group_start + a, std::move(ann));
+    }
+    net.end_round();
+
+    // Sum announcements per slot; collisions destroy the colliding
+    // messages (their XOR is garbage that does not match either input).
+    std::vector<std::size_t> senders(slots, 0);
+    for (std::size_t a = 0; a < size; ++a)
+      if (!inputs[group_start + a].is_zero()) senders[slot_of[a]] += 1;
+    for (std::size_t s = 0; s < slots; ++s) {
+      Fld sum = Fld::zero();
+      for (std::size_t a = 0; a < size; ++a) sum += anns[a][s];
+      if (senders[s] == 1) out.delivered.push_back(sum);
+      if (senders[s] > 1) out.lost += senders[s];
+    }
+    group_start += size;
+  }
+  out.costs = net.costs() - before;
+  return out;
+}
+
+}  // namespace gfor14::baselines

@@ -1,0 +1,41 @@
+// von Ahn–Bortz–Hopper'03 k-anonymous message transmission — the
+// dart-throwing relative of AnonChan (Section 1.2).
+//
+// Parties are split into groups of size k. Within a group, each sender
+// throws its message into ONE uniformly random slot of a shared vector
+// which is then revealed through pad-superposed announcements (DC-net
+// style). A slot hit by two senders is lost. [vABH03] guarantees delivery
+// ("Robustness") with probability only 1/2 per execution, against full
+// delivery except with negligible probability for AnonChan — the gap the
+// paper highlights, since naive repetition sacrifices non-malleability.
+//
+// The slot count is chosen so the no-collision probability is ~1/2 for a
+// full group of senders (L such that prod (1 - i/L) ~ 1/2), reproducing the
+// cited reliability level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfor14::baselines {
+
+struct Vabh03Output {
+  std::vector<Fld> delivered;  ///< messages that survived (all groups)
+  std::size_t lost = 0;        ///< messages destroyed by slot collisions
+  std::size_t groups = 0;
+  net::CostReport costs;
+};
+
+/// Slot count giving ~1/2 all-delivered probability for k senders.
+std::size_t vabh03_slots_for_half(std::size_t k);
+
+/// Probability that all k senders landed in distinct slots out of L.
+double vabh03_success_probability(std::size_t k, std::size_t slots);
+
+/// One execution with group size k (the anonymity parameter).
+Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
+                        std::size_t k);
+
+}  // namespace gfor14::baselines

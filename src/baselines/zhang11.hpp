@@ -1,0 +1,56 @@
+// Zhang'11 oblivious-shuffle anonymous channel — the only prior
+// constant-round unconditional construction, and the paper's main
+// round-complexity comparison point (Section 1.2).
+//
+// [Zha11] builds an anonymous channel from an oblivious sorting protocol
+// that uses four MPC functionalities: VSS, comparison, equality testing and
+// multiplication; its round complexity is
+//     r_VSS-share + r_comp + r_eq + r_mult.
+// Comparison and equality testing require bit decomposition of shared
+// values, which costs 114 rounds in [DFK+06] — the figure the paper itself
+// quotes against the 7-round VSS of [RB89]. We reproduce the comparison as
+// the paper frames it: a *round-cost model* with the quoted constants,
+// paired with a functional shuffle execution that produces correct
+// anonymized output over the same simulator (the obliviousness of the
+// shuffle is modelled, not cryptographically realized — see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "vss/vss.hpp"
+
+namespace gfor14::baselines {
+
+/// Round-cost constants from [DFK+06] as quoted in the paper.
+struct Zhang11Costs {
+  std::size_t r_vss_share;       ///< from the chosen VSS instantiation
+  std::size_t r_bit_decompose = 114;  ///< [DFK+06], quoted in Section 1.2
+  std::size_t r_comparison_extra = 5;  ///< on top of bit decomposition
+  std::size_t r_equality_extra = 2;    ///< on top of bit decomposition
+  std::size_t r_mult = 3;              ///< one multiplication gate
+
+  std::size_t r_comp() const { return r_bit_decompose + r_comparison_extra; }
+  std::size_t r_eq() const { return r_bit_decompose + r_equality_extra; }
+  /// Total: r_VSS-share + r_comp + r_eq + r_mult (Section 1.2).
+  std::size_t total() const {
+    return r_vss_share + r_comp() + r_eq() + r_mult;
+  }
+};
+
+struct Zhang11Output {
+  std::vector<Fld> delivered;  ///< the shuffled (anonymized) multiset
+  std::size_t modelled_rounds = 0;  ///< per the cost model above
+  net::CostReport costs;            ///< rounds actually executed
+};
+
+/// Runs the functional shuffle over the given VSS engine (share inputs,
+/// obliviously permute, reconstruct toward the receiver) and pads the
+/// execution with synchronization rounds to the modelled round count, so
+/// downstream cost accounting reflects [Zha11]'s figures.
+Zhang11Output run_zhang11(net::Network& net, vss::VssScheme& vss,
+                          net::PartyId receiver,
+                          const std::vector<Fld>& inputs);
+
+}  // namespace gfor14::baselines

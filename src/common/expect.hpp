@@ -1,0 +1,46 @@
+// Lightweight contract checking in the spirit of the Core Guidelines'
+// Expects()/Ensures(). Violations throw (never UB), so protocol code can
+// treat malformed adversarial messages uniformly: a failed precondition on
+// parsing is converted by callers into the paper's "replace with a default
+// message" convention.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gfor14 {
+
+/// Thrown when a precondition/postcondition/invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a protocol detects adversarial misbehaviour it cannot
+/// attribute (as opposed to misbehaviour that leads to disqualification).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+#define GFOR14_EXPECTS(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::gfor14::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define GFOR14_ENSURES(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::gfor14::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace gfor14

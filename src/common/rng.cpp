@@ -1,0 +1,77 @@
+#include "common/rng.hpp"
+
+namespace gfor14 {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 expansion of the seed into the xoshiro256** state; this is
+  // the initialization recommended by the xoshiro authors and guarantees a
+  // nonzero state for every seed.
+  std::uint64_t z = seed;
+  for (auto& word : state_) {
+    z += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t w = z;
+    w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    w = (w ^ (w >> 27)) * 0x94d049bb133111ebULL;
+    word = w ^ (w >> 31);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  GFOR14_EXPECTS(bound > 0);
+  // Rejection sampling for an unbiased result (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool Rng::next_bool() { return (next_u64() & 1) != 0; }
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Derive an independent generator: hash the current state with the stream
+  // id through one splitmix64 step each. Advances this generator once so
+  // repeated forks with the same id differ.
+  std::uint64_t mix = next_u64() ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return Rng(mix);
+}
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t k,
+                                                    std::size_t universe) {
+  GFOR14_EXPECTS(k <= universe);
+  // Floyd's algorithm: O(k) expected insertions, no O(universe) memory.
+  std::vector<std::size_t> result;
+  result.reserve(k);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = universe - k; j < universe; ++j) {
+    std::size_t t = static_cast<std::size_t>(rng.next_below(j + 1));
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace gfor14

@@ -1,0 +1,50 @@
+// Deterministic, seedable random number generation for protocol simulation.
+//
+// Every party and the adversary draw randomness from their own forked Rng so
+// that whole protocol executions are reproducible from a single seed. The
+// generator is xoshiro256** (not cryptographic — the security arguments in
+// the paper are information-theoretic and do not rest on the simulator's
+// PRNG; determinism and statistical quality are what matters here).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace gfor14 {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound), unbiased. Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform bit.
+  bool next_bool();
+
+  /// Derives an independent generator keyed by `stream`; advances this one.
+  Rng fork(std::uint64_t stream);
+
+  // UniformRandomBitGenerator interface, so <random>/std::shuffle work too.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// k distinct uniform indices from [0, universe), in no particular order.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t k,
+                                                    std::size_t universe);
+
+}  // namespace gfor14

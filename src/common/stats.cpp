@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace gfor14 {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  GFOR14_EXPECTS(successes <= trials);
+  if (trials == 0) return {0.0, 1.0};
+  const double z = 1.96;  // ~95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {(center - margin) / denom, (center + margin) / denom};
+}
+
+double chi_square_uniform(const std::vector<std::size_t>& observed) {
+  GFOR14_EXPECTS(!observed.empty());
+  std::size_t total = 0;
+  for (std::size_t c : observed) total += c;
+  if (total == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double chi2 = 0.0;
+  for (std::size_t c : observed) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double chi_square_critical_001(std::size_t dof) {
+  GFOR14_EXPECTS(dof > 0);
+  // Wilson–Hilferty: chi2_k(q) ~ k * (1 - 2/(9k) + z_q * sqrt(2/(9k)))^3,
+  // with z_0.999 ~ 3.0902.
+  const double k = static_cast<double>(dof);
+  const double z = 3.0902;
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+}  // namespace gfor14

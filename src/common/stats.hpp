@@ -1,0 +1,47 @@
+// Small statistics toolkit used by the experiment harness and the
+// property-based tests: sample summaries, binomial confidence intervals,
+// and a chi-square uniformity test (used to check that accepted vectors'
+// non-zero positions are uniformly distributed after the receiver's random
+// permutation — part of the Anonymity argument).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gfor14 {
+
+/// Running mean / variance / extrema accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Unbiased sample variance.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Interval {
+  double lo;
+  double hi;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Chi-square statistic for observed counts against a uniform expectation.
+double chi_square_uniform(const std::vector<std::size_t>& observed);
+
+/// Upper critical value of the chi-square distribution with `dof` degrees of
+/// freedom at significance 0.001 (Wilson–Hilferty approximation). Tests
+/// compare chi_square_uniform() against this to flag non-uniformity.
+double chi_square_critical_001(std::size_t dof);
+
+}  // namespace gfor14

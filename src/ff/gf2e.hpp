@@ -1,0 +1,255 @@
+// Binary extension fields GF(2^k) in polynomial basis.
+//
+// The paper fixes the computation field as F = GF(2^kappa) with kappa >= 2n
+// (Section 2), so that protocol messages, authentication tags, shares and
+// permutation images are all field elements whose bit-length equals the
+// error parameter. We provide k in {8, 16, 32, 64, 128}; the protocol-wide
+// default `Fld` is GF(2^64), which supports the paper's constraint for every
+// simulated network size up to n = 32.
+//
+// Representation: polynomial basis modulo a fixed irreducible polynomial
+// (low-weight trinomials/pentanomials; the 128-bit field uses the GCM
+// polynomial). Addition is XOR; multiplication is software carry-less
+// multiplication followed by modular reduction; inversion is Fermat
+// (a^(2^k - 2)) — no timing side channels matter in a simulator, only
+// correctness and determinism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace gfor14 {
+
+namespace detail {
+
+/// Carry-less (GF(2)[x]) product of two 64-bit polynomials; 128-bit result.
+inline unsigned __int128 clmul64(std::uint64_t a, std::uint64_t b) {
+  unsigned __int128 acc = 0;
+  while (b != 0) {
+    const int i = __builtin_ctzll(b);
+    acc ^= static_cast<unsigned __int128>(a) << i;
+    b &= b - 1;
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+/// Irreducible reduction polynomials, given as the low part (polynomial
+/// minus the leading x^k term). All are standard choices.
+template <unsigned Bits>
+struct Gf2Modulus;
+template <> struct Gf2Modulus<8>   { static constexpr std::uint64_t low = 0x1B; };   // x^8+x^4+x^3+x+1
+template <> struct Gf2Modulus<16>  { static constexpr std::uint64_t low = 0x2B; };   // x^16+x^5+x^3+x+1
+template <> struct Gf2Modulus<32>  { static constexpr std::uint64_t low = 0x8D; };   // x^32+x^7+x^3+x^2+1
+template <> struct Gf2Modulus<64>  { static constexpr std::uint64_t low = 0x1B; };   // x^64+x^4+x^3+x+1
+template <> struct Gf2Modulus<128> { static constexpr std::uint64_t low = 0x87; };   // x^128+x^7+x^2+x+1
+
+/// An element of GF(2^Bits). Regular type: value semantics, total equality.
+template <unsigned Bits>
+class GF2E {
+  static_assert(Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64 ||
+                    Bits == 128,
+                "unsupported field size");
+
+ public:
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kLimbs = (Bits + 63) / 64;
+
+  constexpr GF2E() = default;
+
+  /// Embeds a 64-bit integer (as a polynomial over GF(2)); for Bits < 64 the
+  /// value must fit in Bits bits.
+  static GF2E from_u64(std::uint64_t v) {
+    if constexpr (Bits < 64) {
+      GFOR14_EXPECTS(v < (std::uint64_t{1} << Bits));
+    }
+    GF2E r;
+    r.limbs_[0] = v;
+    return r;
+  }
+
+  static constexpr GF2E zero() { return GF2E{}; }
+  static GF2E one() { return from_u64(1); }
+
+  /// Uniformly random element.
+  static GF2E random(Rng& rng) {
+    GF2E r;
+    for (unsigned i = 0; i < kLimbs; ++i) r.limbs_[i] = rng.next_u64();
+    if constexpr (Bits % 64 != 0) {
+      r.limbs_[kLimbs - 1] &= (std::uint64_t{1} << (Bits % 64)) - 1;
+    }
+    return r;
+  }
+
+  /// Uniformly random non-zero element (rejection; expected < 2 draws).
+  static GF2E random_nonzero(Rng& rng) {
+    for (;;) {
+      GF2E r = random(rng);
+      if (!r.is_zero()) return r;
+    }
+  }
+
+  bool is_zero() const {
+    for (unsigned i = 0; i < kLimbs; ++i)
+      if (limbs_[i] != 0) return false;
+    return true;
+  }
+
+  /// Low 64 bits of the representation (whole element when Bits <= 64).
+  std::uint64_t to_u64() const { return limbs_[0]; }
+
+  std::uint64_t limb(unsigned i) const { return i < kLimbs ? limbs_[i] : 0; }
+
+  /// Bit `i` of the polynomial representation (used to derive challenge
+  /// bits from a reconstructed field element, AnonChan step 2).
+  bool bit(unsigned i) const {
+    GFOR14_EXPECTS(i < Bits);
+    return (limbs_[i / 64] >> (i % 64)) & 1;
+  }
+
+  friend GF2E operator+(GF2E a, GF2E b) {
+    for (unsigned i = 0; i < kLimbs; ++i) a.limbs_[i] ^= b.limbs_[i];
+    return a;
+  }
+  friend GF2E operator-(GF2E a, GF2E b) { return a + b; }  // char 2
+  GF2E& operator+=(GF2E o) { return *this = *this + o; }
+  GF2E& operator-=(GF2E o) { return *this = *this - o; }
+
+  friend GF2E operator*(GF2E a, GF2E b) {
+    if constexpr (Bits <= 64) {
+      unsigned __int128 p = detail::clmul64(a.limbs_[0], b.limbs_[0]);
+      GF2E r;
+      r.limbs_[0] = reduce_small(p);
+      return r;
+    } else {
+      return mul128(a, b);
+    }
+  }
+  GF2E& operator*=(GF2E o) { return *this = *this * o; }
+
+  /// Multiplicative inverse; requires non-zero.
+  GF2E inverse() const {
+    GFOR14_EXPECTS(!is_zero());
+    // Fermat: a^(2^Bits - 2) = a^(111...10_2), square-and-multiply.
+    GF2E result = one();
+    GF2E base = *this;
+    // Exponent bits: bit 0 is 0, bits 1..Bits-1 are 1.
+    base = base * base;  // now base = a^2, aligned with exponent bit 1
+    for (unsigned i = 1; i < Bits; ++i) {
+      result = result * base;
+      base = base * base;
+    }
+    return result;
+  }
+
+  friend GF2E operator/(GF2E a, GF2E b) { return a * b.inverse(); }
+
+  friend bool operator==(const GF2E&, const GF2E&) = default;
+
+  /// Hex string, most significant limb first (for logs and test failures).
+  std::string to_string() const {
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    s.reserve(kLimbs * 16 + 2);
+    s += "0x";
+    bool started = false;
+    for (unsigned li = kLimbs; li-- > 0;) {
+      for (int nib = 15; nib >= 0; --nib) {
+        const unsigned v = (limbs_[li] >> (nib * 4)) & 0xF;
+        if (v != 0) started = true;
+        if (started) s += digits[v];
+      }
+    }
+    if (!started) s += '0';
+    return s;
+  }
+
+  /// Number of bytes in the canonical serialization.
+  static constexpr std::size_t byte_size() { return Bits / 8; }
+
+  /// Little-endian canonical serialization (appends to `out`).
+  void serialize(std::vector<std::uint8_t>& out) const {
+    for (std::size_t i = 0; i < byte_size(); ++i)
+      out.push_back(static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8)));
+  }
+
+ private:
+  static std::uint64_t reduce_small(unsigned __int128 p) {
+    // Fold-based reduction modulo x^Bits + low: since x^Bits == low, the
+    // high part folds down via one carry-less multiply per round. The
+    // moduli are low-weight, so two folds always suffice.
+    constexpr std::uint64_t low = Gf2Modulus<Bits>::low;
+    constexpr unsigned __int128 mask =
+        Bits == 64 ? static_cast<unsigned __int128>(~0ULL)
+                   : ((static_cast<unsigned __int128>(1) << Bits) - 1);
+    while ((p >> Bits) != 0) {
+      const std::uint64_t hi = static_cast<std::uint64_t>(p >> Bits);
+      p = (p & mask) ^ detail::clmul64(hi, low);
+    }
+    return static_cast<std::uint64_t>(p);
+  }
+
+  static GF2E mul128(const GF2E& a, const GF2E& b) {
+    // Schoolbook over 64-bit limbs: 4 carry-less products -> 256-bit value.
+    std::array<std::uint64_t, 4> p{};
+    auto acc = [&p](unsigned limb, unsigned __int128 v) {
+      p[limb] ^= static_cast<std::uint64_t>(v);
+      p[limb + 1] ^= static_cast<std::uint64_t>(v >> 64);
+    };
+    acc(0, detail::clmul64(a.limbs_[0], b.limbs_[0]));
+    acc(1, detail::clmul64(a.limbs_[0], b.limbs_[1]));
+    acc(1, detail::clmul64(a.limbs_[1], b.limbs_[0]));
+    acc(2, detail::clmul64(a.limbs_[1], b.limbs_[1]));
+    // Fold the top 128 bits down twice: x^128 == 0x87 (GCM reduction).
+    for (int round = 0; round < 2; ++round) {
+      const unsigned __int128 hi =
+          (static_cast<unsigned __int128>(p[3]) << 64) | p[2];
+      p[2] = p[3] = 0;
+      if (hi == 0) break;
+      const unsigned __int128 f0 =
+          detail::clmul64(static_cast<std::uint64_t>(hi), 0x87);
+      const unsigned __int128 f1 =
+          detail::clmul64(static_cast<std::uint64_t>(hi >> 64), 0x87);
+      p[0] ^= static_cast<std::uint64_t>(f0);
+      p[1] ^= static_cast<std::uint64_t>(f0 >> 64);
+      p[1] ^= static_cast<std::uint64_t>(f1);
+      p[2] ^= static_cast<std::uint64_t>(f1 >> 64);
+    }
+    GF2E r;
+    r.limbs_[0] = p[0];
+    r.limbs_[1] = p[1];
+    return r;
+  }
+
+  std::array<std::uint64_t, kLimbs> limbs_{};
+};
+
+template <unsigned Bits>
+std::ostream& operator<<(std::ostream& os, const GF2E<Bits>& x);
+
+using F8 = GF2E<8>;
+using F16 = GF2E<16>;
+using F32 = GF2E<32>;
+using F64 = GF2E<64>;
+using F128 = GF2E<128>;
+
+/// Protocol-wide field: GF(2^64). Satisfies |F| > n and kappa >= 2n for all
+/// simulated network sizes in this repository.
+using Fld = F64;
+
+/// Distinct non-zero evaluation points for Shamir-style sharing: party i
+/// (0-based) evaluates at alpha_i = from_u64(i + 1).
+template <unsigned Bits>
+GF2E<Bits> eval_point(std::size_t party_index) {
+  return GF2E<Bits>::from_u64(static_cast<std::uint64_t>(party_index) + 1);
+}
+
+}  // namespace gfor14

@@ -1,0 +1,69 @@
+#include "math/berlekamp_welch.hpp"
+
+#include "common/expect.hpp"
+#include "math/matrix.hpp"
+
+namespace gfor14 {
+
+std::optional<Poly> berlekamp_welch(std::span<const Fld> xs,
+                                    std::span<const Fld> ys,
+                                    std::size_t degree,
+                                    std::size_t max_errors) {
+  const std::size_t n = xs.size();
+  GFOR14_EXPECTS(ys.size() == n);
+  GFOR14_EXPECTS(n >= degree + 2 * max_errors + 1);
+
+  // Key equation: find E (monic, deg E = e) and Q (deg Q <= degree + e) with
+  //   Q(x_i) = y_i * E(x_i)  for all i;
+  // then p = Q / E. We search e from max_errors down to 0 so that the monic
+  // constraint is satisfiable (E of the exact error count always works, and
+  // larger e admits spurious factors that still divide out).
+  for (std::size_t e = max_errors + 1; e-- > 0;) {
+    const std::size_t q_terms = degree + e + 1;  // coefficients of Q
+    const std::size_t unknowns = q_terms + e;    // + e non-leading coeffs of E
+    Matrix a(n, unknowns);
+    std::vector<Fld> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // sum_k Q_k x^k - y_i * sum_{k<e} E_k x^k = y_i * x^e   (E monic).
+      Fld xp = Fld::one();
+      for (std::size_t k = 0; k < q_terms; ++k) {
+        a.at(i, k) = xp;
+        xp *= xs[i];
+      }
+      xp = Fld::one();
+      for (std::size_t k = 0; k < e; ++k) {
+        a.at(i, q_terms + k) = ys[i] * xp;  // minus == plus in char 2
+        xp *= xs[i];
+      }
+      // xp is now xs[i]^e.
+      b[i] = ys[i] * xp;
+    }
+    auto sol = Matrix::solve(std::move(a), std::move(b));
+    if (!sol) continue;
+    std::vector<Fld> q_coeffs(sol->begin(), sol->begin() + q_terms);
+    std::vector<Fld> e_coeffs(sol->begin() + q_terms, sol->end());
+    e_coeffs.push_back(Fld::one());  // monic leading term
+    const Poly q{std::move(q_coeffs)};
+    const Poly err{std::move(e_coeffs)};
+    auto dm = q.divmod(err);
+    if (!dm.remainder.is_zero()) continue;
+    if (!dm.quotient.is_zero() && dm.quotient.degree() > degree) continue;
+    // Verify the agreement count (guards against spurious solutions).
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (dm.quotient.eval(xs[i]) == ys[i]) ++agree;
+    if (agree + max_errors >= n) return dm.quotient;
+  }
+  return std::nullopt;
+}
+
+std::optional<Fld> rs_decode_secret(std::span<const Fld> xs,
+                                    std::span<const Fld> ys,
+                                    std::size_t degree,
+                                    std::size_t max_errors) {
+  auto p = berlekamp_welch(xs, ys, degree, max_errors);
+  if (!p) return std::nullopt;
+  return p->eval(Fld::zero());
+}
+
+}  // namespace gfor14

@@ -1,0 +1,34 @@
+// Berlekamp–Welch decoding of Reed–Solomon codewords.
+//
+// Robust reconstruction of Shamir-shared secrets: given alleged evaluations
+// of a degree-<= t polynomial at n distinct points, of which at most e are
+// wrong, recover the polynomial whenever n >= t + 2e + 1. The BGW VSS
+// (t < n/3) uses it directly; the RB89/GGOR instantiations use it as a
+// fallback alongside information-checking, and the tests use it to verify
+// the Commitment property under share corruption.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "math/poly.hpp"
+
+namespace gfor14 {
+
+/// Attempts to decode: returns the unique polynomial p with deg p <= degree
+/// agreeing with >= xs.size() - max_errors of the points, or nullopt when no
+/// such polynomial exists. Requires xs pairwise distinct and
+/// xs.size() >= degree + 2 * max_errors + 1.
+std::optional<Poly> berlekamp_welch(std::span<const Fld> xs,
+                                    std::span<const Fld> ys,
+                                    std::size_t degree,
+                                    std::size_t max_errors);
+
+/// Convenience: decode and evaluate at zero (the Shamir secret).
+std::optional<Fld> rs_decode_secret(std::span<const Fld> xs,
+                                    std::span<const Fld> ys,
+                                    std::size_t degree,
+                                    std::size_t max_errors);
+
+}  // namespace gfor14

@@ -1,0 +1,45 @@
+// Symmetric bivariate polynomials of degree <= t in each variable.
+//
+// Every VSS instantiation in this repository shares a secret s by sampling a
+// uniformly random symmetric F(x, y) with F(0,0) = s and handing party i the
+// univariate slice f_i(x) = F(x, alpha_i). Symmetry gives the pairwise
+// consistency relation f_i(alpha_j) = f_j(alpha_i) that the sharing-phase
+// complaint rounds check.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/poly.hpp"
+
+namespace gfor14 {
+
+class SymmetricBivariate {
+ public:
+  /// Uniformly random symmetric polynomial with F(0,0) = secret and degree
+  /// <= deg in each variable.
+  static SymmetricBivariate random_with_secret(Rng& rng, std::size_t deg,
+                                               Fld secret);
+
+  std::size_t degree() const { return deg_; }
+
+  /// Coefficient of x^i y^j (== coefficient of x^j y^i).
+  Fld coeff(std::size_t i, std::size_t j) const;
+
+  Fld eval(Fld x, Fld y) const;
+
+  /// The univariate slice F(x, y0) as a polynomial in x.
+  Poly slice(Fld y0) const;
+
+  Fld secret() const { return coeff(0, 0); }
+
+ private:
+  explicit SymmetricBivariate(std::size_t deg);
+  std::size_t index(std::size_t i, std::size_t j) const;
+
+  std::size_t deg_ = 0;
+  // Upper-triangular storage: coefficient (i, j) with i <= j.
+  std::vector<Fld> coeffs_;
+};
+
+}  // namespace gfor14

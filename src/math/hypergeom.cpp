@@ -1,0 +1,57 @@
+#include "math/hypergeom.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace gfor14 {
+
+double expected_pair_collisions(std::size_t d, std::size_t ell) {
+  GFOR14_EXPECTS(ell > 0);
+  return static_cast<double>(d) * static_cast<double>(d) /
+         static_cast<double>(ell);
+}
+
+double pair_tail_bound_paper(double c, std::size_t d) {
+  return std::exp(-c * c * static_cast<double>(d));
+}
+
+double pair_tail_bound_chvatal(double c, std::size_t d) {
+  return std::exp(-2.0 * c * c * static_cast<double>(d));
+}
+
+double claim2_bound(std::size_t n, double c, std::size_t d) {
+  return static_cast<double>(n) * static_cast<double>(n) *
+         pair_tail_bound_paper(c, d);
+}
+
+double claim2_threshold(std::size_t n, std::size_t d, std::size_t ell,
+                        double c) {
+  const double nn = static_cast<double>(n) * static_cast<double>(n);
+  return nn * (expected_pair_collisions(d, ell) + c * static_cast<double>(d));
+}
+
+PaperChoice paper_choice(std::size_t n, std::size_t kappa) {
+  GFOR14_EXPECTS(n > 0 && kappa > 0);
+  PaperChoice p;
+  const double nd = static_cast<double>(n);
+  p.c = 1.0 / (4.0 * nd * nd);
+  p.d = n * n * n * n * kappa;
+  p.ell = 4 * n * n * n * n * n * n * kappa;
+  return p;
+}
+
+bool paper_choice_identities_hold(std::size_t n, std::size_t kappa) {
+  const PaperChoice p = paper_choice(n, kappa);
+  // Identity 1: n^2 (d^2/ell + C d) == d/2.
+  const double threshold = claim2_threshold(n, p.d, p.ell, p.c);
+  const double half_d = static_cast<double>(p.d) / 2.0;
+  const double rel = std::abs(threshold - half_d) / half_d;
+  if (rel > 1e-9) return false;
+  // Identity 2: C^2 d == kappa / 16 (so exp(-C^2 d) is 2^-Omega(kappa)).
+  const double exponent = p.c * p.c * static_cast<double>(p.d);
+  const double expected = static_cast<double>(kappa) / 16.0;
+  return std::abs(exponent - expected) / expected < 1e-9;
+}
+
+}  // namespace gfor14

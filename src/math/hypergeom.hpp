@@ -1,0 +1,38 @@
+// Hypergeometric tail bounds (Chvátal '79 / Skala '13) as used in Claim 2 of
+// the paper, plus the paper's parameter identities. These are the analytic
+// side of experiment E3 (bench_collisions): the Monte-Carlo harness checks
+// the empirical tail against these bounds.
+#pragma once
+
+#include <cstddef>
+
+namespace gfor14 {
+
+/// E[|I_i ∩ I_j|] for two independent uniform d-subsets of [ell]: d^2/ell.
+double expected_pair_collisions(std::size_t d, std::size_t ell);
+
+/// Chvátal tail bound for one pair: Pr[X >= d^2/ell + C d] <= exp(-2 C^2 d).
+/// The paper uses the weaker exp(-C^2 d) form; we expose both.
+double pair_tail_bound_paper(double c, std::size_t d);
+double pair_tail_bound_chvatal(double c, std::size_t d);
+
+/// Claim 2 union bound: Pr[sum_{i != j} X_ij >= n^2 (d^2/ell + C d)]
+/// <= n^2 exp(-C^2 d).
+double claim2_bound(std::size_t n, double c, std::size_t d);
+
+/// Claim 2 threshold n^2 (d^2/ell + C d) — the protocol needs it <= d/2.
+double claim2_threshold(std::size_t n, std::size_t d, std::size_t ell,
+                        double c);
+
+/// The paper's explicit choice: C = 1/(4 n^2), d = n^4 kappa,
+/// ell = 4 n^6 kappa. Verifies the two identities the proof requires:
+/// n^2 (d^2/ell + C d) == d/2 and C^2 d == kappa/16 (in Omega(kappa)).
+struct PaperChoice {
+  double c;
+  std::size_t d;
+  std::size_t ell;
+};
+PaperChoice paper_choice(std::size_t n, std::size_t kappa);
+bool paper_choice_identities_hold(std::size_t n, std::size_t kappa);
+
+}  // namespace gfor14

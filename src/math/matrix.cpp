@@ -1,0 +1,75 @@
+#include "math/matrix.hpp"
+
+#include "common/expect.hpp"
+
+namespace gfor14 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+Fld& Matrix::at(std::size_t r, std::size_t c) {
+  GFOR14_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+const Fld& Matrix::at(std::size_t r, std::size_t c) const {
+  GFOR14_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::size_t Matrix::row_reduce() {
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    // Find a pivot in this column at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < rows_ && at(pivot, col).is_zero()) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t c = 0; c < cols_; ++c)
+        std::swap(at(pivot, c), at(rank, c));
+    }
+    const Fld inv = at(rank, col).inverse();
+    for (std::size_t c = col; c < cols_; ++c) at(rank, c) *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank || at(r, col).is_zero()) continue;
+      const Fld factor = at(r, col);
+      for (std::size_t c = col; c < cols_; ++c)
+        at(r, c) -= factor * at(rank, c);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<std::vector<Fld>> Matrix::solve(Matrix a, std::vector<Fld> b) {
+  GFOR14_EXPECTS(a.rows() == b.size());
+  // Augment, reduce, read off.
+  Matrix aug(a.rows(), a.cols() + 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) aug.at(r, c) = a.at(r, c);
+    aug.at(r, a.cols()) = b[r];
+  }
+  aug.row_reduce();
+  std::vector<Fld> x(a.cols(), Fld::zero());
+  for (std::size_t r = 0; r < aug.rows(); ++r) {
+    // Locate the pivot column of this row.
+    std::size_t pivot = aug.cols();
+    for (std::size_t c = 0; c < aug.cols(); ++c) {
+      if (!aug.at(r, c).is_zero()) {
+        pivot = c;
+        break;
+      }
+    }
+    if (pivot == aug.cols()) continue;          // all-zero row
+    if (pivot == a.cols()) return std::nullopt;  // 0 = nonzero: inconsistent
+    // Row-echelon with full elimination: pivot row determines x[pivot]
+    // once free variables (set to zero) are discounted.
+    Fld value = aug.at(r, a.cols());
+    for (std::size_t c = pivot + 1; c < a.cols(); ++c)
+      value -= aug.at(r, c) * x[c];
+    x[pivot] = value;
+  }
+  return x;
+}
+
+}  // namespace gfor14

@@ -1,0 +1,40 @@
+// Dense matrices over the protocol field with Gaussian elimination. Used by
+// the Berlekamp–Welch decoder (solving the key equation) and by tests that
+// verify the linearity property of VSS as an explicit linear map.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ff/gf2e.hpp"
+
+namespace gfor14 {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Fld& at(std::size_t r, std::size_t c);
+  const Fld& at(std::size_t r, std::size_t c) const;
+
+  /// Reduces to row echelon form in place; returns the rank.
+  std::size_t row_reduce();
+
+  /// Solves A x = b for one solution (free variables set to zero).
+  /// Returns nullopt when the system is inconsistent.
+  static std::optional<std::vector<Fld>> solve(Matrix a, std::vector<Fld> b);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Fld> data_;
+};
+
+}  // namespace gfor14

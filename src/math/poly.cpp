@@ -1,0 +1,128 @@
+#include "math/poly.hpp"
+
+#include <algorithm>
+
+namespace gfor14 {
+
+Poly::Poly(std::vector<Fld> coeffs) : coeffs_(std::move(coeffs)) { normalize(); }
+
+void Poly::normalize() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+Poly Poly::constant(Fld c) {
+  if (c.is_zero()) return Poly{};
+  return Poly{{c}};
+}
+
+Poly Poly::random_with_secret(Rng& rng, std::size_t deg, Fld secret) {
+  std::vector<Fld> coeffs(deg + 1);
+  coeffs[0] = secret;
+  for (std::size_t k = 1; k <= deg; ++k) coeffs[k] = Fld::random(rng);
+  return Poly{std::move(coeffs)};
+}
+
+Poly Poly::random(Rng& rng, std::size_t deg) {
+  std::vector<Fld> coeffs(deg + 1);
+  for (auto& c : coeffs) c = Fld::random(rng);
+  return Poly{std::move(coeffs)};
+}
+
+Fld Poly::eval(Fld x) const {
+  Fld acc = Fld::zero();
+  for (std::size_t k = coeffs_.size(); k-- > 0;) acc = acc * x + coeffs_[k];
+  return acc;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  std::vector<Fld> c(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    Fld av = k < a.coeffs_.size() ? a.coeffs_[k] : Fld::zero();
+    Fld bv = k < b.coeffs_.size() ? b.coeffs_[k] : Fld::zero();
+    c[k] = av + bv;
+  }
+  return Poly{std::move(c)};
+}
+
+Poly operator-(const Poly& a, const Poly& b) { return a + b; }  // char 2
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  std::vector<Fld> c(a.coeffs_.size() + b.coeffs_.size() - 1);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i)
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j)
+      c[i + j] += a.coeffs_[i] * b.coeffs_[j];
+  return Poly{std::move(c)};
+}
+
+Poly operator*(Fld c, const Poly& p) {
+  if (c.is_zero()) return Poly{};
+  std::vector<Fld> out = p.coeffs_;
+  for (auto& x : out) x *= c;
+  return Poly{std::move(out)};
+}
+
+Poly::DivMod Poly::divmod(const Poly& d) const {
+  GFOR14_EXPECTS(!d.is_zero());
+  std::vector<Fld> rem = coeffs_;
+  std::vector<Fld> quot;
+  if (rem.size() < d.coeffs_.size()) return {Poly{}, Poly{std::move(rem)}};
+  quot.assign(rem.size() - d.coeffs_.size() + 1, Fld::zero());
+  const Fld lead_inv = d.coeffs_.back().inverse();
+  for (std::size_t k = quot.size(); k-- > 0;) {
+    const Fld factor = rem[k + d.coeffs_.size() - 1] * lead_inv;
+    quot[k] = factor;
+    if (factor.is_zero()) continue;
+    for (std::size_t j = 0; j < d.coeffs_.size(); ++j)
+      rem[k + j] -= factor * d.coeffs_[j];
+  }
+  return {Poly{std::move(quot)}, Poly{std::move(rem)}};
+}
+
+std::vector<Fld> lagrange_coefficients(std::span<const Fld> xs, Fld at) {
+  const std::size_t m = xs.size();
+  GFOR14_EXPECTS(m > 0);
+  std::vector<Fld> lambda(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Fld num = Fld::one();
+    Fld den = Fld::one();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      GFOR14_EXPECTS(xs[i] != xs[j]);
+      num *= at - xs[j];
+      den *= xs[i] - xs[j];
+    }
+    lambda[i] = num / den;
+  }
+  return lambda;
+}
+
+Fld lagrange_eval_at(std::span<const Fld> xs, std::span<const Fld> ys, Fld at) {
+  GFOR14_EXPECTS(xs.size() == ys.size());
+  const auto lambda = lagrange_coefficients(xs, at);
+  Fld acc = Fld::zero();
+  for (std::size_t i = 0; i < xs.size(); ++i) acc += lambda[i] * ys[i];
+  return acc;
+}
+
+Poly lagrange_interpolate(std::span<const Fld> xs, std::span<const Fld> ys) {
+  GFOR14_EXPECTS(xs.size() == ys.size());
+  GFOR14_EXPECTS(!xs.empty());
+  // Incremental Newton-style construction via basis polynomials:
+  // result = sum_i ys[i] * prod_{j != i} (x - xs[j]) / (xs[i] - xs[j]).
+  Poly result;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    Poly basis = Poly::constant(Fld::one());
+    Fld denom = Fld::one();
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      GFOR14_EXPECTS(xs[i] != xs[j]);
+      basis = basis * Poly{{xs[j], Fld::one()}};  // (x - xs[j]) == (x + xs[j])
+      denom *= xs[i] - xs[j];
+    }
+    result = result + (ys[i] / denom) * basis;
+  }
+  return result;
+}
+
+}  // namespace gfor14

@@ -1,0 +1,76 @@
+// Univariate polynomials over the protocol field, plus Lagrange
+// interpolation. These are the backbone of Shamir sharing inside every VSS
+// instantiation: a degree-t polynomial f with f(0) = secret, party i holding
+// f(alpha_i).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ff/gf2e.hpp"
+
+namespace gfor14 {
+
+/// Polynomial over Fld, coefficient order: coeffs()[k] multiplies x^k.
+/// The zero polynomial has an empty coefficient vector; otherwise the
+/// leading coefficient is non-zero (normalized representation).
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<Fld> coeffs);
+
+  /// Constant polynomial.
+  static Poly constant(Fld c);
+
+  /// Uniformly random polynomial of degree <= deg with p(0) = secret.
+  static Poly random_with_secret(Rng& rng, std::size_t deg, Fld secret);
+
+  /// Uniformly random polynomial of degree <= deg.
+  static Poly random(Rng& rng, std::size_t deg);
+
+  const std::vector<Fld>& coeffs() const { return coeffs_; }
+  bool is_zero() const { return coeffs_.empty(); }
+
+  /// Degree; the zero polynomial reports 0 by convention.
+  std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+  Fld eval(Fld x) const;  ///< Horner evaluation.
+
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator-(const Poly& a, const Poly& b);
+  friend Poly operator*(const Poly& a, const Poly& b);
+  /// Scalar multiple.
+  friend Poly operator*(Fld c, const Poly& p);
+
+  /// Polynomial division: *this = q * d + r with deg r < deg d.
+  /// Requires d non-zero. Returns {quotient, remainder}.
+  struct DivMod;
+  DivMod divmod(const Poly& d) const;
+
+  friend bool operator==(const Poly&, const Poly&) = default;
+
+ private:
+  void normalize();
+  std::vector<Fld> coeffs_;
+};
+
+struct Poly::DivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+/// Unique polynomial of degree < xs.size() through the points (xs[i], ys[i]).
+/// The xs must be pairwise distinct.
+Poly lagrange_interpolate(std::span<const Fld> xs, std::span<const Fld> ys);
+
+/// Evaluates the interpolating polynomial at `at` without materializing it.
+Fld lagrange_eval_at(std::span<const Fld> xs, std::span<const Fld> ys, Fld at);
+
+/// Lagrange coefficients lambda_i such that f(at) = sum lambda_i * ys[i] for
+/// any polynomial of degree < xs.size(). These are the public constants used
+/// to express reconstruction as a linear map over shares.
+std::vector<Fld> lagrange_coefficients(std::span<const Fld> xs, Fld at);
+
+}  // namespace gfor14

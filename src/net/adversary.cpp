@@ -1,0 +1,59 @@
+#include "net/adversary.hpp"
+
+namespace gfor14::net {
+
+void ShareCorruptingAdversary::on_round(Network& net) {
+  for (PartyId p = 0; p < net.n(); ++p) {
+    if (!net.is_corrupt(p)) continue;
+    for (PartyId to = 0; to < net.n(); ++to) {
+      if (to == p) continue;
+      // Collect this party's pending payloads to `to` and rerandomize them.
+      std::vector<Payload> replaced;
+      for (auto& [dst, payload] : net.pending_from_corrupt(p)) {
+        if (dst != to) continue;
+        Payload garbage(payload.size());
+        for (auto& x : garbage) x = Fld::random(net.adversary_rng());
+        replaced.push_back(std::move(garbage));
+      }
+      if (!replaced.empty()) net.replace_pending(p, to, std::move(replaced));
+    }
+  }
+}
+
+void SilentAdversary::on_round(Network& net) {
+  for (PartyId p = 0; p < net.n(); ++p) {
+    if (!net.is_corrupt(p)) continue;
+    for (PartyId to = 0; to < net.n(); ++to) net.replace_pending(p, to, {});
+    // Broadcasts cannot be retracted in this simulator once submitted, and
+    // honest protocols never submit on behalf of corrupt parties in rounds
+    // where silence matters; p2p withholding is the relevant behaviour.
+  }
+}
+
+void RecordingAdversary::on_round(Network& net) {
+  RoundView view;
+  for (PartyId p = 0; p < net.n(); ++p) {
+    if (!net.is_corrupt(p)) continue;
+    for (auto& [from, payload] : net.pending_to_corrupt(p))
+      view.to_corrupt.emplace_back(from, p, std::move(payload));
+  }
+  view.broadcasts = net.pending_broadcasts();
+  views_.push_back(std::move(view));
+}
+
+std::vector<Fld> RecordingAdversary::flat_transcript() const {
+  std::vector<Fld> out;
+  for (const auto& view : views_) {
+    for (const auto& [from, to, payload] : view.to_corrupt) {
+      out.push_back(Fld::from_u64(from));
+      out.push_back(Fld::from_u64(to));
+      out.insert(out.end(), payload.begin(), payload.end());
+    }
+    for (const auto& per_sender : view.broadcasts)
+      for (const auto& payload : per_sender)
+        out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+}  // namespace gfor14::net

@@ -1,0 +1,68 @@
+// Generic message-level adversaries.
+//
+// These cover misbehaviour expressible directly on channel traffic —
+// corrupting or withholding shares, and recording the adversary's view for
+// the privacy/anonymity property tests. Protocol-semantic misbehaviour
+// (committing to improper vectors, lying in the cut-and-choose) lives in
+// anonchan/attacks.*, at the layer that understands the message semantics.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfor14::net {
+
+/// Corrupt parties replace every outgoing p2p payload with uniformly random
+/// field elements of the same length. Models wrong shares at reconstruction
+/// time; Commitment/Reliability must survive it for t < n/2.
+class ShareCorruptingAdversary : public Adversary {
+ public:
+  void on_round(Network& net) override;
+};
+
+/// Corrupt parties drop all their outgoing messages and broadcasts. Models
+/// crash-style active faults; protocols must treat missing messages via the
+/// default-message convention of Section 2.
+class SilentAdversary : public Adversary {
+ public:
+  void on_round(Network& net) override;
+};
+
+/// Records the rushing adversary's entire view: per round, all payloads
+/// addressed to corrupt parties and all broadcasts. Used by tests that argue
+/// about what the adversary could learn (Privacy / Anonymity).
+class RecordingAdversary : public Adversary {
+ public:
+  struct RoundView {
+    /// (from, to, payload) for each message addressed to a corrupt party.
+    std::vector<std::tuple<PartyId, PartyId, Payload>> to_corrupt;
+    /// broadcasts[from] for all parties.
+    std::vector<std::vector<Payload>> broadcasts;
+  };
+
+  void on_round(Network& net) override;
+  const std::vector<RoundView>& views() const { return views_; }
+
+  /// Flattens every field element the adversary ever saw, in order. Two
+  /// executions are adversary-indistinguishable in the simulator iff these
+  /// transcripts coincide (used by deterministic-replay privacy tests).
+  std::vector<Fld> flat_transcript() const;
+
+ private:
+  std::vector<RoundView> views_;
+};
+
+/// Runs a custom callback each round (ad-hoc attacks in tests/benches).
+class CallbackAdversary : public Adversary {
+ public:
+  explicit CallbackAdversary(std::function<void(Network&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_round(Network& net) override { fn_(net); }
+
+ private:
+  std::function<void(Network&)> fn_;
+};
+
+}  // namespace gfor14::net

@@ -1,0 +1,137 @@
+#include "net/network.hpp"
+
+namespace gfor14::net {
+
+CostReport CostReport::operator-(const CostReport& o) const {
+  CostReport r;
+  r.rounds = rounds - o.rounds;
+  r.broadcast_rounds = broadcast_rounds - o.broadcast_rounds;
+  r.broadcast_invocations = broadcast_invocations - o.broadcast_invocations;
+  r.p2p_messages = p2p_messages - o.p2p_messages;
+  r.p2p_elements = p2p_elements - o.p2p_elements;
+  r.broadcast_elements = broadcast_elements - o.broadcast_elements;
+  return r;
+}
+
+void RoundTraffic::reset(std::size_t n) {
+  p2p.assign(n, std::vector<std::vector<Payload>>(n));
+  bcast.assign(n, {});
+}
+
+Network::Network(std::size_t n, std::uint64_t seed)
+    : n_(n), corrupt_(n, false), adv_rng_(seed ^ 0xADE5A11ULL) {
+  GFOR14_EXPECTS(n >= 2);
+  Rng root(seed);
+  party_rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) party_rng_.push_back(root.fork(i));
+  pending_.reset(n);
+  delivered_.reset(n);
+}
+
+void Network::set_corrupt(PartyId p, bool corrupt) {
+  GFOR14_EXPECTS(p < n_);
+  corrupt_[p] = corrupt;
+}
+
+bool Network::is_corrupt(PartyId p) const {
+  GFOR14_EXPECTS(p < n_);
+  return corrupt_[p];
+}
+
+std::size_t Network::num_corrupt() const {
+  std::size_t t = 0;
+  for (bool c : corrupt_)
+    if (c) ++t;
+  return t;
+}
+
+void Network::corrupt_first(std::size_t t) {
+  GFOR14_EXPECTS(t <= n_);
+  for (std::size_t i = 0; i < n_; ++i) corrupt_[i] = i < t;
+}
+
+Rng& Network::rng_of(PartyId p) {
+  GFOR14_EXPECTS(p < n_);
+  return party_rng_[p];
+}
+
+void Network::begin_round() {
+  GFOR14_EXPECTS(!in_round_);
+  in_round_ = true;
+  in_adversary_turn_ = false;
+  round_used_broadcast_ = false;
+  pending_.reset(n_);
+}
+
+void Network::send(PartyId from, PartyId to, Payload payload) {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(from < n_ && to < n_);
+  costs_.p2p_messages += 1;
+  costs_.p2p_elements += payload.size();
+  pending_.p2p[to][from].push_back(std::move(payload));
+}
+
+void Network::broadcast(PartyId from, Payload payload) {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(from < n_);
+  costs_.broadcast_invocations += 1;
+  costs_.broadcast_elements += payload.size();
+  round_used_broadcast_ = true;
+  pending_.bcast[from].push_back(std::move(payload));
+}
+
+void Network::end_round() {
+  GFOR14_EXPECTS(in_round_);
+  if (adversary_) {
+    in_adversary_turn_ = true;
+    adversary_->on_round(*this);
+    in_adversary_turn_ = false;
+  }
+  in_round_ = false;
+  costs_.rounds += 1;
+  if (round_used_broadcast_) costs_.broadcast_rounds += 1;
+  delivered_ = std::move(pending_);
+  pending_.reset(n_);
+}
+
+std::vector<std::pair<PartyId, Payload>> Network::pending_to_corrupt(
+    PartyId to) const {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(is_corrupt(to));
+  std::vector<std::pair<PartyId, Payload>> out;
+  for (PartyId from = 0; from < n_; ++from)
+    for (const auto& payload : pending_.p2p[to][from])
+      out.emplace_back(from, payload);
+  return out;
+}
+
+const std::vector<std::vector<Payload>>& Network::pending_broadcasts() const {
+  GFOR14_EXPECTS(in_round_);
+  return pending_.bcast;
+}
+
+std::vector<std::pair<PartyId, Payload>> Network::pending_from_corrupt(
+    PartyId from) const {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(is_corrupt(from));
+  std::vector<std::pair<PartyId, Payload>> out;
+  for (PartyId to = 0; to < n_; ++to)
+    for (const auto& payload : pending_.p2p[to][from])
+      out.emplace_back(to, payload);
+  return out;
+}
+
+void Network::replace_pending(PartyId from, PartyId to,
+                              std::vector<Payload> payloads) {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(is_corrupt(from));
+  auto& slot = pending_.p2p[to][from];
+  // Adjust element accounting to reflect the substituted traffic.
+  for (const auto& p : slot) costs_.p2p_elements -= p.size();
+  for (const auto& p : payloads) costs_.p2p_elements += p.size();
+  if (payloads.size() > slot.size())
+    costs_.p2p_messages += payloads.size() - slot.size();
+  slot = std::move(payloads);
+}
+
+}  // namespace gfor14::net

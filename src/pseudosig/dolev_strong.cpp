@@ -1,0 +1,196 @@
+#include "pseudosig/dolev_strong.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/expect.hpp"
+
+namespace gfor14::pseudosig {
+
+namespace {
+
+struct ChainLink {
+  net::PartyId party;
+  Pseudosignature sig;
+};
+
+struct Chain {
+  Msg value;
+  std::vector<ChainLink> links;
+
+  std::vector<Fld> serialize() const {
+    std::vector<Fld> out;
+    out.push_back(Fld::from_u64(value.to_u64()));
+    out.push_back(Fld::from_u64(links.size()));
+    for (const auto& link : links) {
+      out.push_back(Fld::from_u64(link.party));
+      const auto sig = link.sig.serialize();
+      out.push_back(Fld::from_u64(sig.size()));
+      out.insert(out.end(), sig.begin(), sig.end());
+    }
+    return out;
+  }
+
+  static std::optional<Chain> deserialize(std::span<const Fld> enc,
+                                          std::size_t n) {
+    std::size_t pos = 0;
+    auto take = [&](std::uint64_t bound) -> std::optional<std::uint64_t> {
+      if (pos >= enc.size()) return std::nullopt;
+      const std::uint64_t v = enc[pos].to_u64();
+      if (enc[pos] != Fld::from_u64(v) || v >= bound) return std::nullopt;
+      ++pos;
+      return v;
+    };
+    Chain chain;
+    auto value = take(std::uint64_t{1} << 32);
+    if (!value) return std::nullopt;
+    chain.value = Msg::from_u64(*value);
+    auto len = take(n + 1);
+    if (!len) return std::nullopt;
+    for (std::uint64_t k = 0; k < *len; ++k) {
+      auto party = take(n);
+      if (!party) return std::nullopt;
+      auto sig_len = take(1 << 20);
+      if (!sig_len || pos + *sig_len > enc.size()) return std::nullopt;
+      auto sig = Pseudosignature::deserialize(
+          enc.subspan(pos, static_cast<std::size_t>(*sig_len)));
+      pos += static_cast<std::size_t>(*sig_len);
+      if (!sig) return std::nullopt;
+      chain.links.push_back(
+          {static_cast<net::PartyId>(*party), std::move(*sig)});
+    }
+    if (pos != enc.size()) return std::nullopt;
+    return chain;
+  }
+};
+
+/// Validates a chain of length r (as delivered at the end of round r) from
+/// party p's standpoint. Link j was signed in round j + 1 and verified here
+/// at level r - j.
+bool chain_valid(const Chain& chain, std::size_t expected_len,
+                 net::PartyId sender, net::PartyId p, std::size_t slot,
+                 const std::vector<PseudosigScheme>& schemes) {
+  if (chain.links.size() != expected_len || expected_len == 0) return false;
+  if (chain.links[0].party != sender) return false;
+  std::set<net::PartyId> signers;
+  for (std::size_t j = 0; j < chain.links.size(); ++j) {
+    const auto& link = chain.links[j];
+    if (link.party == p) return false;  // p never needs its own relays
+    if (!signers.insert(link.party).second) return false;  // distinct
+    const auto& sig = link.sig;
+    if (sig.message != chain.value || sig.slot != slot) return false;
+    const std::size_t level = expected_len - j;
+    if (!schemes[link.party].verify(sig, p, level)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DsResult dolev_strong_broadcast(net::Network& net,
+                                const std::vector<PseudosigScheme>& schemes,
+                                net::PartyId sender, Msg value,
+                                Msg second_value, std::size_t slot,
+                                std::size_t t,
+                                DsSenderBehaviour behaviour) {
+  const std::size_t n = net.n();
+  GFOR14_EXPECTS(schemes.size() == n);
+  GFOR14_EXPECTS(sender < n);
+  const auto before = net.cost_snapshot();
+  const auto bc_before = net.costs().broadcast_invocations;
+
+  // accepted[p]: value -> round at which it was accepted, plus the chain.
+  std::vector<std::map<std::uint64_t, Chain>> accepted(n);
+  std::vector<std::vector<Chain>> newly(n);  // accepted last round, to relay
+
+  // Round 1: the sender distributes its signed value.
+  net.begin_round();
+  if (behaviour != DsSenderBehaviour::kSilent) {
+    auto send_signed = [&](Msg v, net::PartyId to) {
+      Chain chain{v, {{sender, schemes[sender].sign(v, slot)}}};
+      net.send(sender, to, chain.serialize());
+    };
+    for (net::PartyId p = 0; p < n; ++p) {
+      if (p == sender) continue;
+      if (behaviour == DsSenderBehaviour::kEquivocate) {
+        send_signed(p < n / 2 ? value : second_value, p);
+      } else {
+        send_signed(value, p);
+      }
+    }
+  }
+  net.end_round();
+
+  // The sender accepts its own value(s) trivially.
+  if (behaviour == DsSenderBehaviour::kHonest) {
+    accepted[sender].emplace(value.to_u64(), Chain{value, {}});
+  }
+
+  auto process_deliveries = [&](std::size_t round) {
+    for (net::PartyId p = 0; p < n; ++p) {
+      if (p == sender) continue;
+      for (net::PartyId from = 0; from < n; ++from) {
+        for (const auto& payload : net.delivered().p2p[p][from]) {
+          auto chain = Chain::deserialize(payload, n);
+          if (!chain) continue;
+          if (accepted[p].contains(chain->value.to_u64())) continue;
+          if (!chain_valid(*chain, round, sender, p, slot, schemes))
+            continue;
+          newly[p].push_back(*chain);
+          accepted[p].emplace(chain->value.to_u64(), std::move(*chain));
+        }
+      }
+    }
+  };
+  process_deliveries(1);
+
+  // Rounds 2 .. t+1: relay newly accepted values with an appended
+  // pseudosignature. Corrupt non-sender parties stay silent (the adversary
+  // gains nothing by relaying honestly, and forging is infeasible).
+  for (std::size_t round = 2; round <= t + 1; ++round) {
+    net.begin_round();
+    for (net::PartyId p = 0; p < n; ++p) {
+      if (p == sender || net.is_corrupt(p)) {
+        newly[p].clear();
+        continue;
+      }
+      for (Chain& chain : newly[p]) {
+        chain.links.push_back({p, schemes[p].sign(chain.value, slot)});
+        const auto enc = chain.serialize();
+        for (net::PartyId q = 0; q < n; ++q)
+          if (q != p) net.send(p, q, enc);
+      }
+      newly[p].clear();
+    }
+    net.end_round();
+    process_deliveries(round);
+  }
+
+  DsResult result;
+  result.outputs.resize(n);
+  for (net::PartyId p = 0; p < n; ++p) {
+    if (accepted[p].size() == 1) {
+      result.outputs[p] =
+          Msg::from_u64(accepted[p].begin()->first & 0xFFFFFFFFULL);
+    } else {
+      result.outputs[p] = Msg::from_u64(kDsDefault);
+    }
+  }
+  // Agreement/validity over honest parties.
+  result.agreement = true;
+  std::optional<Msg> honest_value;
+  for (net::PartyId p = 0; p < n; ++p) {
+    if (net.is_corrupt(p)) continue;
+    if (!honest_value) honest_value = result.outputs[p];
+    if (result.outputs[p] != *honest_value) result.agreement = false;
+  }
+  result.validity = behaviour == DsSenderBehaviour::kHonest &&
+                    !net.is_corrupt(sender) && honest_value &&
+                    *honest_value == value;
+  result.costs = net.costs() - before;
+  // The whole main phase must not touch the physical broadcast channel.
+  GFOR14_ENSURES(net.costs().broadcast_invocations == bc_before);
+  return result;
+}
+
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,51 @@
+// Dolev–Strong authenticated Byzantine agreement over pseudosignatures —
+// the payoff of Section 4: after the (broadcast-assisted) setup phase,
+// future broadcasts are SIMULATED on the point-to-point network alone.
+//
+// Classic t+1-round protocol: in round 1 the sender sends its value with
+// its pseudosignature; in round r a party that newly accepted a value
+// relays it with its own pseudosignature appended. A value is accepted at
+// round r iff it carries valid pseudosignatures from r distinct parties,
+// the first being the sender — each link's signature verified at the
+// transfer level matching how many hops it has travelled (this is where
+// the limited-transferability budget L >= t + 1 is spent). After round
+// t + 1 a party outputs the unique accepted value, or the default when
+// none or several were accepted (the equivocating-sender case).
+#pragma once
+
+#include <map>
+
+#include "pseudosig/pseudosig.hpp"
+
+namespace gfor14::pseudosig {
+
+struct DsResult {
+  std::vector<Msg> outputs;       ///< per-party decision
+  net::CostReport costs;          ///< main-phase resource usage
+  bool agreement = false;         ///< all honest outputs equal
+  bool validity = false;          ///< honest sender's value adopted
+};
+
+/// Sender misbehaviour for the simulation harness.
+enum class DsSenderBehaviour {
+  kHonest,
+  kEquivocate,  ///< signs and sends different values to the two halves
+  kSilent,      ///< sends nothing
+};
+
+/// Runs one Dolev–Strong broadcast of `value` from `sender` using the
+/// per-party pseudosignature schemes in `schemes` (schemes[q] has q as its
+/// signer). `slot` indexes the one-time key slot to spend; each party uses
+/// the same slot number in its own scheme. Executes t + 1 synchronous
+/// rounds on the point-to-point channels only.
+DsResult dolev_strong_broadcast(net::Network& net,
+                                const std::vector<PseudosigScheme>& schemes,
+                                net::PartyId sender, Msg value,
+                                Msg second_value, std::size_t slot,
+                                std::size_t t,
+                                DsSenderBehaviour behaviour);
+
+/// Default-value convention for "no (unique) accepted value".
+inline constexpr std::uint64_t kDsDefault = 0;
+
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,20 @@
+#include "pseudosig/itmac.hpp"
+
+namespace gfor14::pseudosig {
+
+MacKey MacKey::random(Rng& rng) {
+  return {Msg::random_nonzero(rng), Msg::random(rng)};
+}
+
+Fld MacKey::pack() const {
+  return Fld::from_u64((a.to_u64() << 32) | b.to_u64());
+}
+
+std::optional<MacKey> MacKey::unpack(Fld packed) {
+  const std::uint64_t v = packed.to_u64();
+  MacKey k{Msg::from_u64(v >> 32), Msg::from_u64(v & 0xFFFFFFFFULL)};
+  if (k.a.is_zero()) return std::nullopt;
+  return k;
+}
+
+}  // namespace gfor14::pseudosig

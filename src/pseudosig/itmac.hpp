@@ -1,0 +1,40 @@
+// One-time information-theoretic MACs — the authentication keys that flow
+// anonymously to the signer in the pseudosignature setup (Section 4).
+//
+// A key is a pair (a, b) over GF(2^32); the tag of message m is a*m + b.
+// Forging a tag for m' != m without the key succeeds with probability
+// 2^-32 (for every guess of the tag there is exactly one consistent key
+// slope). Keys are packed into a single GF(2^64) element so that one
+// AnonChan message delivers one key; a is kept non-zero, which both
+// strengthens the MAC to its standard form and keeps the packed value
+// non-zero (AnonChan treats zero inputs as silence).
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "ff/gf2e.hpp"
+
+namespace gfor14::pseudosig {
+
+/// Message/tag space of the MACs (and of pseudosigned messages).
+using Msg = F32;
+
+struct MacKey {
+  Msg a;  ///< non-zero slope
+  Msg b;  ///< offset
+
+  static MacKey random(Rng& rng);
+
+  Msg mac(Msg m) const { return a * m + b; }
+  bool verify(Msg m, Msg tag) const { return mac(m) == tag; }
+
+  /// Packs into one channel message: a in the high 32 bits, b in the low.
+  Fld pack() const;
+  /// Unpacks; nullopt when the slope is zero (not a valid key).
+  static std::optional<MacKey> unpack(Fld packed);
+
+  friend bool operator==(const MacKey&, const MacKey&) = default;
+};
+
+}  // namespace gfor14::pseudosig

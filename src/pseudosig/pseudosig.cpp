@@ -1,0 +1,209 @@
+#include "pseudosig/pseudosig.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace gfor14::pseudosig {
+
+std::vector<Fld> Pseudosignature::serialize() const {
+  std::vector<Fld> out;
+  out.push_back(Fld::from_u64(message.to_u64()));
+  out.push_back(Fld::from_u64(slot));
+  out.push_back(Fld::from_u64(minisigs.size()));
+  for (const auto& block : minisigs) {
+    out.push_back(Fld::from_u64(block.size()));
+    for (Msg tag : block) out.push_back(Fld::from_u64(tag.to_u64()));
+  }
+  return out;
+}
+
+std::optional<Pseudosignature> Pseudosignature::deserialize(
+    std::span<const Fld> enc) {
+  // Strict parse with range validation; any malformation yields nullopt
+  // (treated as an invalid signature by callers).
+  std::size_t pos = 0;
+  auto take_u64 = [&](std::uint64_t bound) -> std::optional<std::uint64_t> {
+    if (pos >= enc.size()) return std::nullopt;
+    const std::uint64_t v = enc[pos].to_u64();
+    if (enc[pos] != Fld::from_u64(v) || v >= bound) return std::nullopt;
+    ++pos;
+    return v;
+  };
+  Pseudosignature sig;
+  auto msg = take_u64(std::uint64_t{1} << 32);
+  if (!msg) return std::nullopt;
+  sig.message = Msg::from_u64(*msg);
+  auto slot = take_u64(1 << 16);
+  if (!slot) return std::nullopt;
+  sig.slot = static_cast<std::size_t>(*slot);
+  auto blocks = take_u64(1 << 16);
+  if (!blocks) return std::nullopt;
+  sig.minisigs.resize(static_cast<std::size_t>(*blocks));
+  for (auto& block : sig.minisigs) {
+    auto count = take_u64(1 << 16);
+    if (!count) return std::nullopt;
+    block.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t k = 0; k < *count; ++k) {
+      auto tag = take_u64(std::uint64_t{1} << 32);
+      if (!tag) return std::nullopt;
+      block.push_back(Msg::from_u64(*tag));
+    }
+  }
+  if (pos != enc.size()) return std::nullopt;
+  return sig;
+}
+
+namespace {
+
+/// Builds the per-signer key material and channel inputs; shared by the
+/// single-signer and all-signers setups.
+struct SetupPlan {
+  std::vector<PseudosigScheme> schemes;  // one per requested signer
+  std::vector<net::PartyId> receivers;   // session -> receiver
+  std::vector<std::vector<Fld>> inputs;  // session -> per-party messages
+  std::vector<Fld> dummies;              // per requested signer
+};
+
+}  // namespace
+
+struct PseudosigScheme::Access {
+  static SetupPlan plan(net::Network& net,
+                        const std::vector<net::PartyId>& signers,
+                        const PsParams& params) {
+    const std::size_t n = net.n();
+    GFOR14_EXPECTS(params.blocks >= params.max_transfers);
+    SetupPlan plan;
+    for (net::PartyId signer : signers) {
+      GFOR14_EXPECTS(signer < n);
+      PseudosigScheme scheme;
+      scheme.signer_ = signer;
+      scheme.params_ = params;
+      scheme.n_ = n;
+      scheme.verifier_keys_.assign(
+          n, std::vector<std::vector<MacKey>>(
+                 params.blocks, std::vector<MacKey>(params.slots)));
+      const Fld dummy = Fld::random_nonzero(net.rng_of(signer));
+      for (std::size_t b = 0; b < params.blocks; ++b) {
+        for (std::size_t s = 0; s < params.slots; ++s) {
+          std::vector<Fld> session(n);
+          for (net::PartyId i = 0; i < n; ++i) {
+            if (i == signer) {
+              session[i] = dummy;
+              continue;
+            }
+            const MacKey key = MacKey::random(net.rng_of(i));
+            scheme.verifier_keys_[i][b][s] = key;
+            session[i] = key.pack();
+          }
+          plan.receivers.push_back(signer);
+          plan.inputs.push_back(std::move(session));
+        }
+      }
+      plan.schemes.push_back(std::move(scheme));
+      plan.dummies.push_back(dummy);
+    }
+    return plan;
+  }
+
+  static void absorb(SetupPlan& plan, const anonchan::ManyOutput& result,
+                     const net::CostReport& costs) {
+    std::size_t session = 0;
+    for (std::size_t si = 0; si < plan.schemes.size(); ++si) {
+      PseudosigScheme& scheme = plan.schemes[si];
+      const PsParams& params = scheme.params_;
+      scheme.setup_costs_ = costs;
+      scheme.signer_blocks_.assign(
+          params.blocks, std::vector<std::vector<MacKey>>(params.slots));
+      for (std::size_t b = 0; b < params.blocks; ++b) {
+        for (std::size_t s = 0; s < params.slots; ++s, ++session) {
+          for (Fld packed : result.sessions[session].y) {
+            if (packed == plan.dummies[si]) continue;
+            if (auto key = MacKey::unpack(packed))
+              scheme.signer_blocks_[b][s].push_back(*key);
+          }
+        }
+      }
+    }
+  }
+};
+
+PseudosigScheme PseudosigScheme::setup(net::Network& net,
+                                       anonchan::AnonChan& chan,
+                                       net::PartyId signer,
+                                       const PsParams& params) {
+  SetupPlan plan = Access::plan(net, {signer}, params);
+  const auto result = chan.run_many_to(plan.receivers, plan.inputs);
+  Access::absorb(plan, result, result.costs);
+  return std::move(plan.schemes[0]);
+}
+
+std::vector<PseudosigScheme> PseudosigScheme::setup_all(
+    net::Network& net, anonchan::AnonChan& chan, const PsParams& params) {
+  std::vector<net::PartyId> signers(net.n());
+  for (net::PartyId p = 0; p < net.n(); ++p) signers[p] = p;
+  SetupPlan plan = Access::plan(net, signers, params);
+  const auto result = chan.run_many_to(plan.receivers, plan.inputs);
+  Access::absorb(plan, result, result.costs);
+  return std::move(plan.schemes);
+}
+
+Pseudosignature PseudosigScheme::sign(Msg m, std::size_t slot) const {
+  GFOR14_EXPECTS(slot < params_.slots);
+  Pseudosignature sig;
+  sig.message = m;
+  sig.slot = slot;
+  sig.minisigs.resize(params_.blocks);
+  for (std::size_t b = 0; b < params_.blocks; ++b)
+    for (const MacKey& key : signer_blocks_[b][slot])
+      sig.minisigs[b].push_back(key.mac(m));
+  return sig;
+}
+
+Pseudosignature PseudosigScheme::sign_omitting(Msg m, std::size_t slot,
+                                               std::size_t attacked_blocks,
+                                               std::size_t omit,
+                                               Rng& rng) const {
+  Pseudosignature sig = sign(m, slot);
+  for (std::size_t b = 0; b < std::min(attacked_blocks, params_.blocks);
+       ++b) {
+    auto& block = sig.minisigs[b];
+    for (std::size_t k = 0; k < omit && !block.empty(); ++k) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.next_below(block.size()));
+      block.erase(block.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  return sig;
+}
+
+std::size_t PseudosigScheme::valid_blocks(const Pseudosignature& sig,
+                                          net::PartyId v) const {
+  GFOR14_EXPECTS(v < n_ && v != signer_);
+  if (sig.slot >= params_.slots || sig.minisigs.size() != params_.blocks)
+    return 0;
+  std::size_t valid = 0;
+  for (std::size_t b = 0; b < params_.blocks; ++b) {
+    const MacKey& key = verifier_keys_[v][b][sig.slot];
+    const Msg expected = key.mac(sig.message);
+    if (std::find(sig.minisigs[b].begin(), sig.minisigs[b].end(),
+                  expected) != sig.minisigs[b].end())
+      ++valid;
+  }
+  return valid;
+}
+
+bool PseudosigScheme::verify(const Pseudosignature& sig, net::PartyId v,
+                             std::size_t level) const {
+  GFOR14_EXPECTS(level >= 1);
+  if (level > params_.max_transfers) return false;
+  const std::size_t threshold = params_.blocks - (level - 1);
+  return valid_blocks(sig, v) >= threshold;
+}
+
+std::size_t PseudosigScheme::block_size(std::size_t b, std::size_t s) const {
+  GFOR14_EXPECTS(b < params_.blocks && s < params_.slots);
+  return signer_blocks_[b][s].size();
+}
+
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,113 @@
+// Pseudosignatures in the Pfitzmann–Waidner style (Section 4), built on
+// the many-to-one anonymous channel.
+//
+// Setup: every party generates one-time MAC keys and sends them to the
+// signer over AnonChan — one channel session per (block, slot), all run in
+// parallel (AnonChan::run_many), so the whole setup is constant-round. The
+// signer ends with B blocks of anonymous keys per message slot: it knows
+// the keys but not who contributed which (that anonymity is exactly what
+// prevents it from discriminating among future verifiers).
+//
+// Signing a message m (in slot s): MAC m under every key of every block —
+// the individual tags are the "minisignatures".
+//
+// Verification with decreasing thresholds: the level-l verifier accepts iff
+// at least B - (l - 1) blocks contain a valid minisignature under the
+// verifier's own key for that block/slot. A cheating signer cannot tell
+// verifiers apart inside a block, so driving a wedge between consecutive
+// levels requires omitting many keys per block — which the earlier verifier
+// notices. Transferability degrades linearly, as the paper describes
+// ("limited transferability"); levels up to `max_transfers` are supported.
+#pragma once
+
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "pseudosig/itmac.hpp"
+
+namespace gfor14::pseudosig {
+
+struct PsParams {
+  std::size_t blocks = 6;        ///< B signature blocks
+  std::size_t slots = 3;         ///< one-time message slots
+  std::size_t max_transfers = 4; ///< L: supported verification levels
+};
+
+struct Pseudosignature {
+  Msg message;
+  std::size_t slot = 0;
+  /// minisigs[b] = the tags under every key the signer holds in block b.
+  std::vector<std::vector<Msg>> minisigs;
+
+  /// Flat field encoding (for sending over the simulated network).
+  std::vector<Fld> serialize() const;
+  static std::optional<Pseudosignature> deserialize(std::span<const Fld> enc);
+};
+
+/// One signer's pseudosignature instance, holding the signer's anonymous
+/// key blocks and every verifier's private key copies (global-orchestration
+/// style: the object is the joint state, methods are party-local actions).
+class PseudosigScheme {
+ public:
+  /// Runs the constant-round anonymous-channel setup for `signer`.
+  /// `chan` must be bound to the same network; the AnonChan parameter set
+  /// controls the channel's own reliability.
+  static PseudosigScheme setup(net::Network& net, anonchan::AnonChan& chan,
+                               net::PartyId signer, const PsParams& params);
+
+  /// Sets up pseudosignatures for EVERY party as signer in ONE parallel
+  /// AnonChan execution (per-session receivers — the exact Section 4
+  /// statement: "invoke protocol AnonChan for each P_i, acting as receiver
+  /// for many sessions in parallel"). The whole n-signer setup costs the
+  /// same constant round count as a single-signer setup.
+  static std::vector<PseudosigScheme> setup_all(net::Network& net,
+                                                anonchan::AnonChan& chan,
+                                                const PsParams& params);
+
+  net::PartyId signer() const { return signer_; }
+  const PsParams& params() const { return params_; }
+
+  /// Signer-side: pseudosign m in the given one-time slot.
+  Pseudosignature sign(Msg m, std::size_t slot) const;
+
+  /// Signer-side attack: sign, but omit the minisignatures of `omit` random
+  /// keys in each of the first `attacked_blocks` blocks (the "half-signed
+  /// block" cheat of Section 4). Omission is blind — the signer cannot
+  /// target a specific verifier's keys.
+  Pseudosignature sign_omitting(Msg m, std::size_t slot,
+                                std::size_t attacked_blocks, std::size_t omit,
+                                Rng& rng) const;
+
+  /// Verifier-side: party `v` checks the signature at transfer level
+  /// `level` (1 = received directly from the signer). Threshold:
+  /// at least blocks - (level - 1) blocks must contain a valid
+  /// minisignature under v's key.
+  bool verify(const Pseudosignature& sig, net::PartyId v,
+              std::size_t level) const;
+
+  /// Number of blocks with a valid minisignature for v (diagnostics).
+  std::size_t valid_blocks(const Pseudosignature& sig, net::PartyId v) const;
+
+  /// Keys the signer actually received in block b, slot s (diagnostics —
+  /// should be ~n-1 given AnonChan's reliability).
+  std::size_t block_size(std::size_t b, std::size_t s) const;
+
+  /// Setup resource usage (one constant-round run_many invocation).
+  const net::CostReport& setup_costs() const { return setup_costs_; }
+
+ private:
+  PseudosigScheme() = default;
+  /// Implementation helper for the setup variants (defined in the .cpp).
+  struct Access;
+
+  net::PartyId signer_ = 0;
+  PsParams params_;
+  std::size_t n_ = 0;
+  /// signer_blocks_[b][s] = anonymous keys the signer holds.
+  std::vector<std::vector<std::vector<MacKey>>> signer_blocks_;
+  /// verifier_keys_[v][b][s] = party v's own key (v != signer).
+  std::vector<std::vector<std::vector<MacKey>>> verifier_keys_;
+  net::CostReport setup_costs_;
+};
+
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,92 @@
+#include "pseudosig/shzi02.hpp"
+
+#include "common/expect.hpp"
+
+namespace gfor14::pseudosig {
+
+ShziScheme ShziScheme::setup(net::Network& net, vss::VssScheme& vss,
+                             net::PartyId signer, const ShziParams& params) {
+  const std::size_t n = net.n();
+  GFOR14_EXPECTS(signer < n);
+  const auto before = net.cost_snapshot();
+
+  ShziScheme scheme;
+  scheme.signer_ = signer;
+  scheme.n_ = n;
+  scheme.params_ = params;
+  scheme.t_ = vss.t();
+  const std::size_t dx = params.uses;
+  const std::size_t dy = scheme.t_;
+  const std::size_t coeffs = (dx + 1) * (dy + 1);
+
+  // Every party contributes a random shared polynomial; G is the sum —
+  // no single party (the signer included) knows G before reconstruction.
+  std::vector<std::size_t> base(n);
+  std::vector<std::vector<Fld>> batches(n);
+  for (net::PartyId p = 0; p < n; ++p) {
+    base[p] = vss.count(p);
+    batches[p].reserve(coeffs);
+    for (std::size_t c = 0; c < coeffs; ++c)
+      batches[p].push_back(Fld::random(net.rng_of(p)));
+  }
+  vss.share_all(batches);
+
+  // Shared coefficients of G as linear combinations.
+  std::vector<vss::LinComb> g(coeffs);
+  for (net::PartyId p = 0; p < n; ++p)
+    for (std::size_t c = 0; c < coeffs; ++c)
+      g[c].add({p, base[p] + c}, Fld::one());
+
+  // Signer privately reconstructs all of G.
+  const auto flat = vss.reconstruct_private(signer, g);
+  scheme.g_coeffs_.assign(dx + 1, std::vector<Fld>(dy + 1));
+  for (std::size_t i = 0; i <= dx; ++i)
+    for (std::size_t j = 0; j <= dy; ++j)
+      scheme.g_coeffs_[i][j] = flat[i * (dy + 1) + j];
+
+  // Each verifier privately reconstructs its slice h_v(x) = G(x, alpha_v):
+  // coefficient of x^i is sum_j G[i][j] alpha_v^j — a public linear
+  // combination of the shared coefficients. One round serves all
+  // verifiers (requests are per-receiver; the engine batches each).
+  scheme.verifier_slices_.resize(n);
+  for (net::PartyId v = 0; v < n; ++v) {
+    if (v == signer) continue;
+    const Fld alpha = eval_point<64>(v);
+    std::vector<vss::LinComb> slice(dx + 1);
+    for (std::size_t i = 0; i <= dx; ++i) {
+      Fld ypow = Fld::one();
+      for (std::size_t j = 0; j <= dy; ++j) {
+        slice[i].add(g[i * (dy + 1) + j], ypow);
+        ypow *= alpha;
+      }
+      slice[i].normalize();
+    }
+    const auto vals = vss.reconstruct_private(v, slice);
+    scheme.verifier_slices_[v] = Poly{vals};
+  }
+
+  scheme.setup_costs_ = net.costs() - before;
+  return scheme;
+}
+
+ShziSignature ShziScheme::sign(Fld m) const {
+  const std::size_t dx = params_.uses;
+  const std::size_t dy = t_;
+  // sigma_j = sum_i G[i][j] m^i.
+  std::vector<Fld> sigma(dy + 1, Fld::zero());
+  Fld xpow = Fld::one();
+  for (std::size_t i = 0; i <= dx; ++i) {
+    for (std::size_t j = 0; j <= dy; ++j) sigma[j] += g_coeffs_[i][j] * xpow;
+    xpow *= m;
+  }
+  return {m, Poly{std::move(sigma)}};
+}
+
+bool ShziScheme::verify(const ShziSignature& sig, net::PartyId v) const {
+  GFOR14_EXPECTS(v < n_ && v != signer_);
+  if (!sig.sigma.is_zero() && sig.sigma.degree() > t_) return false;
+  return sig.sigma.eval(eval_point<64>(v)) ==
+         verifier_slices_[v].eval(sig.message);
+}
+
+}  // namespace gfor14::pseudosig

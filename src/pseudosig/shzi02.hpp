@@ -1,0 +1,77 @@
+// Polynomial pseudosignatures — the [SHZI02] construction, computed with a
+// constant-round MPC in the [BTHR07] style, which the paper compares
+// against the PW96-over-AnonChan approach in Sections 1.2 and 4:
+//
+//   * versatility: the PW96 approach signs messages from ANY domain fixed
+//     later; this scheme only signs field elements (the key is algebraic);
+//   * communication: this scheme's setup moves O(uses * t) field elements,
+//     orders of magnitude below the anonymous-channel setup — the tradeoff
+//     the paper describes ("versatility and speed versus communication
+//     efficiency").
+//
+// Construction: the parties jointly generate a random bivariate polynomial
+// G(x, y), deg_x = uses, deg_y = t, nobody knowing it (each contributes a
+// VSS-shared random polynomial; G is the sum — linearity makes this
+// non-interactive). The signer privately reconstructs all of G; verifier v
+// privately reconstructs its slice h_v(x) = G(x, alpha_v). A signature on
+// message m is the univariate sigma(y) = G(m, y); verifier v accepts iff
+// sigma(alpha_v) == h_v(m). Signatures transfer without degradation, but
+// each signing reveals one x-slice of G: after `uses` + 1 signatures the
+// key is exhausted (the one-time-slot analogue).
+//
+// Unforgeability: a coalition of t corrupt verifiers knows t slices of G;
+// for any unqueried m the value G(m, alpha_v) of an honest verifier v
+// retains one uniform degree of freedom, so a forged sigma' passes v with
+// probability 1/|F|.
+#pragma once
+
+#include "math/poly.hpp"
+#include "vss/vss.hpp"
+
+namespace gfor14::pseudosig {
+
+struct ShziParams {
+  std::size_t uses = 3;  ///< deg_x: number of signable messages
+};
+
+/// One signature: the coefficients of sigma(y) = G(m, y).
+struct ShziSignature {
+  Fld message;
+  Poly sigma;
+};
+
+class ShziScheme {
+ public:
+  /// Joint key generation over the given VSS engine (one parallel sharing
+  /// phase + two private reconstruction rounds — constant-round, matching
+  /// the [BTHR07]-via-generic-VSS observation in Section 4).
+  static ShziScheme setup(net::Network& net, vss::VssScheme& vss,
+                          net::PartyId signer, const ShziParams& params);
+
+  net::PartyId signer() const { return signer_; }
+
+  /// Signer-side: sign field element m (consumes one of the `uses`).
+  ShziSignature sign(Fld m) const;
+
+  /// Verifier-side: party v checks the signature against its slice. The
+  /// same check at every transfer hop — no level degradation.
+  bool verify(const ShziSignature& sig, net::PartyId v) const;
+
+  /// Setup resource usage (for the E7 communication comparison).
+  const net::CostReport& setup_costs() const { return setup_costs_; }
+
+ private:
+  ShziScheme() = default;
+
+  net::PartyId signer_ = 0;
+  std::size_t n_ = 0;
+  ShziParams params_;
+  std::size_t t_ = 0;
+  /// Signer's key: coefficients G[i][j] of x^i y^j.
+  std::vector<std::vector<Fld>> g_coeffs_;
+  /// verifier_slices_[v] = h_v(x) = G(x, alpha_v).
+  std::vector<Poly> verifier_slices_;
+  net::CostReport setup_costs_;
+};
+
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,27 @@
+#include "vss/batch.hpp"
+
+#include "common/expect.hpp"
+
+namespace gfor14::vss {
+
+SharingRef Slab::ref(std::size_t k) const {
+  GFOR14_EXPECTS(k < size);
+  return {dealer, base + k};
+}
+
+LinComb Slab::lc(std::size_t k) const { return LinComb::of(ref(k)); }
+
+std::vector<LinComb> Slab::all() const {
+  std::vector<LinComb> out;
+  out.reserve(size);
+  for (std::size_t k = 0; k < size; ++k) out.push_back(lc(k));
+  return out;
+}
+
+Slab SlabAllocator::take(std::size_t size) {
+  Slab s{dealer_, next_, size};
+  next_ += size;
+  return s;
+}
+
+}  // namespace gfor14::vss

@@ -1,0 +1,42 @@
+// Slab bookkeeping for batched sharings.
+//
+// AnonChan shares, per dealer, a structured batch (vector coordinates,
+// permuted copies, permutation encodings, index lists, challenge
+// contribution). A Slab names one contiguous sub-range of a dealer's
+// sharings so protocol code can address "coordinate k of w_j" without
+// manual index arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vss/share_algebra.hpp"
+
+namespace gfor14::vss {
+
+struct Slab {
+  std::size_t dealer = 0;
+  std::size_t base = 0;  ///< first sharing index within the dealer's batch
+  std::size_t size = 0;
+
+  SharingRef ref(std::size_t k) const;
+  LinComb lc(std::size_t k) const;
+  /// Linear combinations for every element of the slab, in order.
+  std::vector<LinComb> all() const;
+};
+
+/// Sequentially carves slabs out of a dealer's batch while building it.
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(std::size_t dealer, std::size_t base = 0)
+      : dealer_(dealer), next_(base) {}
+
+  Slab take(std::size_t size);
+  std::size_t allocated() const { return next_; }
+
+ private:
+  std::size_t dealer_;
+  std::size_t next_;
+};
+
+}  // namespace gfor14::vss

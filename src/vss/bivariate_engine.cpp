@@ -1,0 +1,731 @@
+#include "vss/bivariate_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "math/berlekamp_welch.hpp"
+
+namespace gfor14::vss {
+
+namespace {
+
+Fld enc(std::size_t v) { return Fld::from_u64(static_cast<std::uint64_t>(v)); }
+
+/// Decodes a size_t that was encoded with enc(); nullopt when out of range.
+std::optional<std::size_t> dec(Fld f, std::size_t bound) {
+  const std::uint64_t v = f.to_u64();
+  if (f != Fld::from_u64(v) || v >= bound) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+BivariateEngine::BivariateEngine(net::Network& net, EngineProfile profile)
+    : net_(net),
+      profile_(profile),
+      behaviour_(net.n(), DealerBehaviour::kHonest),
+      qualified_(net.n(), true),
+      sharings_(net.n()) {
+  GFOR14_EXPECTS(profile_.t < net.n());
+}
+
+void BivariateEngine::set_dealer_behaviour(net::PartyId dealer,
+                                           DealerBehaviour b) {
+  GFOR14_EXPECTS(dealer < net_.n());
+  behaviour_[dealer] = b;
+}
+
+std::size_t BivariateEngine::count(net::PartyId dealer) const {
+  GFOR14_EXPECTS(dealer < net_.n());
+  return sharings_[dealer].size();
+}
+
+std::size_t BivariateEngine::share_rounds() const {
+  // R1 slices, R2 cross-evaluations, 6 publish steps (complaints,
+  // resolutions, accusations x2, slice openings x2) costing 1 round under
+  // physical broadcast or 2 under echo, the vote broadcast (always
+  // physical), the GGOR confirmation broadcast, and padding.
+  if (profile_.publish == PublishMode::kPhysicalBroadcast)
+    return 2 + 6 + 1 + profile_.pad_rounds;
+  return 2 + 6 * 2 + 1 + 1 + profile_.pad_rounds;
+}
+
+std::size_t BivariateEngine::share_broadcast_rounds() const {
+  // Echo profile: only the vote round and the dealer confirmation touch the
+  // physical broadcast channel — the two broadcasts of GGOR13.
+  return profile_.publish == PublishMode::kPhysicalBroadcast ? 7 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Sharing phase
+// ---------------------------------------------------------------------------
+
+struct BivariateEngine::ShareCtx {
+  const std::vector<std::vector<Fld>>* batches = nullptr;
+  std::vector<net::PartyId> dealers;  // dealers with non-empty batches
+  std::size_t total_m = 0;            // sum of batch sizes
+
+  // Ground truth polynomials per dealer (indexed like batches).
+  std::vector<std::vector<SymmetricBivariate>> dealt;
+  // recv[i][d][k]: the slice party i currently holds for sharing (d, k);
+  // evolves as published slices are adopted.
+  std::vector<std::vector<std::vector<Poly>>> recv;
+
+  struct Complaint {
+    std::size_t d, k, lo, hi;  // pair {lo, hi}, lo < hi
+    auto operator<=>(const Complaint&) const = default;
+  };
+  std::set<Complaint> complaints;
+  // Published resolution values keyed by complaint.
+  std::map<Complaint, Fld> resolutions;
+  // Public fault flags per dealer (missing/inconsistent publications).
+  std::vector<bool> public_fault;
+  // Everything the dealer has published so far: party -> slices per k.
+  std::vector<std::map<net::PartyId, std::vector<Poly>>> published;
+  // Current accuser set per dealer (level being processed).
+  std::vector<std::set<net::PartyId>> accusers;
+  // Private conflict flag per (party, dealer).
+  std::vector<std::vector<bool>> conflicted;
+};
+
+void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
+  const std::size_t n = net_.n();
+  const std::size_t t = profile_.t;
+  net_.begin_round();
+  for (net::PartyId d : ctx.dealers) {
+    const auto& batch = (*ctx.batches)[d];
+    const DealerBehaviour b = behaviour_[d];
+    if (b == DealerBehaviour::kSilent) continue;
+    for (net::PartyId i = 0; i < n; ++i) {
+      net::Payload payload;
+      payload.reserve(batch.size() * (t + 1));
+      // A misbehaving dealer hands garbage slices to every second party
+      // (other than itself) — enough to exercise complaint/resolution.
+      const bool garbage = (b == DealerBehaviour::kInconsistentThenResolve ||
+                            b == DealerBehaviour::kInconsistentRefuse) &&
+                           i != d && i % 2 == 1;
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        const Poly slice = garbage
+                               ? Poly::random(net_.rng_of(d), t)
+                               : ctx.dealt[d][k].slice(eval_point<64>(i));
+        for (std::size_t c = 0; c <= t; ++c)
+          payload.push_back(c < slice.coeffs().size() ? slice.coeffs()[c]
+                                                      : Fld::zero());
+      }
+      if (i == d) {
+        // Local state; no self-message on the wire.
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+          std::vector<Fld> coeffs(payload.begin() + k * (t + 1),
+                                  payload.begin() + (k + 1) * (t + 1));
+          ctx.recv[i][d][k] = Poly{std::move(coeffs)};
+        }
+      } else {
+        net_.send(d, i, std::move(payload));
+      }
+    }
+  }
+  net_.end_round();
+  // Parse: wrong-size or missing payloads leave the default zero slices.
+  for (net::PartyId i = 0; i < n; ++i) {
+    for (net::PartyId d : ctx.dealers) {
+      if (i == d) continue;
+      const auto& msgs = net_.delivered().p2p[i][d];
+      if (msgs.empty()) continue;
+      const auto& payload = msgs.front();
+      const std::size_t m = (*ctx.batches)[d].size();
+      if (payload.size() != m * (t + 1)) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        std::vector<Fld> coeffs(payload.begin() + k * (t + 1),
+                                payload.begin() + (k + 1) * (t + 1));
+        ctx.recv[i][d][k] = Poly{std::move(coeffs)};
+      }
+    }
+  }
+}
+
+void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
+  const std::size_t n = net_.n();
+  net_.begin_round();
+  for (net::PartyId i = 0; i < n; ++i) {
+    for (net::PartyId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      net::Payload payload;
+      payload.reserve(ctx.total_m);
+      for (net::PartyId d : ctx.dealers)
+        for (const auto& slice : ctx.recv[i][d])
+          payload.push_back(slice.eval(eval_point<64>(j)));
+      net_.send(i, j, std::move(payload));
+    }
+  }
+  net_.end_round();
+  // Compare: j's claimed f_j(alpha_i) against my f_i(alpha_j).
+  for (net::PartyId i = 0; i < n; ++i) {
+    for (net::PartyId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto& msgs = net_.delivered().p2p[i][j];
+      const net::Payload* payload =
+          (!msgs.empty() && msgs.front().size() == ctx.total_m) ? &msgs.front()
+                                                                : nullptr;
+      std::size_t pos = 0;
+      for (net::PartyId d : ctx.dealers) {
+        for (std::size_t k = 0; k < (*ctx.batches)[d].size(); ++k, ++pos) {
+          const Fld claimed = payload ? (*payload)[pos] : Fld::zero();
+          const Fld mine = ctx.recv[i][d][k].eval(eval_point<64>(j));
+          if (claimed != mine) {
+            ctx.complaints.insert(
+                {d, k, std::min<std::size_t>(i, j), std::max<std::size_t>(i, j)});
+          }
+        }
+      }
+    }
+  }
+}
+
+void BivariateEngine::publish_round(const std::vector<net::Payload>& per_party,
+                                    std::vector<net::Payload>& received,
+                                    bool force_physical) {
+  const std::size_t n = net_.n();
+  received = per_party;  // the logical result every party derives
+  if (force_physical ||
+      profile_.publish == PublishMode::kPhysicalBroadcast) {
+    net_.begin_round();
+    for (net::PartyId p = 0; p < n; ++p) net_.broadcast(p, per_party[p]);
+    net_.end_round();
+    return;
+  }
+  // Echo-based virtual broadcast: senders multicast over private channels,
+  // then every party echoes everything it received; receivers take the
+  // majority view per sender. With static corruption and honest senders the
+  // majority equals the original payload, which is the value we return.
+  net_.begin_round();
+  for (net::PartyId p = 0; p < n; ++p)
+    for (net::PartyId q = 0; q < n; ++q)
+      if (p != q) net_.send(p, q, per_party[p]);
+  net_.end_round();
+  net_.begin_round();
+  for (net::PartyId p = 0; p < n; ++p) {
+    net::Payload echo;
+    for (net::PartyId s = 0; s < n; ++s) {
+      echo.push_back(enc(per_party[s].size()));
+      echo.insert(echo.end(), per_party[s].begin(), per_party[s].end());
+    }
+    for (net::PartyId q = 0; q < n; ++q)
+      if (p != q) net_.send(p, q, echo);
+  }
+  net_.end_round();
+}
+
+void BivariateEngine::run_padding_rounds() {
+  for (std::size_t r = 0; r < profile_.pad_rounds; ++r) {
+    net_.begin_round();
+    net_.end_round();
+  }
+}
+
+ShareResult BivariateEngine::share_all(
+    const std::vector<std::vector<Fld>>& batches) {
+  const std::size_t n = net_.n();
+  const std::size_t t = profile_.t;
+  GFOR14_EXPECTS(batches.size() == n);
+
+  ShareCtx ctx;
+  ctx.batches = &batches;
+  ctx.dealt.resize(n);
+  ctx.recv.assign(n, std::vector<std::vector<Poly>>(n));
+  ctx.public_fault.assign(n, false);
+  ctx.published.resize(n);
+  ctx.accusers.resize(n);
+  ctx.conflicted.assign(n, std::vector<bool>(n, false));
+  for (net::PartyId d = 0; d < n; ++d) {
+    if (batches[d].empty()) continue;
+    ctx.dealers.push_back(d);
+    ctx.total_m += batches[d].size();
+    ctx.dealt[d].reserve(batches[d].size());
+    for (Fld s : batches[d])
+      ctx.dealt[d].push_back(
+          SymmetricBivariate::random_with_secret(net_.rng_of(d), t, s));
+    for (net::PartyId i = 0; i < n; ++i)
+      ctx.recv[i][d].assign(batches[d].size(), Poly{});
+  }
+
+  // R1 + R2.
+  round_distribute_slices(ctx);
+  round_cross_evaluations(ctx);
+
+  // Corrupt parties may raise spurious complaints (attack switch): they
+  // complain about index 0 of every other dealer's batch.
+  if (false_complaints_) {
+    for (net::PartyId p = 0; p < n; ++p) {
+      if (!net_.is_corrupt(p)) continue;
+      for (net::PartyId d : ctx.dealers) {
+        if (d == p) continue;
+        const net::PartyId other = (p + 1) % n;
+        if (other == p) continue;
+        ctx.complaints.insert({d, 0, std::min<std::size_t>(p, other),
+                               std::max<std::size_t>(p, other)});
+      }
+    }
+  }
+
+  // R3: publish complaints. Every party publishes the complaints it is part
+  // of (ownership by the lower-numbered party avoids double publication).
+  {
+    std::vector<net::Payload> out(n);
+    for (const auto& c : ctx.complaints) {
+      auto& payload = out[c.lo];
+      payload.push_back(enc(c.d));
+      payload.push_back(enc(c.k));
+      payload.push_back(enc(c.lo));
+      payload.push_back(enc(c.hi));
+    }
+    std::vector<net::Payload> seen;
+    publish_round(out, seen);
+    // Parse the public complaint set (validating every field).
+    ctx.complaints.clear();
+    for (net::PartyId p = 0; p < n; ++p) {
+      const auto& payload = seen[p];
+      for (std::size_t pos = 0; pos + 4 <= payload.size(); pos += 4) {
+        auto d = dec(payload[pos], n);
+        auto lo = dec(payload[pos + 2], n);
+        auto hi = dec(payload[pos + 3], n);
+        if (!d || !lo || !hi || batches[*d].empty()) continue;
+        auto k = dec(payload[pos + 1], batches[*d].size());
+        if (!k || *lo >= *hi) continue;
+        ctx.complaints.insert({*d, *k, *lo, *hi});
+      }
+    }
+  }
+
+  // R4: dealers publish resolutions F(alpha_lo, alpha_hi) per complaint.
+  {
+    std::vector<net::Payload> out(n);
+    for (const auto& c : ctx.complaints) {
+      const DealerBehaviour b = behaviour_[c.d];
+      if (b == DealerBehaviour::kSilent ||
+          b == DealerBehaviour::kInconsistentRefuse)
+        continue;
+      auto& payload = out[c.d];
+      payload.push_back(enc(c.k));
+      payload.push_back(enc(c.lo));
+      payload.push_back(enc(c.hi));
+      payload.push_back(
+          ctx.dealt[c.d][c.k].eval(eval_point<64>(c.lo), eval_point<64>(c.hi)));
+    }
+    std::vector<net::Payload> seen;
+    publish_round(out, seen);
+    for (net::PartyId d = 0; d < n; ++d) {
+      const auto& payload = seen[d];
+      for (std::size_t pos = 0; pos + 4 <= payload.size(); pos += 4) {
+        if (batches[d].empty()) break;
+        auto k = dec(payload[pos], batches[d].size());
+        auto lo = dec(payload[pos + 1], n);
+        auto hi = dec(payload[pos + 2], n);
+        if (!k || !lo || !hi || *lo >= *hi) continue;
+        ctx.resolutions[{d, *k, *lo, *hi}] = payload[pos + 3];
+      }
+    }
+    // Unresolved complaints are a public fault of the dealer.
+    for (const auto& c : ctx.complaints)
+      if (!ctx.resolutions.contains(c)) ctx.public_fault[c.d] = true;
+    // Parties whose slices conflict with a resolution accuse (level 1).
+    for (const auto& [c, value] : ctx.resolutions) {
+      for (net::PartyId p : {c.lo, c.hi}) {
+        const net::PartyId other = (p == c.lo) ? c.hi : c.lo;
+        if (ctx.recv[p][c.d][c.k].eval(eval_point<64>(other)) != value)
+          ctx.accusers[c.d].insert(p);
+      }
+    }
+  }
+
+  // Two rounds of (accusation publication, slice opening). Level 1 handles
+  // resolution conflicts; level 2 handles conflicts with slices opened at
+  // level 1 (see the class comment for why two levels suffice here).
+  for (int level = 0; level < 2; ++level) {
+    // Publish accusations.
+    {
+      std::vector<net::Payload> out(n);
+      for (net::PartyId d : ctx.dealers)
+        for (net::PartyId a : ctx.accusers[d]) out[a].push_back(enc(d));
+      std::vector<net::Payload> seen;
+      publish_round(out, seen);
+      for (net::PartyId d : ctx.dealers) ctx.accusers[d].clear();
+      for (net::PartyId a = 0; a < n; ++a)
+        for (Fld f : seen[a])
+          if (auto d = dec(f, n); d && !batches[*d].empty())
+            ctx.accusers[*d].insert(a);
+    }
+    // Dealers open the accusers' full slices.
+    {
+      std::vector<net::Payload> out(n);
+      for (net::PartyId d : ctx.dealers) {
+        const DealerBehaviour b = behaviour_[d];
+        if (b == DealerBehaviour::kSilent ||
+            b == DealerBehaviour::kInconsistentRefuse)
+          continue;
+        for (net::PartyId a : ctx.accusers[d]) {
+          auto& payload = out[d];
+          payload.push_back(enc(a));
+          for (std::size_t k = 0; k < batches[d].size(); ++k) {
+            const Poly slice = ctx.dealt[d][k].slice(eval_point<64>(a));
+            for (std::size_t c = 0; c <= t; ++c)
+              payload.push_back(c < slice.coeffs().size() ? slice.coeffs()[c]
+                                                          : Fld::zero());
+          }
+        }
+      }
+      std::vector<net::Payload> seen;
+      publish_round(out, seen);
+      std::vector<std::set<net::PartyId>> next_accusers(n);
+      for (net::PartyId d : ctx.dealers) {
+        const std::size_t m = batches[d].size();
+        const std::size_t stride = 1 + m * (t + 1);
+        const auto& payload = seen[d];
+        std::set<net::PartyId> opened;
+        for (std::size_t pos = 0; pos + stride <= payload.size();
+             pos += stride) {
+          auto a = dec(payload[pos], n);
+          if (!a) continue;
+          std::vector<Poly> slices(m);
+          for (std::size_t k = 0; k < m; ++k) {
+            std::vector<Fld> coeffs(
+                payload.begin() + pos + 1 + k * (t + 1),
+                payload.begin() + pos + 1 + (k + 1) * (t + 1));
+            slices[k] = Poly{std::move(coeffs)};
+          }
+          // Public cross-checks: opened slices must agree with previously
+          // opened slices and with published resolutions.
+          for (const auto& [b_party, b_slices] : ctx.published[d]) {
+            for (std::size_t k = 0; k < m; ++k) {
+              if (slices[k].eval(eval_point<64>(b_party)) !=
+                  b_slices[k].eval(eval_point<64>(*a)))
+                ctx.public_fault[d] = true;
+            }
+          }
+          for (const auto& [c, value] : ctx.resolutions) {
+            if (c.d != d) continue;
+            if (c.lo == *a && slices[c.k].eval(eval_point<64>(c.hi)) != value)
+              ctx.public_fault[d] = true;
+            if (c.hi == *a && slices[c.k].eval(eval_point<64>(c.lo)) != value)
+              ctx.public_fault[d] = true;
+          }
+          // The accuser adopts the opened slice; everyone else privately
+          // cross-checks it against their own slices.
+          ctx.recv[*a][d] = slices;
+          for (net::PartyId p = 0; p < n; ++p) {
+            if (p == *a || ctx.accusers[d].contains(p)) continue;
+            for (std::size_t k = 0; k < m; ++k) {
+              if (ctx.recv[p][d][k].eval(eval_point<64>(*a)) !=
+                  slices[k].eval(eval_point<64>(p))) {
+                if (level == 0) {
+                  next_accusers[d].insert(p);
+                } else {
+                  ctx.conflicted[p][d] = true;
+                }
+              }
+            }
+          }
+          ctx.published[d].emplace(*a, std::move(slices));
+          opened.insert(*a);
+        }
+        // Ignoring an accuser is a public fault.
+        for (net::PartyId a : ctx.accusers[d])
+          if (!opened.contains(a)) ctx.public_fault[d] = true;
+      }
+      for (net::PartyId d : ctx.dealers) ctx.accusers[d] = next_accusers[d];
+    }
+  }
+
+  // R9: votes. A party accepts a dealer unless there is a public fault or a
+  // private conflict; corrupt parties additionally reject everyone when the
+  // false-complaint attack is active.
+  std::vector<std::size_t> accepts(n, 0);
+  {
+    std::vector<net::Payload> out(n);
+    for (net::PartyId p = 0; p < n; ++p) {
+      for (net::PartyId d : ctx.dealers) {
+        bool accept = !ctx.public_fault[d] && !ctx.conflicted[p][d];
+        if (false_complaints_ && net_.is_corrupt(p)) accept = false;
+        out[p].push_back(enc(accept ? 1 : 0));
+      }
+    }
+    std::vector<net::Payload> seen;
+    publish_round(out, seen, /*force_physical=*/true);
+    for (net::PartyId p = 0; p < n; ++p) {
+      const auto& payload = seen[p];
+      for (std::size_t idx = 0; idx < ctx.dealers.size(); ++idx) {
+        if (idx < payload.size() && payload[idx] == Fld::from_u64(1))
+          accepts[ctx.dealers[idx]] += 1;
+      }
+    }
+  }
+
+  // GGOR13 profile: a final dealer confirmation on the second of its two
+  // physical-broadcast rounds (the "moderator finalization").
+  if (profile_.publish == PublishMode::kEcho) {
+    net_.begin_round();
+    for (net::PartyId d : ctx.dealers) net_.broadcast(d, {Fld::one()});
+    net_.end_round();
+  }
+  run_padding_rounds();
+
+  // Finalize: append sharings, derive committed share polynomials.
+  ShareResult result;
+  result.qualified.assign(n, true);
+  for (net::PartyId d : ctx.dealers) {
+    const bool ok = accepts[d] >= n - profile_.t;
+    result.qualified[d] = ok;
+    if (!ok) qualified_[d] = false;
+    const std::size_t m = batches[d].size();
+    if (!ok) {
+      sharings_[d].resize(sharings_[d].size() + m);  // default zero polys
+      continue;
+    }
+    // The content honest parties (those without a private conflict) are
+    // the same for every index k of this dealer's batch, so the Lagrange
+    // basis polynomials L_p(y) of the first t + 1 of them are computed
+    // once: g(y) = sum_p y_p * L_p(y).
+    std::vector<net::PartyId> content;
+    std::vector<Fld> xs;
+    for (net::PartyId p = 0; p < n; ++p) {
+      if (net_.is_corrupt(p) || ctx.conflicted[p][d]) continue;
+      content.push_back(p);
+      xs.push_back(eval_point<64>(p));
+    }
+    GFOR14_ENSURES(content.size() >= t + 1);
+    std::vector<Poly> basis;
+    basis.reserve(t + 1);
+    for (std::size_t i = 0; i <= t; ++i) {
+      Poly b = Poly::constant(Fld::one());
+      Fld denom = Fld::one();
+      for (std::size_t jj = 0; jj <= t; ++jj) {
+        if (jj == i) continue;
+        b = b * Poly{{xs[jj], Fld::one()}};
+        denom *= xs[i] - xs[jj];
+      }
+      basis.push_back(denom.inverse() * b);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      // Interpolate the committed share polynomial g(y) = F(0, y) from the
+      // final shares of content honest parties, then verify every other
+      // content honest share lies on it (the qualification invariant).
+      Poly g;
+      for (std::size_t i = 0; i <= t; ++i) {
+        const Fld y = ctx.recv[content[i]][d][k].eval(Fld::zero());
+        if (!y.is_zero()) g = g + y * basis[i];
+      }
+      for (std::size_t i = t + 1; i < content.size(); ++i)
+        GFOR14_ENSURES(g.eval(xs[i]) ==
+                       ctx.recv[content[i]][d][k].eval(Fld::zero()));
+      Sharing sh;
+      sh.share_poly = std::move(g);
+      sharings_[d].push_back(std::move(sh));
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction
+// ---------------------------------------------------------------------------
+
+Fld BivariateEngine::committed_share_of(const LinComb& v,
+                                        net::PartyId party) const {
+  Fld acc = v.constant_term();
+  const Fld alpha = eval_point<64>(party);
+  for (const auto& [ref, coeff] : v.terms()) {
+    GFOR14_EXPECTS(ref.dealer < net_.n());
+    GFOR14_EXPECTS(ref.index < sharings_[ref.dealer].size());
+    acc += coeff * sharings_[ref.dealer][ref.index].share_poly.eval(alpha);
+  }
+  return acc;
+}
+
+Fld BivariateEngine::committed_value(const LinComb& v) const {
+  Fld acc = v.constant_term();
+  for (const auto& [ref, coeff] : v.terms()) {
+    GFOR14_EXPECTS(ref.dealer < net_.n());
+    GFOR14_EXPECTS(ref.index < sharings_[ref.dealer].size());
+    acc += coeff *
+           sharings_[ref.dealer][ref.index].share_poly.eval(Fld::zero());
+  }
+  return acc;
+}
+
+std::vector<Fld> BivariateEngine::decode_received(
+    const std::vector<LinComb>& values,
+    const std::vector<std::optional<std::vector<Fld>>>& per_sender) {
+  const std::size_t n = net_.n();
+  const std::size_t t = profile_.t;
+  std::vector<Fld> out(values.size(), Fld::zero());
+
+  if (profile_.recon == ReconMode::kAuthenticated) {
+    // Filter each revealed share through the information-checking layer,
+    // then interpolate t + 1 accepted shares. Lagrange coefficients are
+    // cached per accepted set (the common case is a single set).
+    std::map<std::vector<net::PartyId>, std::vector<Fld>> lambda_cache;
+    for (std::size_t vi = 0; vi < values.size(); ++vi) {
+      std::vector<net::PartyId> accepted;
+      std::vector<Fld> accepted_vals;
+      for (net::PartyId i = 0; i < n && accepted.size() < t + 1; ++i) {
+        if (!per_sender[i]) continue;
+        const Fld revealed = (*per_sender[i])[vi];
+        const Fld expected = committed_share_of(values[vi], i);
+        bool accept = revealed == expected;
+        if (!accept && profile_.forgery_success_prob > 0.0) {
+          const double coin =
+              static_cast<double>(net_.adversary_rng().next_u64()) /
+              static_cast<double>(~0ULL);
+          accept = coin < profile_.forgery_success_prob;
+        }
+        if (accept) {
+          accepted.push_back(i);
+          accepted_vals.push_back(revealed);
+        }
+      }
+      if (accepted.size() < t + 1) continue;  // default 0 (cannot happen
+                                              // with an honest majority)
+      auto it = lambda_cache.find(accepted);
+      if (it == lambda_cache.end()) {
+        std::vector<Fld> xs(accepted.size());
+        for (std::size_t i = 0; i < accepted.size(); ++i)
+          xs[i] = eval_point<64>(accepted[i]);
+        it = lambda_cache.emplace(accepted,
+                                  lagrange_coefficients(xs, Fld::zero()))
+                 .first;
+      }
+      Fld acc = Fld::zero();
+      for (std::size_t i = 0; i < accepted.size(); ++i)
+        acc += it->second[i] * accepted_vals[i];
+      out[vi] = acc;
+    }
+    return out;
+  }
+
+  // Error-correction mode (t < n/3): Berlekamp–Welch with a fast path that
+  // first tries plain interpolation through the first t + 1 present shares.
+  std::vector<Fld> xs;
+  std::vector<net::PartyId> present;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (!per_sender[i]) continue;
+    present.push_back(i);
+    xs.push_back(eval_point<64>(i));
+  }
+  const std::size_t navail = present.size();
+  GFOR14_EXPECTS(navail >= t + 1);
+  const std::size_t max_errors = navail > t ? (navail - t - 1) / 2 : 0;
+  // Precompute, once per call, the Lagrange evaluation rows of the head
+  // interpolation at zero and at every tail point: head(x_i) and head(0)
+  // are then inner products with the received shares (no per-value
+  // interpolation or field inversions).
+  const std::span<const Fld> head_x(xs.data(), t + 1);
+  const auto lambda0 = lagrange_coefficients(head_x, Fld::zero());
+  std::vector<std::vector<Fld>> tail_rows;
+  tail_rows.reserve(navail - (t + 1));
+  for (std::size_t i = t + 1; i < navail; ++i)
+    tail_rows.push_back(lagrange_coefficients(head_x, xs[i]));
+  for (std::size_t vi = 0; vi < values.size(); ++vi) {
+    std::vector<Fld> ys(navail);
+    for (std::size_t i = 0; i < navail; ++i)
+      ys[i] = (*per_sender[present[i]])[vi];
+    // Fast path: check that the tail shares lie on the head interpolation.
+    bool consistent = true;
+    for (std::size_t i = t + 1; i < navail && consistent; ++i) {
+      Fld predicted = Fld::zero();
+      const auto& row = tail_rows[i - (t + 1)];
+      for (std::size_t jj = 0; jj <= t; ++jj) predicted += row[jj] * ys[jj];
+      if (predicted != ys[i]) consistent = false;
+    }
+    if (consistent) {
+      Fld acc = Fld::zero();
+      for (std::size_t i = 0; i <= t; ++i) acc += lambda0[i] * ys[i];
+      out[vi] = acc;
+      continue;
+    }
+    auto decoded = berlekamp_welch(xs, ys, t, max_errors);
+    if (decoded) out[vi] = decoded->eval(Fld::zero());
+  }
+  return out;
+}
+
+std::vector<Fld> BivariateEngine::reconstruct_public(
+    const std::vector<LinComb>& values) {
+  const std::size_t n = net_.n();
+  net_.begin_round();
+  for (net::PartyId i = 0; i < n; ++i) {
+    net::Payload payload(values.size());
+    for (std::size_t vi = 0; vi < values.size(); ++vi)
+      payload[vi] = committed_share_of(values[vi], i);
+    for (net::PartyId j = 0; j < n; ++j)
+      if (i != j) net_.send(i, j, payload);
+  }
+  net_.end_round();
+  // Decode from the viewpoint of the lowest-indexed honest party (all honest
+  // parties derive the same values — equivocated or corrupted shares are
+  // rejected receiver-side).
+  net::PartyId viewer = 0;
+  while (viewer < n && net_.is_corrupt(viewer)) ++viewer;
+  GFOR14_EXPECTS(viewer < n);
+  std::vector<std::optional<std::vector<Fld>>> per_sender(n);
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (i == viewer) {
+      std::vector<Fld> own(values.size());
+      for (std::size_t vi = 0; vi < values.size(); ++vi)
+        own[vi] = committed_share_of(values[vi], viewer);
+      per_sender[i] = std::move(own);
+      continue;
+    }
+    const auto& msgs = net_.delivered().p2p[viewer][i];
+    if (!msgs.empty() && msgs.front().size() == values.size())
+      per_sender[i] = msgs.front();
+  }
+  return decode_received(values, per_sender);
+}
+
+std::vector<Fld> BivariateEngine::reconstruct_private(
+    net::PartyId receiver, const std::vector<LinComb>& values) {
+  return reconstruct_private_multi({{receiver, values}})[0];
+}
+
+std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
+    const std::vector<PrivateRequest>& requests) {
+  const std::size_t n = net_.n();
+  net_.begin_round();
+  for (const auto& req : requests) {
+    GFOR14_EXPECTS(req.receiver < n);
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (i == req.receiver) continue;
+      net::Payload payload(req.values.size());
+      for (std::size_t vi = 0; vi < req.values.size(); ++vi)
+        payload[vi] = committed_share_of(req.values[vi], i);
+      net_.send(i, req.receiver, std::move(payload));
+    }
+  }
+  net_.end_round();
+  // Per receiver, messages arrive in request order (FIFO per channel), so
+  // the r-th request toward a receiver reads that receiver's r-th inbox
+  // entry from each sender.
+  std::vector<std::size_t> seen_for_receiver(n, 0);
+  std::vector<std::vector<Fld>> out;
+  out.reserve(requests.size());
+  for (const auto& req : requests) {
+    const std::size_t slot = seen_for_receiver[req.receiver]++;
+    std::vector<std::optional<std::vector<Fld>>> per_sender(n);
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (i == req.receiver) {
+        std::vector<Fld> own(req.values.size());
+        for (std::size_t vi = 0; vi < req.values.size(); ++vi)
+          own[vi] = committed_share_of(req.values[vi], req.receiver);
+        per_sender[i] = std::move(own);
+        continue;
+      }
+      const auto& msgs = net_.delivered().p2p[req.receiver][i];
+      if (slot < msgs.size() && msgs[slot].size() == req.values.size())
+        per_sender[i] = msgs[slot];
+    }
+    out.push_back(decode_received(req.values, per_sender));
+  }
+  return out;
+}
+
+}  // namespace gfor14::vss

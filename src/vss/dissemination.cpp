@@ -1,0 +1,126 @@
+#include "vss/dissemination.hpp"
+
+#include "common/expect.hpp"
+#include "math/berlekamp_welch.hpp"
+
+namespace gfor14::vss {
+
+std::size_t dissemination_chunk(std::size_t n, std::size_t t) {
+  GFOR14_EXPECTS(n > 2 * t);
+  return n - 2 * t;
+}
+
+std::size_t dissemination_elements_coded(std::size_t m, std::size_t n,
+                                         std::size_t t) {
+  const std::size_t chunk = dissemination_chunk(n, t);
+  const std::size_t codewords = (m + chunk - 1) / chunk;
+  // Each party echoes one evaluation per codeword to everyone.
+  return codewords * n * (n - 1);
+}
+
+std::size_t dissemination_elements_naive(std::size_t m, std::size_t n) {
+  return m * n * (n - 1);
+}
+
+DisseminationResult disseminate(net::Network& net, net::PartyId dealer,
+                                const std::vector<Fld>& vector_data,
+                                bool garble_corrupt_echoes) {
+  const std::size_t n = net.n();
+  const std::size_t t = net.max_t_third();
+  GFOR14_EXPECTS(dealer < n);
+  GFOR14_EXPECTS(!vector_data.empty());
+  const auto before = net.cost_snapshot();
+
+  const std::size_t chunk = dissemination_chunk(n, t);
+  const std::size_t degree = chunk - 1;
+  const std::size_t codewords = (vector_data.size() + chunk - 1) / chunk;
+
+  // Encode: codeword c is the polynomial whose coefficients are the c-th
+  // chunk (zero-padded); party i's symbol is its evaluation at alpha_i.
+  std::vector<Poly> polys;
+  polys.reserve(codewords);
+  for (std::size_t c = 0; c < codewords; ++c) {
+    std::vector<Fld> coeffs(chunk, Fld::zero());
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const std::size_t idx = c * chunk + j;
+      if (idx < vector_data.size()) coeffs[j] = vector_data[idx];
+    }
+    polys.emplace_back(std::move(coeffs));
+  }
+
+  // Round 1: dealer -> P_i: its symbols.
+  net.begin_round();
+  for (net::PartyId i = 0; i < n; ++i) {
+    net::Payload symbols(codewords);
+    for (std::size_t c = 0; c < codewords; ++c)
+      symbols[c] = polys[c].eval(eval_point<64>(i));
+    if (i != dealer) net.send(dealer, i, std::move(symbols));
+  }
+  net.end_round();
+  std::vector<std::vector<Fld>> held(n);
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (i == dealer) {
+      held[i].resize(codewords);
+      for (std::size_t c = 0; c < codewords; ++c)
+        held[i][c] = polys[c].eval(eval_point<64>(i));
+      continue;
+    }
+    const auto& msgs = net.delivered().p2p[i][dealer];
+    if (!msgs.empty() && msgs.front().size() == codewords)
+      held[i] = msgs.front();
+    else
+      held[i].assign(codewords, Fld::zero());
+  }
+
+  // Round 2: everyone echoes its symbols (corrupt parties may garble).
+  net.begin_round();
+  for (net::PartyId i = 0; i < n; ++i) {
+    net::Payload echo = held[i];
+    if (garble_corrupt_echoes && net.is_corrupt(i)) {
+      for (auto& x : echo) x = Fld::random(net.adversary_rng());
+    }
+    for (net::PartyId j = 0; j < n; ++j)
+      if (j != i) net.send(i, j, echo);
+  }
+  net.end_round();
+
+  // Decode per receiver: BW with up to t errors per codeword.
+  DisseminationResult result;
+  result.outputs.resize(n);
+  std::vector<Fld> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = eval_point<64>(i);
+  for (net::PartyId r = 0; r < n; ++r) {
+    std::vector<Fld> decoded;
+    decoded.reserve(codewords * chunk);
+    bool ok = true;
+    for (std::size_t c = 0; c < codewords && ok; ++c) {
+      std::vector<Fld> ys(n);
+      for (net::PartyId i = 0; i < n; ++i) {
+        if (i == r) {
+          ys[i] = held[i][c];
+          continue;
+        }
+        const auto& msgs = net.delivered().p2p[r][i];
+        ys[i] = (!msgs.empty() && msgs.front().size() == codewords)
+                    ? msgs.front()[c]
+                    : Fld::zero();
+      }
+      auto poly = berlekamp_welch(xs, ys, degree, t);
+      if (!poly) {
+        ok = false;
+        break;
+      }
+      for (std::size_t j = 0; j < chunk; ++j)
+        decoded.push_back(j < poly->coeffs().size() ? poly->coeffs()[j]
+                                                    : Fld::zero());
+    }
+    if (ok) {
+      decoded.resize(vector_data.size());
+      result.outputs[r] = std::move(decoded);
+    }
+  }
+  result.costs = net.costs() - before;
+  return result;
+}
+
+}  // namespace gfor14::vss

@@ -1,0 +1,51 @@
+// Robust, bandwidth-efficient data dissemination — the protocol-level face
+// of the communication-compilation remark in Section 1.2 ([BFO12]).
+//
+// A dealer wants every party to learn a long public vector (think:
+// AnonChan's opened cut-and-choose data) despite up to t corrupt parties
+// garbling what they relay. The naive approach echoes the whole vector:
+// O(m * n) elements per relay layer. Here the dealer Reed–Solomon-encodes
+// the vector into per-party chunks (degree n - 2t - 1 polynomials, one
+// evaluation per party), parties echo only their chunks, and every party
+// Berlekamp–Welch-decodes through up to t wrong echoes — total relay
+// traffic O(m * n / (n - 2t)).
+//
+// Guarantees (t < n/3, honest dealer): every honest party outputs the
+// dealer's vector, regardless of how corrupt parties garble their echoes.
+// A corrupt dealer can disseminate garbage (it is the data's source); the
+// primitive provides robustness of TRANSPORT, not commitment — that is
+// VSS's job.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfor14::vss {
+
+struct DisseminationResult {
+  /// Per-party decoded vector (nullopt when decoding failed — impossible
+  /// for honest parties when the dealer is honest and t < n/3).
+  std::vector<std::optional<std::vector<Fld>>> outputs;
+  net::CostReport costs;
+};
+
+/// Chunk size (coefficients per codeword): n - 2t.
+std::size_t dissemination_chunk(std::size_t n, std::size_t t);
+
+/// Relay-layer traffic in field elements for an m-element vector:
+/// RS-coded vs naive full echo.
+std::size_t dissemination_elements_coded(std::size_t m, std::size_t n,
+                                         std::size_t t);
+std::size_t dissemination_elements_naive(std::size_t m, std::size_t n);
+
+/// Runs the two-round protocol (dealer distribution, echo + decode).
+/// Corrupt parties' echoes are garbled when `garble_corrupt_echoes` (the
+/// worst relay behaviour); requires t <= (n - 1) / 3.
+DisseminationResult disseminate(net::Network& net, net::PartyId dealer,
+                                const std::vector<Fld>& vector_data,
+                                bool garble_corrupt_echoes);
+
+}  // namespace gfor14::vss

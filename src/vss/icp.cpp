@@ -1,0 +1,49 @@
+#include "vss/icp.hpp"
+
+#include "common/expect.hpp"
+
+namespace gfor14::vss {
+
+IcpIssued icp_issue(Rng& dealer_rng, const std::vector<Fld>& values) {
+  IcpIssued out;
+  out.key.a = Fld::random_nonzero(dealer_rng);
+  out.key.b.resize(values.size());
+  out.auth.values = values;
+  out.auth.tags.resize(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    out.key.b[k] = Fld::random(dealer_rng);
+    out.auth.tags[k] = out.key.a * values[k] + out.key.b[k];
+  }
+  return out;
+}
+
+IcpReveal icp_reveal(const IcpAuth& auth, std::size_t k) {
+  GFOR14_EXPECTS(k < auth.values.size());
+  return {auth.values[k], auth.tags[k]};
+}
+
+IcpReveal icp_reveal_combined(const IcpAuth& auth,
+                              const std::vector<Fld>& coeffs) {
+  GFOR14_EXPECTS(coeffs.size() == auth.values.size());
+  IcpReveal r{Fld::zero(), Fld::zero()};
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    r.value += coeffs[k] * auth.values[k];
+    r.tag += coeffs[k] * auth.tags[k];
+  }
+  return r;
+}
+
+bool icp_verify(const IcpKey& key, std::size_t k, const IcpReveal& reveal) {
+  GFOR14_EXPECTS(k < key.b.size());
+  return reveal.tag == key.a * reveal.value + key.b[k];
+}
+
+bool icp_verify_combined(const IcpKey& key, const std::vector<Fld>& coeffs,
+                         const IcpReveal& reveal) {
+  GFOR14_EXPECTS(coeffs.size() == key.b.size());
+  Fld b = Fld::zero();
+  for (std::size_t k = 0; k < coeffs.size(); ++k) b += coeffs[k] * key.b[k];
+  return reveal.tag == key.a * reveal.value + b;
+}
+
+}  // namespace gfor14::vss

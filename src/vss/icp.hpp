@@ -1,0 +1,77 @@
+// Information-checking protocol (ICP) — Rabin's check vectors.
+//
+// The three-party primitive underlying Rabin–Ben-Or-style statistical VSS:
+// a dealer D hands an intermediary INT a value s that INT will later reveal
+// to a recipient R, such that
+//   * a forged reveal s' != s is accepted by R with probability at most
+//     1/(|F| - 1)  (unforgeability, information-theoretic);
+//   * an honest INT's reveal is always accepted (correctness);
+//   * R learns nothing about s before the reveal (privacy);
+//   * tags for values authenticated under the same (D, INT, R) key combine
+//     linearly: the tag of a linear combination of values is the same
+//     combination of tags (with the matching combination of the b-offsets
+//     on R's side), which is what makes the enclosing VSS linear.
+//
+// Mechanics: D draws a key (a, b) with a != 0, gives R the key and INT the
+// tag y = a * s + b alongside s. To reveal, INT sends (s, y); R accepts iff
+// y == a * s + b. D reuses `a` (fresh `b`) across a batch so that linear
+// combinations verify, exactly as in [Rab94].
+//
+// This file is the *concrete* implementation of the layer that the VSS
+// engine idealizes at reconstruction time (see bivariate_engine.hpp);
+// tests/vss_icp_test.cpp validates each guarantee, including the measured
+// forgery success rate against the 1/(|F|-1) bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ff/gf2e.hpp"
+
+namespace gfor14::vss {
+
+/// Recipient-side verification key. `a` is shared across a batch; each
+/// value has its own offset b.
+struct IcpKey {
+  Fld a;                 // non-zero
+  std::vector<Fld> b;    // one offset per authenticated value
+};
+
+/// Intermediary-side authenticated batch: values and their tags.
+struct IcpAuth {
+  std::vector<Fld> values;
+  std::vector<Fld> tags;  // tags[k] = a * values[k] + b[k]
+};
+
+/// One reveal: the value and tag the intermediary presents.
+struct IcpReveal {
+  Fld value;
+  Fld tag;
+};
+
+/// Dealer step: authenticate `values` toward one recipient. Consumes
+/// dealer randomness; returns the intermediary's and recipient's states.
+struct IcpIssued {
+  IcpAuth auth;  // to the intermediary (with the values)
+  IcpKey key;    // to the recipient
+};
+IcpIssued icp_issue(Rng& dealer_rng, const std::vector<Fld>& values);
+
+/// Intermediary step: the reveal message for value k.
+IcpReveal icp_reveal(const IcpAuth& auth, std::size_t k);
+
+/// Intermediary step: reveal of a linear combination sum_k coeffs[k] *
+/// values[k] — tags combine locally, no dealer involvement.
+IcpReveal icp_reveal_combined(const IcpAuth& auth,
+                              const std::vector<Fld>& coeffs);
+
+/// Recipient step: verification of a single-value reveal.
+bool icp_verify(const IcpKey& key, std::size_t k, const IcpReveal& reveal);
+
+/// Recipient step: verification of a combined reveal (recipient combines
+/// its offsets with the same public coefficients).
+bool icp_verify_combined(const IcpKey& key, const std::vector<Fld>& coeffs,
+                         const IcpReveal& reveal);
+
+}  // namespace gfor14::vss

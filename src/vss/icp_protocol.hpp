@@ -1,0 +1,72 @@
+// The information-checking protocol as an actual three-party NETWORK
+// protocol (dealer D, intermediary INT, recipient R) over the simulator —
+// the round-accounted counterpart of the pure algebra in icp.hpp, matching
+// the [Rab94] flow:
+//
+//   Distribution (1 round):  D -> INT: the values and their tags;
+//                            D -> R:   the check-vector keys.
+//   Consistency  (2 rounds): INT and R blind-compare a random linear
+//                            combination of tags vs keys (INT sends a
+//                            random-coefficient challenge, R answers with
+//                            the combined offset), so an inconsistent D is
+//                            caught at distribution time rather than at
+//                            reveal time. Any mismatch publicly faults D
+//                            (1 broadcast).
+//   Reveal       (1 round):  INT -> R: (value, tag); R verifies locally.
+//
+// Guarantees (validated in tests): an honest INT's reveal is always
+// accepted when D was consistent; a forged reveal passes with probability
+// 1/(|F|-1); a D that distributes mismatched tags/keys is publicly
+// identified during consistency checking (except with probability 1/|F|).
+#pragma once
+
+#include "net/network.hpp"
+#include "vss/icp.hpp"
+
+namespace gfor14::vss {
+
+/// One ICP instance bound to three distinct parties on a network.
+class IcpSession {
+ public:
+  IcpSession(net::Network& net, net::PartyId dealer, net::PartyId intermediary,
+             net::PartyId recipient);
+
+  /// Dealer misbehaviour switch for the distribution phase.
+  enum class DealerMode {
+    kHonest,
+    kMismatchedTags,  ///< tags do not match the keys given to R
+  };
+
+  /// Runs distribution + consistency. Returns true when the consistency
+  /// check passed (an honest dealer always passes; a kMismatchedTags
+  /// dealer is caught w.h.p. and publicly faulted).
+  bool distribute(const std::vector<Fld>& values,
+                  DealerMode mode = DealerMode::kHonest);
+
+  /// Whether the dealer was publicly faulted during consistency checking.
+  bool dealer_faulted() const { return faulted_; }
+
+  /// Reveal phase for value k; `forge_delta` != 0 makes the intermediary
+  /// reveal values[k] + forge_delta with its best (unchanged) tag.
+  /// Returns the recipient's verdict.
+  bool reveal(std::size_t k, Fld forge_delta = Fld::zero());
+
+  /// Reveal of a public linear combination (the linearity the enclosing
+  /// VSS consumes); same forging switch.
+  bool reveal_combined(const std::vector<Fld>& coeffs,
+                       Fld forge_delta = Fld::zero());
+
+  const net::CostReport& distribution_costs() const { return dist_costs_; }
+
+ private:
+  net::Network& net_;
+  net::PartyId dealer_, int_, rcpt_;
+  bool faulted_ = false;
+  std::size_t count_ = 0;
+  // Party-local states (held by INT and R respectively).
+  IcpAuth int_auth_;
+  IcpKey rcpt_key_;
+  net::CostReport dist_costs_;
+};
+
+}  // namespace gfor14::vss

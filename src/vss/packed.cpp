@@ -1,0 +1,94 @@
+#include "vss/packed.hpp"
+
+#include "common/expect.hpp"
+#include "math/berlekamp_welch.hpp"
+
+namespace gfor14::vss {
+
+PackedSharing::PackedSharing(std::size_t n, std::size_t t, std::size_t k)
+    : n_(n), t_(t), k_(k) {
+  GFOR14_EXPECTS(k >= 1);
+  GFOR14_EXPECTS(n >= t + k);
+}
+
+Fld PackedSharing::alpha(std::size_t party) const {
+  GFOR14_EXPECTS(party < n_);
+  return eval_point<64>(party);  // 1 .. n
+}
+
+Fld PackedSharing::beta(std::size_t slot) const {
+  GFOR14_EXPECTS(slot < k_);
+  // Disjoint from the alpha range.
+  return Fld::from_u64(static_cast<std::uint64_t>(n_) + 1 + slot);
+}
+
+std::vector<Fld> PackedSharing::deal(Rng& rng,
+                                     std::span<const Fld> secrets) const {
+  GFOR14_EXPECTS(secrets.size() == k_);
+  // Interpolate through the k secret slots plus t random anchor points
+  // (at further reserved positions), giving a uniformly random polynomial
+  // of degree <= t + k - 1 with the prescribed slot values.
+  std::vector<Fld> xs, ys;
+  xs.reserve(degree() + 1);
+  ys.reserve(degree() + 1);
+  for (std::size_t j = 0; j < k_; ++j) {
+    xs.push_back(beta(j));
+    ys.push_back(secrets[j]);
+  }
+  for (std::size_t r = 0; r < t_; ++r) {
+    xs.push_back(Fld::from_u64(static_cast<std::uint64_t>(n_) + 1 + k_ + r));
+    ys.push_back(Fld::random(rng));
+  }
+  const Poly f = lagrange_interpolate(xs, ys);
+  std::vector<Fld> shares(n_);
+  for (std::size_t i = 0; i < n_; ++i) shares[i] = f.eval(alpha(i));
+  return shares;
+}
+
+std::optional<std::vector<Fld>> PackedSharing::reconstruct(
+    std::span<const std::size_t> parties, std::span<const Fld> shares) const {
+  if (parties.size() != shares.size()) return std::nullopt;
+  if (parties.size() < degree() + 1) return std::nullopt;
+  std::vector<Fld> xs;
+  xs.reserve(parties.size());
+  std::vector<bool> seen(n_, false);
+  for (std::size_t p : parties) {
+    if (p >= n_ || seen[p]) return std::nullopt;
+    seen[p] = true;
+    xs.push_back(alpha(p));
+  }
+  const std::span<const Fld> head_x(xs.data(), degree() + 1);
+  const std::span<const Fld> head_y(shares.data(), degree() + 1);
+  std::vector<Fld> out(k_);
+  for (std::size_t j = 0; j < k_; ++j)
+    out[j] = lagrange_eval_at(head_x, head_y, beta(j));
+  return out;
+}
+
+std::size_t PackedSharing::max_correctable_errors() const {
+  return n_ > degree() ? (n_ - degree() - 1) / 2 : 0;
+}
+
+std::optional<std::vector<Fld>> PackedSharing::reconstruct_robust(
+    std::span<const Fld> all_shares, std::size_t max_errors) const {
+  GFOR14_EXPECTS(all_shares.size() == n_);
+  GFOR14_EXPECTS(max_errors <= max_correctable_errors());
+  std::vector<Fld> xs(n_);
+  for (std::size_t i = 0; i < n_; ++i) xs[i] = alpha(i);
+  auto f = berlekamp_welch(xs, all_shares, degree(), max_errors);
+  if (!f) return std::nullopt;
+  std::vector<Fld> out(k_);
+  for (std::size_t j = 0; j < k_; ++j) out[j] = f->eval(beta(j));
+  return out;
+}
+
+std::size_t PackedSharing::elements_packed(std::size_t m, std::size_t n,
+                                           std::size_t k) {
+  return ((m + k - 1) / k) * n;
+}
+
+std::size_t PackedSharing::elements_plain(std::size_t m, std::size_t n) {
+  return m * n;
+}
+
+}  // namespace gfor14::vss

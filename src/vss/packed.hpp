@@ -1,0 +1,74 @@
+// Packed (Franklin–Yung style) secret sharing — the building block of the
+// [BFO12]-style compilation the paper's Section 1.2 closes with: "the
+// protocols described herein can be compiled via generic techniques into
+// more communication-efficient versions".
+//
+// A single degree-(t + k - 1) polynomial carries k secrets at the reserved
+// evaluation points beta_1..beta_k (disjoint from the party points
+// alpha_1..alpha_n), so sharing m field elements costs ceil(m/k) * n
+// transmitted elements instead of m * n — a factor-k communication saving
+// at the price of a higher reconstruction threshold (t + k shares instead
+// of t + 1) and a reduced error-correction margin.
+//
+// This module provides the sharing algebra and quantifies the tradeoff
+// (tests + the communication section of bench_vss); wiring it through the
+// full VSS machinery (the actual [BFO12] compiler) is future work the
+// paper itself only gestures at.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/poly.hpp"
+
+namespace gfor14::vss {
+
+class PackedSharing {
+ public:
+  /// Configuration: n parties, privacy threshold t, k secrets per
+  /// polynomial. Requires n >= t + k (reconstruction from all parties) and
+  /// distinct evaluation points, which GF(2^64) supplies for any practical
+  /// size.
+  PackedSharing(std::size_t n, std::size_t t, std::size_t k);
+
+  std::size_t n() const { return n_; }
+  std::size_t t() const { return t_; }
+  std::size_t k() const { return k_; }
+  /// Polynomial degree: t + k - 1.
+  std::size_t degree() const { return t_ + k_ - 1; }
+
+  /// Party evaluation point alpha_i and secret slot point beta_j.
+  Fld alpha(std::size_t party) const;
+  Fld beta(std::size_t slot) const;
+
+  /// Deals one polynomial packing `secrets` (size k): returns the n shares.
+  std::vector<Fld> deal(Rng& rng, std::span<const Fld> secrets) const;
+
+  /// Reconstructs the k secrets from shares of the given parties (at least
+  /// degree()+1 of them; nullopt when too few or duplicated parties).
+  std::optional<std::vector<Fld>> reconstruct(
+      std::span<const std::size_t> parties,
+      std::span<const Fld> shares) const;
+
+  /// Robust reconstruction with Berlekamp–Welch when all n shares are
+  /// present but up to `max_errors` may be wrong. The correctable radius is
+  /// (n - degree() - 1) / 2 — packing k secrets costs error tolerance,
+  /// which the tests quantify.
+  std::optional<std::vector<Fld>> reconstruct_robust(
+      std::span<const Fld> all_shares, std::size_t max_errors) const;
+  std::size_t max_correctable_errors() const;
+
+  /// Transmitted field elements to share m secrets among n parties:
+  /// packed vs plain Shamir (the communication saving of the compilation).
+  static std::size_t elements_packed(std::size_t m, std::size_t n,
+                                     std::size_t k);
+  static std::size_t elements_plain(std::size_t m, std::size_t n);
+
+ private:
+  std::size_t n_, t_, k_;
+};
+
+}  // namespace gfor14::vss

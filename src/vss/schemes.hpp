@@ -1,0 +1,36 @@
+// Scheme profiles: the three VSS instantiations the paper discusses.
+//
+// Round counts below are what the engine actually executes; see
+// EXPERIMENTS.md (experiment E1) for how they relate to the figures the
+// paper quotes (7 rounds for RB89, 9 for Rab94, 21 for GGOR13 — our
+// statistical profile lands on the 9-round Rab94 figure of footnote 7).
+#pragma once
+
+#include <memory>
+
+#include "vss/bivariate_engine.hpp"
+
+namespace gfor14::vss {
+
+enum class SchemeKind {
+  kBGW,     ///< perfect, t < n/3, RS error-corrected reconstruction
+  kRB,      ///< statistical, t < n/2, Rabin–Ben-Or / Rabin'94 style
+  kGGOR13,  ///< statistical, t < n/2, 2 broadcast rounds in sharing
+};
+
+const char* scheme_name(SchemeKind kind);
+
+/// Maximum tolerable t for the scheme on an n-party network.
+std::size_t scheme_max_t(SchemeKind kind, std::size_t n);
+
+/// Creates the scheme bound to `net` with its maximum threshold.
+std::unique_ptr<VssScheme> make_vss(SchemeKind kind, net::Network& net);
+
+/// As above with an explicit threshold t (must not exceed scheme_max_t) and
+/// an optional forgery-success probability for the statistical schemes'
+/// information-checking layer (tests of the 2^-Omega(kappa) failure path).
+std::unique_ptr<VssScheme> make_vss(SchemeKind kind, net::Network& net,
+                                    std::size_t t,
+                                    double forgery_success_prob = 0.0);
+
+}  // namespace gfor14::vss

@@ -1,0 +1,69 @@
+#include "vss/share_algebra.hpp"
+
+#include <algorithm>
+
+namespace gfor14::vss {
+
+LinComb LinComb::of(SharingRef ref) {
+  LinComb v;
+  v.add(ref, Fld::one());
+  return v;
+}
+
+LinComb LinComb::constant(Fld c) {
+  LinComb v;
+  v.constant_ = c;
+  return v;
+}
+
+LinComb& LinComb::add(SharingRef ref, Fld coeff) {
+  if (!coeff.is_zero()) terms_.emplace_back(ref, coeff);
+  return *this;
+}
+
+LinComb& LinComb::add_constant(Fld c) {
+  constant_ += c;
+  return *this;
+}
+
+LinComb& LinComb::add(const LinComb& other, Fld coeff) {
+  for (const auto& [ref, c] : other.terms_) add(ref, coeff * c);
+  constant_ += coeff * other.constant_;
+  return *this;
+}
+
+LinComb operator+(const LinComb& a, const LinComb& b) {
+  LinComb r = a;
+  r.add(b, Fld::one());
+  return r;
+}
+
+LinComb operator-(const LinComb& a, const LinComb& b) {
+  return a + b;  // char 2: subtraction == addition
+}
+
+LinComb operator*(Fld c, const LinComb& v) {
+  LinComb r;
+  r.add(v, c);
+  return r;
+}
+
+void LinComb::normalize() {
+  std::sort(terms_.begin(), terms_.end(), [](const auto& a, const auto& b) {
+    return a.first.dealer != b.first.dealer
+               ? a.first.dealer < b.first.dealer
+               : a.first.index < b.first.index;
+  });
+  std::vector<std::pair<SharingRef, Fld>> merged;
+  for (const auto& [ref, c] : terms_) {
+    if (!merged.empty() && merged.back().first == ref) {
+      merged.back().second += c;
+    } else {
+      merged.emplace_back(ref, c);
+    }
+  }
+  std::erase_if(merged, [](const auto& term) { return term.second.is_zero(); });
+  terms_ = std::move(merged);
+}
+
+}  // namespace gfor14::vss

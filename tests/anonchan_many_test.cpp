@@ -1,0 +1,111 @@
+// Multi-session AnonChan (run_many): the parallel-composition mode that
+// Section 4's pseudosignature setup depends on — S sessions toward the same
+// receiver in ONE constant-round execution.
+#include <gtest/gtest.h>
+
+#include "anonchan/anonchan.hpp"
+#include "anonchan/attacks.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14::anonchan {
+namespace {
+
+using vss::SchemeKind;
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+std::vector<std::vector<Fld>> session_inputs(std::size_t sessions,
+                                             std::size_t n) {
+  std::vector<std::vector<Fld>> out(sessions, std::vector<Fld>(n));
+  for (std::size_t s = 0; s < sessions; ++s)
+    for (std::size_t i = 0; i < n; ++i) out[s][i] = fe(1000 * (s + 1) + i);
+  return out;
+}
+
+TEST(AnonChanMany, AllSessionsDeliverInOneConstantRoundExecution) {
+  const std::size_t n = 4, S = 5;
+  net::Network net(n, 11);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 3));
+  const auto inputs = session_inputs(S, n);
+  const auto out = chan.run_many(n - 1, inputs);
+  ASSERT_EQ(out.sessions.size(), S);
+  for (std::size_t s = 0; s < S; ++s)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(out.sessions[s].delivered(inputs[s][i]))
+          << "session " << s << " party " << i;
+  // The whole multi-session run costs the same ROUNDS as a single run.
+  EXPECT_EQ(out.costs.rounds, chan.expected_rounds());
+  EXPECT_EQ(out.costs.broadcast_rounds, chan.expected_broadcast_rounds());
+}
+
+TEST(AnonChanMany, SessionsAreIsolated) {
+  // Messages of one session never leak into another session's output.
+  const std::size_t n = 4, S = 3;
+  net::Network net(n, 13);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 3));
+  const auto inputs = session_inputs(S, n);
+  const auto out = chan.run_many(0, inputs);
+  for (std::size_t s = 0; s < S; ++s)
+    for (std::size_t other = 0; other < S; ++other) {
+      if (other == s) continue;
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_FALSE(out.sessions[s].delivered(inputs[other][i]));
+    }
+}
+
+TEST(AnonChanMany, CheatingInOneSessionDisqualifiesEverywhere) {
+  const std::size_t n = 4, S = 2;
+  net::Network net(n, 17);
+  net.set_corrupt(0, true);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 8));
+  // The attack strategy misbehaves in EVERY session it builds, so the
+  // dealer is caught; the point of this test is the global ejection.
+  chan.set_strategy(0, std::make_shared<DenseVectorAttack>());
+  const auto inputs = session_inputs(S, n);
+  const auto out = chan.run_many(3, inputs);
+  EXPECT_FALSE(out.pass[0]);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t i = 1; i < n; ++i)
+      EXPECT_TRUE(out.sessions[s].delivered(inputs[s][i]));
+  }
+}
+
+TEST(AnonChanMany, SingleSessionMatchesRun) {
+  const std::size_t n = 4;
+  const auto inputs = session_inputs(1, n);
+  net::Network net_a(n, 19);
+  auto vss_a = make_vss(SchemeKind::kRB, net_a);
+  AnonChan chan_a(net_a, *vss_a, Params::practical(n, 3));
+  const auto out_many = chan_a.run_many(0, inputs);
+  net::Network net_b(n, 19);
+  auto vss_b = make_vss(SchemeKind::kRB, net_b);
+  AnonChan chan_b(net_b, *vss_b, Params::practical(n, 3));
+  const auto out_single = chan_b.run(0, inputs[0]);
+  EXPECT_EQ(out_single.y, out_many.sessions[0].y);
+  EXPECT_EQ(out_single.costs.rounds, out_many.costs.rounds);
+}
+
+TEST(AnonChanMany, SequentialInvocationsShareTheEngine) {
+  // Two successive run_many calls on the same VSS engine: sharing indices
+  // append; both deliver correctly.
+  const std::size_t n = 4;
+  net::Network net(n, 23);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 3));
+  const auto first = session_inputs(1, n);
+  const auto second = session_inputs(1, n)[0];
+  const auto out1 = chan.run_many(0, first);
+  std::vector<Fld> inputs2(n);
+  for (std::size_t i = 0; i < n; ++i) inputs2[i] = fe(7000 + i);
+  const auto out2 = chan.run(1, inputs2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(out1.sessions[0].delivered(first[0][i]));
+    EXPECT_TRUE(out2.delivered(inputs2[i]));
+  }
+}
+
+}  // namespace
+}  // namespace gfor14::anonchan

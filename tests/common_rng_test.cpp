@@ -1,0 +1,111 @@
+// Determinism and statistical sanity of the simulation RNG.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng root(7);
+  Rng f0 = root.fork(0);
+  Rng f1 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f0.next_u64() == f1.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministicGivenSameHistory) {
+  Rng a(9), b(9);
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<std::size_t> counts(bound, 0);
+  const std::size_t trials = 100000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const std::uint64_t v = rng.next_below(bound);
+    ASSERT_LT(v, bound);
+    counts[v] += 1;
+  }
+  EXPECT_LT(chi_square_uniform(counts), chi_square_critical_001(bound - 1));
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(17);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, BoolIsBalanced) {
+  Rng rng(19);
+  std::size_t ones = 0;
+  const std::size_t trials = 100000;
+  for (std::size_t i = 0; i < trials; ++i)
+    if (rng.next_bool()) ++ones;
+  const auto ci = wilson_interval(ones, trials);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 10, universe = 100;
+    auto sample = sample_without_replacement(rng, k, universe);
+    ASSERT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t v : sample) EXPECT_LT(v, universe);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullUniverse) {
+  Rng rng(29);
+  auto sample = sample_without_replacement(rng, 20, 20);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(SampleWithoutReplacement, MarginalsUniform) {
+  // Each index should appear with probability k/universe.
+  Rng rng(31);
+  const std::size_t k = 5, universe = 25, trials = 20000;
+  std::vector<std::size_t> counts(universe, 0);
+  for (std::size_t i = 0; i < trials; ++i)
+    for (std::size_t v : sample_without_replacement(rng, k, universe))
+      counts[v] += 1;
+  EXPECT_LT(chi_square_uniform(counts),
+            chi_square_critical_001(universe - 1));
+}
+
+TEST(SampleWithoutReplacement, TooLargeThrows) {
+  Rng rng(37);
+  EXPECT_THROW(sample_without_replacement(rng, 11, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,82 @@
+// Statistics helpers used by the experiment harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(Summary, MeanVarianceExtrema) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(WilsonInterval, ContainsTrueProportion) {
+  const auto ci = wilson_interval(50, 100);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_GT(ci.lo, 0.38);
+  EXPECT_LT(ci.hi, 0.62);
+}
+
+TEST(WilsonInterval, DegenerateCases) {
+  const auto all = wilson_interval(100, 100);
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_LE(all.hi, 1.0 + 1e-12);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, -1e-12);
+  EXPECT_LT(none.hi, 0.1);
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_EQ(empty.lo, 0.0);
+  EXPECT_EQ(empty.hi, 1.0);
+}
+
+TEST(WilsonInterval, SuccessesOverTrialsThrows) {
+  EXPECT_THROW(wilson_interval(5, 3), ContractViolation);
+}
+
+TEST(ChiSquare, UniformCountsScoreLow) {
+  std::vector<std::size_t> counts(10, 1000);
+  EXPECT_NEAR(chi_square_uniform(counts), 0.0, 1e-12);
+}
+
+TEST(ChiSquare, SkewedCountsScoreHigh) {
+  std::vector<std::size_t> counts(10, 100);
+  counts[0] = 1000;
+  EXPECT_GT(chi_square_uniform(counts), chi_square_critical_001(9));
+}
+
+TEST(ChiSquare, CriticalValueMatchesTables) {
+  // chi^2_{0.999} with 10 dof is ~29.59 (standard tables); the
+  // Wilson–Hilferty approximation should land within ~2%.
+  EXPECT_NEAR(chi_square_critical_001(10), 29.59, 0.7);
+  // With 1 dof: ~10.83.
+  EXPECT_NEAR(chi_square_critical_001(1), 10.83, 1.2);
+}
+
+TEST(ChiSquare, EmptyObservationsThrow) {
+  EXPECT_THROW(chi_square_uniform({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,134 @@
+// Field axioms and arithmetic identities for every supported GF(2^k).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ff/gf2e.hpp"
+
+namespace gfor14 {
+namespace {
+
+template <typename F>
+class Gf2eTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<F8, F16, F32, F64, F128>;
+TYPED_TEST_SUITE(Gf2eTest, FieldTypes);
+
+TYPED_TEST(Gf2eTest, AdditionIsXorAndSelfInverse) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = TypeParam::random(rng);
+    const auto b = TypeParam::random(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a + a, TypeParam::zero());        // characteristic 2
+    EXPECT_EQ((a + b) + b, a);                  // subtraction == addition
+    EXPECT_EQ(a - b, a + b);
+  }
+}
+
+TYPED_TEST(Gf2eTest, MultiplicationCommutativeAssociativeDistributive) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = TypeParam::random(rng);
+    const auto b = TypeParam::random(rng);
+    const auto c = TypeParam::random(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TYPED_TEST(Gf2eTest, MultiplicativeIdentityAndZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = TypeParam::random(rng);
+    EXPECT_EQ(a * TypeParam::one(), a);
+    EXPECT_EQ(a * TypeParam::zero(), TypeParam::zero());
+  }
+}
+
+TYPED_TEST(Gf2eTest, InverseRoundTrips) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = TypeParam::random_nonzero(rng);
+    EXPECT_EQ(a * a.inverse(), TypeParam::one());
+    EXPECT_EQ(a / a, TypeParam::one());
+    EXPECT_EQ((a.inverse()).inverse(), a);
+  }
+}
+
+TYPED_TEST(Gf2eTest, InverseOfOneIsOne) {
+  EXPECT_EQ(TypeParam::one().inverse(), TypeParam::one());
+}
+
+TYPED_TEST(Gf2eTest, InverseOfZeroThrows) {
+  EXPECT_THROW(TypeParam::zero().inverse(), ContractViolation);
+}
+
+TYPED_TEST(Gf2eTest, RandomNonzeroIsNonzero) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_FALSE(TypeParam::random_nonzero(rng).is_zero());
+}
+
+TYPED_TEST(Gf2eTest, SerializationIsCanonicalAndSized) {
+  Rng rng(23);
+  const auto a = TypeParam::random(rng);
+  std::vector<std::uint8_t> bytes;
+  a.serialize(bytes);
+  EXPECT_EQ(bytes.size(), TypeParam::byte_size());
+  std::vector<std::uint8_t> again;
+  a.serialize(again);
+  EXPECT_EQ(bytes, again);
+}
+
+TEST(Gf2e64, KnownReduction) {
+  // x^63 * x = x^64 == x^4 + x^3 + x + 1 == 0x1B (mod the F64 polynomial).
+  const F64 x63 = F64::from_u64(1ULL << 63);
+  const F64 x = F64::from_u64(2);
+  EXPECT_EQ(x63 * x, F64::from_u64(0x1B));
+}
+
+TEST(Gf2e8, MatchesAesFieldSample) {
+  // GF(2^8) with 0x11B is the AES field: 0x57 * 0x83 == 0xC1 (FIPS-197).
+  EXPECT_EQ(F8::from_u64(0x57) * F8::from_u64(0x83), F8::from_u64(0xC1));
+}
+
+TEST(Gf2e128, FrobeniusConsistency) {
+  // Squaring is a field homomorphism: (a + b)^2 == a^2 + b^2.
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = F128::random(rng);
+    const auto b = F128::random(rng);
+    EXPECT_EQ((a + b) * (a + b), a * a + b * b);
+  }
+}
+
+TEST(Gf2e, BitAccessorMatchesLimbs) {
+  const F64 v = F64::from_u64(0b1011);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(63));
+}
+
+TEST(Gf2e, EvalPointsDistinctAndNonzero) {
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(eval_point<64>(i).is_zero());
+    for (std::size_t j = i + 1; j < 64; ++j)
+      EXPECT_NE(eval_point<64>(i), eval_point<64>(j));
+  }
+}
+
+TEST(Gf2e, FromU64RangeCheckedForSmallFields) {
+  EXPECT_THROW(F8::from_u64(0x100), ContractViolation);
+  EXPECT_NO_THROW(F8::from_u64(0xFF));
+}
+
+TEST(Gf2e, ToStringHex) {
+  EXPECT_EQ(F64::from_u64(0).to_string(), "0x0");
+  EXPECT_EQ(F64::from_u64(0x1B).to_string(), "0x1b");
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,124 @@
+// End-to-end integration: the full Section 4 pipeline in one story —
+// setup pseudosignatures for everyone with the broadcast channel available
+// (constant rounds, 2 broadcast rounds with GGOR13), then run a sequence
+// of simulated broadcasts, honest and adversarial, on the point-to-point
+// network alone, and check the global resource story the paper tells.
+#include <gtest/gtest.h>
+
+#include "pseudosig/broadcast_sim.hpp"
+#include "pseudosig/shzi02.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14 {
+namespace {
+
+using pseudosig::Msg;
+
+TEST(Integration, FullSection4Pipeline) {
+  const std::size_t n = 4;
+  net::Network net(n, 20140715);  // the PODC'14 dates
+  pseudosig::BroadcastSimulator sim(net, vss::SchemeKind::kGGOR13,
+                                    anonchan::Params::practical(n, 3),
+                                    pseudosig::PsParams{5, 4, 4});
+
+  // --- Setup phase: physical broadcast available ---------------------------
+  sim.setup();
+  EXPECT_EQ(sim.setup_costs().broadcast_rounds, 2u);
+  EXPECT_EQ(sim.setup_costs().rounds, 21u + 5u);
+  EXPECT_EQ(sim.slots_left(), 4u);
+
+  const auto bc_invocations_after_setup = net.costs().broadcast_invocations;
+
+  // --- Main phase: a working group makes decisions over simulated
+  // broadcast, with shifting corruption ------------------------------------
+  // 1. An honest coordinator announces a task id.
+  auto r1 = sim.broadcast(0, Msg::from_u64(101));
+  EXPECT_TRUE(r1.agreement);
+  EXPECT_TRUE(r1.validity);
+
+  // 2. A corrupt member tries to split the group.
+  net.set_corrupt(2, true);
+  auto r2 = sim.broadcast_equivocating(2, Msg::from_u64(7),
+                                       Msg::from_u64(8));
+  EXPECT_TRUE(r2.agreement);  // honest parties agree (default)
+  for (net::PartyId p = 0; p < n; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(r2.outputs[p], Msg::from_u64(pseudosig::kDsDefault));
+  }
+  net.set_corrupt(2, false);
+
+  // 3. Another honest broadcast still works after the attack.
+  auto r3 = sim.broadcast(3, Msg::from_u64(103));
+  EXPECT_TRUE(r3.agreement);
+  EXPECT_TRUE(r3.validity);
+
+  // 4. A silent (crashed) sender yields the default, by agreement.
+  net.set_corrupt(1, true);
+  auto r4 = sim.broadcast_silent(1);
+  EXPECT_TRUE(r4.agreement);
+  net.set_corrupt(1, false);
+
+  EXPECT_EQ(sim.slots_left(), 0u);
+
+  // --- The global resource story -------------------------------------------
+  // Not a single physical broadcast after setup.
+  EXPECT_EQ(net.costs().broadcast_invocations, bc_invocations_after_setup);
+  EXPECT_EQ(sim.main_phase_broadcasts(), 0u);
+  // Each Dolev–Strong run took exactly t + 1 = 2 p2p rounds.
+  EXPECT_EQ(r1.costs.rounds, 2u);
+  EXPECT_EQ(r3.costs.rounds, 2u);
+}
+
+TEST(Integration, MixedWorkloadOnOneEngine) {
+  // One VSS engine, shared by a channel, a publication and a polynomial
+  // pseudosignature setup in sequence — sharing indices compose correctly
+  // across heterogeneous protocols.
+  const std::size_t n = 4;
+  net::Network net(n, 77001);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(n, 3));
+  std::vector<Fld> inputs = {Fld::from_u64(11), Fld::from_u64(12),
+                             Fld::from_u64(13), Fld::from_u64(14)};
+  const auto chan_out = chan.run(3, inputs);
+  for (Fld x : inputs) EXPECT_TRUE(chan_out.delivered(x));
+
+  pseudosig::ShziScheme shzi = pseudosig::ShziScheme::setup(
+      net, *vss, /*signer=*/1, pseudosig::ShziParams{2});
+  const auto sig = shzi.sign(Fld::from_u64(99));
+  for (net::PartyId v = 0; v < n; ++v) {
+    if (v == 1) continue;
+    EXPECT_TRUE(shzi.verify(sig, v));
+  }
+
+  // And the channel still works afterwards on the same engine.
+  const auto again = chan.run(0, inputs);
+  for (Fld x : inputs) EXPECT_TRUE(again.delivered(x));
+}
+
+TEST(Integration, WholeStackIsDeterministicPerSeed) {
+  // The reproducibility contract: identical seeds give byte-identical
+  // outputs and identical cost reports across the whole stack.
+  auto run_once = [] {
+    net::Network net(5, 555000111);
+    net.set_corrupt(1, true);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 4));
+    std::vector<Fld> inputs;
+    for (std::size_t i = 0; i < 5; ++i)
+      inputs.push_back(Fld::from_u64(40 + i));
+    return chan.run(2, inputs);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.t_pairs, b.t_pairs);
+  EXPECT_EQ(a.v_x, b.v_x);
+  EXPECT_EQ(a.challenge_bits, b.challenge_bits);
+  EXPECT_EQ(a.costs.rounds, b.costs.rounds);
+  EXPECT_EQ(a.costs.p2p_elements, b.costs.p2p_elements);
+  EXPECT_EQ(a.pairwise_collisions, b.pairwise_collisions);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,91 @@
+// Symmetric bivariate polynomials: the sharing object of every VSS profile.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/bivariate.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(SymmetricBivariate, SecretAtOrigin) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Fld s = Fld::random(rng);
+    const auto f = SymmetricBivariate::random_with_secret(rng, 3, s);
+    EXPECT_EQ(f.secret(), s);
+    EXPECT_EQ(f.eval(Fld::zero(), Fld::zero()), s);
+  }
+}
+
+TEST(SymmetricBivariate, SymmetryOfEvaluation) {
+  Rng rng(5);
+  const auto f = SymmetricBivariate::random_with_secret(rng, 4, Fld::from_u64(9));
+  for (int i = 0; i < 30; ++i) {
+    const Fld x = Fld::random(rng);
+    const Fld y = Fld::random(rng);
+    EXPECT_EQ(f.eval(x, y), f.eval(y, x));
+  }
+}
+
+TEST(SymmetricBivariate, CoefficientSymmetry) {
+  Rng rng(7);
+  const auto f = SymmetricBivariate::random_with_secret(rng, 5, Fld::zero());
+  for (std::size_t i = 0; i <= 5; ++i)
+    for (std::size_t j = 0; j <= 5; ++j) EXPECT_EQ(f.coeff(i, j), f.coeff(j, i));
+}
+
+TEST(SymmetricBivariate, SliceConsistency) {
+  // The pairwise check of the VSS sharing phase: f_i(alpha_j) == f_j(alpha_i).
+  Rng rng(9);
+  const auto f = SymmetricBivariate::random_with_secret(rng, 2, Fld::from_u64(5));
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Poly fi = f.slice(eval_point<64>(i));
+    for (std::size_t j = 0; j < 6; ++j) {
+      const Poly fj = f.slice(eval_point<64>(j));
+      EXPECT_EQ(fi.eval(eval_point<64>(j)), fj.eval(eval_point<64>(i)));
+    }
+  }
+}
+
+TEST(SymmetricBivariate, SliceDegreeBounded) {
+  Rng rng(11);
+  const auto f = SymmetricBivariate::random_with_secret(rng, 3, Fld::one());
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_LE(f.slice(eval_point<64>(i)).degree(), 3u);
+}
+
+TEST(SymmetricBivariate, SharesInterpolateToSecret) {
+  // Shares f_i(0) = F(0, alpha_i) lie on g(y) = F(0, y) with g(0) = secret:
+  // t + 1 shares reconstruct the secret.
+  Rng rng(13);
+  const std::size_t t = 3;
+  const Fld s = Fld::random(rng);
+  const auto f = SymmetricBivariate::random_with_secret(rng, t, s);
+  std::vector<Fld> xs, ys;
+  for (std::size_t i = 0; i <= t; ++i) {
+    xs.push_back(eval_point<64>(i));
+    ys.push_back(f.slice(xs.back()).eval(Fld::zero()));
+  }
+  EXPECT_EQ(lagrange_eval_at(xs, ys, Fld::zero()), s);
+}
+
+TEST(SymmetricBivariate, DistinctSamplesDiffer) {
+  Rng rng(17);
+  const auto a = SymmetricBivariate::random_with_secret(rng, 2, Fld::zero());
+  const auto b = SymmetricBivariate::random_with_secret(rng, 2, Fld::zero());
+  bool differ = false;
+  for (std::size_t i = 0; i <= 2 && !differ; ++i)
+    for (std::size_t j = i; j <= 2 && !differ; ++j)
+      if (a.coeff(i, j) != b.coeff(i, j)) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(SymmetricBivariate, DegreeZeroIsConstant) {
+  Rng rng(19);
+  const Fld s = Fld::from_u64(42);
+  const auto f = SymmetricBivariate::random_with_secret(rng, 0, s);
+  EXPECT_EQ(f.eval(Fld::random(rng), Fld::random(rng)), s);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,124 @@
+// Berlekamp–Welch Reed–Solomon decoding: the robust-reconstruction core of
+// the BGW VSS profile.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/berlekamp_welch.hpp"
+
+namespace gfor14 {
+namespace {
+
+struct Case {
+  std::size_t n;
+  std::size_t degree;
+  std::size_t errors;  // actual corrupted positions
+};
+
+class BwDecode : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BwDecode, RecoversUnderErrors) {
+  const auto [n, degree, errors] = GetParam();
+  const std::size_t max_errors = (n - degree - 1) / 2;
+  ASSERT_LE(errors, max_errors);
+  Rng rng(1000 + n * 100 + degree * 10 + errors);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Poly p = Poly::random(rng, degree);
+    std::vector<Fld> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = eval_point<64>(i);
+      ys[i] = p.eval(xs[i]);
+    }
+    // Corrupt `errors` distinct positions with values different from the
+    // true evaluation.
+    auto bad = sample_without_replacement(rng, errors, n);
+    for (std::size_t i : bad) {
+      Fld garbage = Fld::random(rng);
+      while (garbage == ys[i]) garbage = Fld::random(rng);
+      ys[i] = garbage;
+    }
+    auto decoded = berlekamp_welch(xs, ys, degree, max_errors);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BwDecode,
+    ::testing::Values(Case{4, 1, 1}, Case{4, 1, 0}, Case{7, 2, 2},
+                      Case{7, 2, 1}, Case{7, 2, 0}, Case{10, 3, 3},
+                      Case{10, 1, 4}, Case{13, 4, 4}, Case{16, 5, 5},
+                      Case{9, 0, 4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_deg" +
+             std::to_string(info.param.degree) + "_err" +
+             std::to_string(info.param.errors);
+    });
+
+TEST(BwDecode, SecretHelperEvaluatesAtZero) {
+  Rng rng(7);
+  const Fld secret = Fld::random(rng);
+  const Poly p = Poly::random_with_secret(rng, 2, secret);
+  std::vector<Fld> xs(7), ys(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    xs[i] = eval_point<64>(i);
+    ys[i] = p.eval(xs[i]);
+  }
+  ys[3] = ys[3] + Fld::one();
+  ys[6] = Fld::random(rng);
+  auto s = rs_decode_secret(xs, ys, 2, 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, secret);
+}
+
+TEST(BwDecode, TooManyErrorsEitherFailsOrDecodesWrong) {
+  // Beyond the unique-decoding radius correctness is not promised; the
+  // decoder must not crash and must not return a polynomial violating the
+  // agreement guarantee.
+  Rng rng(11);
+  const std::size_t n = 7, degree = 2, max_errors = 2;
+  const Poly p = Poly::random(rng, degree);
+  std::vector<Fld> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = eval_point<64>(i);
+    ys[i] = p.eval(xs[i]);
+  }
+  for (std::size_t i = 0; i < 4; ++i) ys[i] = Fld::random(rng);  // 4 > 2
+  auto decoded = berlekamp_welch(xs, ys, degree, max_errors);
+  if (decoded) {
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (decoded->eval(xs[i]) == ys[i]) ++agree;
+    EXPECT_GE(agree + max_errors, n);
+  }
+}
+
+TEST(BwDecode, NoErrorsFastInterpolation) {
+  Rng rng(13);
+  const Poly p = Poly::random(rng, 3);
+  std::vector<Fld> xs(10), ys(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    xs[i] = eval_point<64>(i);
+    ys[i] = p.eval(xs[i]);
+  }
+  auto decoded = berlekamp_welch(xs, ys, 3, 3);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(BwDecode, PreconditionViolationThrows) {
+  std::vector<Fld> xs(4), ys(4);
+  for (std::size_t i = 0; i < 4; ++i) xs[i] = eval_point<64>(i);
+  // n = 4 < degree + 2*max_errors + 1 = 2 + 2*1 + 1.
+  EXPECT_THROW(berlekamp_welch(xs, ys, 2, 1), ContractViolation);
+}
+
+TEST(BwDecode, ZeroPolynomialDecodes) {
+  std::vector<Fld> xs(5), ys(5, Fld::zero());
+  for (std::size_t i = 0; i < 5; ++i) xs[i] = eval_point<64>(i);
+  auto decoded = berlekamp_welch(xs, ys, 1, 1);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_zero());
+}
+
+}  // namespace
+}  // namespace gfor14

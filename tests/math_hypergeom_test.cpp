@@ -1,0 +1,80 @@
+// Claim 2 machinery: hypergeometric tail bounds and the paper's parameter
+// identities (the analytic half of experiment E3).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/hypergeom.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(Hypergeom, ExpectedPairCollisions) {
+  EXPECT_DOUBLE_EQ(expected_pair_collisions(10, 100), 1.0);
+  EXPECT_DOUBLE_EQ(expected_pair_collisions(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(expected_pair_collisions(100, 100), 100.0);
+}
+
+TEST(Hypergeom, TailBoundsMonotone) {
+  // Larger deviation C or sparsity d => smaller bound.
+  EXPECT_GT(pair_tail_bound_paper(0.1, 100), pair_tail_bound_paper(0.2, 100));
+  EXPECT_GT(pair_tail_bound_paper(0.1, 100), pair_tail_bound_paper(0.1, 200));
+  // Chvatal's bound (exponent 2C^2 d) is tighter than the paper's C^2 d form.
+  EXPECT_LE(pair_tail_bound_chvatal(0.3, 50), pair_tail_bound_paper(0.3, 50));
+}
+
+TEST(Hypergeom, Claim2BoundIsUnionOverPairs) {
+  EXPECT_DOUBLE_EQ(claim2_bound(4, 0.25, 64),
+                   16.0 * pair_tail_bound_paper(0.25, 64));
+}
+
+TEST(Hypergeom, PaperChoiceValues) {
+  const auto p = paper_choice(3, 8);
+  EXPECT_DOUBLE_EQ(p.c, 1.0 / 36.0);
+  EXPECT_EQ(p.d, 81u * 8u);
+  EXPECT_EQ(p.ell, 4u * 729u * 8u);
+}
+
+TEST(Hypergeom, PaperChoiceIdentitiesHoldAcrossSweep) {
+  // n^2 (d^2/ell + C d) == d/2 and C^2 d == kappa/16 for the paper's
+  // explicit parameters — verified exactly (Section 3 proof of Theorem 1).
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u, 21u})
+    for (std::size_t kappa : {4u, 16u, 64u, 256u})
+      EXPECT_TRUE(paper_choice_identities_hold(n, kappa))
+          << "n=" << n << " kappa=" << kappa;
+}
+
+TEST(Hypergeom, EmpiricalPairTailBelowBound) {
+  // Monte-Carlo check of the Chvatal inequality for a single pair:
+  // Pr[X >= d^2/ell + C d] <= exp(-C^2 d) (paper's form).
+  Rng rng(42);
+  const std::size_t d = 32, ell = 1024, trials = 4000;
+  const double c = 0.25;
+  const double threshold = expected_pair_collisions(d, ell) +
+                           c * static_cast<double>(d);
+  std::size_t exceed = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto a = sample_without_replacement(rng, d, ell);
+    const auto b = sample_without_replacement(rng, d, ell);
+    std::vector<bool> in_a(ell, false);
+    for (std::size_t v : a) in_a[v] = true;
+    std::size_t inter = 0;
+    for (std::size_t v : b)
+      if (in_a[v]) ++inter;
+    if (static_cast<double>(inter) >= threshold) ++exceed;
+  }
+  const double empirical = static_cast<double>(exceed) /
+                           static_cast<double>(trials);
+  EXPECT_LE(empirical, pair_tail_bound_paper(c, d) + 0.01);
+}
+
+TEST(Hypergeom, ZeroEllThrows) {
+  EXPECT_THROW(expected_pair_collisions(4, 0), ContractViolation);
+}
+
+TEST(Hypergeom, PaperChoiceRejectsDegenerateInputs) {
+  EXPECT_THROW(paper_choice(0, 8), ContractViolation);
+  EXPECT_THROW(paper_choice(4, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,86 @@
+// Gaussian elimination over the protocol field.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/matrix.hpp"
+
+namespace gfor14 {
+namespace {
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+TEST(Matrix, RankOfIdentity) {
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) m.at(i, i) = Fld::one();
+  EXPECT_EQ(m.row_reduce(), 3u);
+}
+
+TEST(Matrix, RankOfZeroMatrix) {
+  Matrix m(4, 5);
+  EXPECT_EQ(m.row_reduce(), 0u);
+}
+
+TEST(Matrix, RankDetectsDependentRows) {
+  Matrix m(3, 3);
+  // Row 2 = row 0 + row 1.
+  m.at(0, 0) = fe(1); m.at(0, 1) = fe(2); m.at(0, 2) = fe(3);
+  m.at(1, 0) = fe(4); m.at(1, 1) = fe(5); m.at(1, 2) = fe(6);
+  for (std::size_t c = 0; c < 3; ++c) m.at(2, c) = m.at(0, c) + m.at(1, c);
+  EXPECT_EQ(m.row_reduce(), 2u);
+}
+
+TEST(Matrix, SolveSquareSystem) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    std::vector<Fld> x_true(n);
+    for (auto& v : x_true) v = Fld::random(rng);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = Fld::random(rng);
+    std::vector<Fld> b(n, Fld::zero());
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) b[r] += a.at(r, c) * x_true[c];
+    auto x = Matrix::solve(a, b);
+    ASSERT_TRUE(x.has_value());
+    // Verify A x == b (the system may be singular; solution need not be
+    // x_true but must satisfy the equations).
+    for (std::size_t r = 0; r < n; ++r) {
+      Fld acc = Fld::zero();
+      for (std::size_t c = 0; c < n; ++c) acc += a.at(r, c) * (*x)[c];
+      EXPECT_EQ(acc, b[r]);
+    }
+  }
+}
+
+TEST(Matrix, SolveInconsistentReturnsNullopt) {
+  Matrix a(2, 1);
+  a.at(0, 0) = fe(1);
+  a.at(1, 0) = fe(1);
+  auto x = Matrix::solve(a, {fe(1), fe(2)});
+  EXPECT_FALSE(x.has_value());
+}
+
+TEST(Matrix, SolveUnderdeterminedPicksAnySolution) {
+  // x0 + x1 = 5 has solutions; free variable is set to zero.
+  Matrix a(1, 2);
+  a.at(0, 0) = Fld::one();
+  a.at(0, 1) = Fld::one();
+  auto x = Matrix::solve(a, {fe(5)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0] + (*x)[1], fe(5));
+}
+
+TEST(Matrix, SolveSizeMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(Matrix::solve(a, {fe(1)}), ContractViolation);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,131 @@
+// Permutations and their field encoding (AnonChan shares permutations
+// coordinate-wise and disqualifies dealers whose reconstruction is not a
+// valid permutation).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "math/permutation.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(Permutation, IdentityActsTrivially) {
+  const auto id = Permutation::identity(5);
+  std::vector<int> v = {10, 20, 30, 40, 50};
+  EXPECT_EQ(id.apply(v), v);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(id(k), k);
+}
+
+TEST(Permutation, RandomIsBijection) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = Permutation::random(rng, 20);
+    std::vector<bool> seen(20, false);
+    for (std::size_t k = 0; k < 20; ++k) {
+      ASSERT_LT(p(k), 20u);
+      EXPECT_FALSE(seen[p(k)]);
+      seen[p(k)] = true;
+    }
+  }
+}
+
+TEST(Permutation, RandomIsUniformOnFirstImage) {
+  Rng rng(5);
+  const std::size_t n = 8, trials = 40000;
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < trials; ++i)
+    counts[Permutation::random(rng, n)(0)] += 1;
+  EXPECT_LT(chi_square_uniform(counts), chi_square_critical_001(n - 1));
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto p = Permutation::random(rng, 12);
+    EXPECT_EQ(p.compose(p.inverse()), Permutation::identity(12));
+    EXPECT_EQ(p.inverse().compose(p), Permutation::identity(12));
+  }
+}
+
+TEST(Permutation, ComposeAssociativeAction) {
+  Rng rng(9);
+  const auto a = Permutation::random(rng, 10);
+  const auto b = Permutation::random(rng, 10);
+  for (std::size_t k = 0; k < 10; ++k)
+    EXPECT_EQ(a.compose(b)(k), a(b(k)));
+}
+
+TEST(Permutation, ApplyFollowsPaperConvention) {
+  // Figure 1: w[k] = v[pi(k)].
+  Rng rng(11);
+  const auto pi = Permutation::random(rng, 6);
+  std::vector<Fld> v(6);
+  for (auto& x : v) x = Fld::random(rng);
+  const auto w = pi.apply(v);
+  for (std::size_t k = 0; k < 6; ++k) EXPECT_EQ(w[k], v[pi(k)]);
+}
+
+TEST(Permutation, ApplyComposition) {
+  // Applying pi then sigma equals applying pi.compose(sigma):
+  // (sigma applied to w)[k] = w[sigma(k)] = v[pi(sigma(k))].
+  Rng rng(13);
+  const auto pi = Permutation::random(rng, 7);
+  const auto sigma = Permutation::random(rng, 7);
+  std::vector<Fld> v(7);
+  for (auto& x : v) x = Fld::random(rng);
+  EXPECT_EQ(sigma.apply(pi.apply(v)), pi.compose(sigma).apply(v));
+}
+
+TEST(Permutation, FromImagesValidation) {
+  EXPECT_TRUE(Permutation::from_images({2, 0, 1}).has_value());
+  EXPECT_FALSE(Permutation::from_images({0, 0, 1}).has_value());  // repeat
+  EXPECT_FALSE(Permutation::from_images({0, 1, 3}).has_value());  // range
+  EXPECT_TRUE(Permutation::from_images({}).has_value());          // empty
+}
+
+TEST(Permutation, FieldEncodingRoundTrips) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto p = Permutation::random(rng, 15);
+    const auto enc = p.to_field();
+    const auto back = Permutation::from_field(enc);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+TEST(Permutation, FieldEncodingIsNonzero) {
+  // Encoded images are k+1, never 0, so a defaulted (zero) VSS value cannot
+  // decode into a valid image.
+  const auto p = Permutation::identity(4);
+  for (Fld f : p.to_field()) EXPECT_FALSE(f.is_zero());
+}
+
+TEST(Permutation, FieldDecodingRejectsGarbage) {
+  // All-zero vector (what defaulted sharings reconstruct to).
+  EXPECT_FALSE(Permutation::from_field(std::vector<Fld>(4, Fld::zero())));
+  // Out-of-range image.
+  std::vector<Fld> enc = {Fld::from_u64(1), Fld::from_u64(9),
+                          Fld::from_u64(3), Fld::from_u64(4)};
+  EXPECT_FALSE(Permutation::from_field(enc).has_value());
+  // Duplicate image.
+  enc = {Fld::from_u64(2), Fld::from_u64(2), Fld::from_u64(3),
+         Fld::from_u64(4)};
+  EXPECT_FALSE(Permutation::from_field(enc).has_value());
+  // Random field elements are essentially never valid.
+  Rng rng(19);
+  std::vector<Fld> random_enc(6);
+  for (auto& f : random_enc) f = Fld::random(rng);
+  EXPECT_FALSE(Permutation::from_field(random_enc).has_value());
+}
+
+TEST(Permutation, OutOfRangeApplicationThrows) {
+  const auto p = Permutation::identity(3);
+  EXPECT_THROW(p(3), ContractViolation);
+  std::vector<int> wrong_size(4);
+  EXPECT_THROW(p.apply(wrong_size), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -1,0 +1,142 @@
+// Polynomial algebra and Lagrange interpolation over the protocol field.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/poly.hpp"
+
+namespace gfor14 {
+namespace {
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+TEST(Poly, NormalizationDropsLeadingZeros) {
+  Poly p{{fe(1), fe(2), fe(0), fe(0)}};
+  EXPECT_EQ(p.degree(), 1u);
+  EXPECT_EQ(p.coeffs().size(), 2u);
+  Poly z{{fe(0), fe(0)}};
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Poly, EvalHorner) {
+  // p(x) = 3 + 2x over GF(2^64): p(alpha) = 3 + 2 * alpha.
+  Poly p{{fe(3), fe(2)}};
+  const Fld a = fe(7);
+  EXPECT_EQ(p.eval(a), fe(3) + fe(2) * a);
+  EXPECT_EQ(p.eval(Fld::zero()), fe(3));
+  EXPECT_EQ(Poly{}.eval(a), Fld::zero());
+}
+
+TEST(Poly, ArithmeticIdentities) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Poly a = Poly::random(rng, 4);
+    const Poly b = Poly::random(rng, 6);
+    const Fld x = Fld::random(rng);
+    EXPECT_EQ((a + b).eval(x), a.eval(x) + b.eval(x));
+    EXPECT_EQ((a * b).eval(x), a.eval(x) * b.eval(x));
+    const Fld c = Fld::random(rng);
+    EXPECT_EQ((c * a).eval(x), c * a.eval(x));
+  }
+}
+
+TEST(Poly, AdditionIsCancellative) {
+  Rng rng(7);
+  const Poly a = Poly::random(rng, 5);
+  EXPECT_TRUE((a + a).is_zero());
+  EXPECT_EQ(a - a, Poly{});
+}
+
+TEST(Poly, MultiplicationDegrees) {
+  Rng rng(9);
+  const Poly a = Poly::random(rng, 3);
+  const Poly b = Poly::random(rng, 4);
+  if (!a.is_zero() && !b.is_zero()) {
+    EXPECT_EQ((a * b).degree(), a.degree() + b.degree());
+  }
+  EXPECT_TRUE((a * Poly{}).is_zero());
+}
+
+TEST(Poly, DivModRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Poly a = Poly::random(rng, 7);
+    Poly d = Poly::random(rng, 3);
+    if (d.is_zero()) d = Poly::constant(Fld::one());
+    const auto dm = a.divmod(d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, a);
+    if (!dm.remainder.is_zero()) {
+      EXPECT_LT(dm.remainder.degree(), d.degree());
+    }
+  }
+}
+
+TEST(Poly, DivModByZeroThrows) {
+  Poly p{{fe(1)}};
+  EXPECT_THROW(p.divmod(Poly{}), ContractViolation);
+}
+
+TEST(Poly, RandomWithSecretHasSecretAtZero) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Fld s = Fld::random(rng);
+    const Poly p = Poly::random_with_secret(rng, 5, s);
+    EXPECT_EQ(p.eval(Fld::zero()), s);
+  }
+}
+
+TEST(Lagrange, InterpolationRecoversPolynomial) {
+  Rng rng(17);
+  for (int deg = 0; deg <= 6; ++deg) {
+    const Poly p = Poly::random(rng, deg);
+    std::vector<Fld> xs, ys;
+    for (int i = 0; i <= deg; ++i) {
+      xs.push_back(eval_point<64>(i));
+      ys.push_back(p.eval(xs.back()));
+    }
+    const Poly q = lagrange_interpolate(xs, ys);
+    EXPECT_EQ(q, p) << "degree " << deg;
+  }
+}
+
+TEST(Lagrange, EvalAtMatchesInterpolation) {
+  Rng rng(19);
+  const Poly p = Poly::random(rng, 4);
+  std::vector<Fld> xs, ys;
+  for (int i = 0; i < 5; ++i) {
+    xs.push_back(eval_point<64>(i));
+    ys.push_back(p.eval(xs.back()));
+  }
+  const Fld at = fe(99);
+  EXPECT_EQ(lagrange_eval_at(xs, ys, at), p.eval(at));
+  EXPECT_EQ(lagrange_eval_at(xs, ys, Fld::zero()), p.eval(Fld::zero()));
+}
+
+TEST(Lagrange, CoefficientsReconstructLinearly) {
+  // f(0) must equal sum lambda_i f(x_i) for any degree-<m polynomial: this
+  // is the linear-map form of reconstruction the VSS engine relies on.
+  Rng rng(23);
+  std::vector<Fld> xs;
+  for (int i = 0; i < 4; ++i) xs.push_back(eval_point<64>(i));
+  const auto lambda = lagrange_coefficients(xs, Fld::zero());
+  for (int trial = 0; trial < 20; ++trial) {
+    const Poly p = Poly::random(rng, 3);
+    Fld acc = Fld::zero();
+    for (int i = 0; i < 4; ++i) acc += lambda[i] * p.eval(xs[i]);
+    EXPECT_EQ(acc, p.eval(Fld::zero()));
+  }
+}
+
+TEST(Lagrange, DuplicatePointsThrow) {
+  std::vector<Fld> xs = {fe(1), fe(1)};
+  std::vector<Fld> ys = {fe(2), fe(3)};
+  EXPECT_THROW(lagrange_interpolate(xs, ys), ContractViolation);
+}
+
+TEST(Lagrange, SizeMismatchThrows) {
+  std::vector<Fld> xs = {fe(1)};
+  std::vector<Fld> ys = {fe(2), fe(3)};
+  EXPECT_THROW(lagrange_interpolate(xs, ys), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14

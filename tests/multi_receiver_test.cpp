@@ -1,0 +1,155 @@
+// run_many_to: distinct receivers per session in one constant-round
+// execution (the Section 4 composition), plus collusion edge cases and
+// larger-n stress runs.
+#include <gtest/gtest.h>
+
+#include "anonchan/anonchan.hpp"
+#include "anonchan/attacks.hpp"
+#include "net/adversary.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14::anonchan {
+namespace {
+
+using vss::SchemeKind;
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+TEST(MultiReceiver, EachSessionDeliversToItsOwnReceiver) {
+  const std::size_t n = 4;
+  net::Network net(n, 31);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 3));
+  // One session per party as receiver.
+  std::vector<net::PartyId> receivers = {0, 1, 2, 3};
+  std::vector<std::vector<Fld>> sessions(n, std::vector<Fld>(n));
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t i = 0; i < n; ++i)
+      sessions[s][i] = fe(1000 * (s + 1) + i);
+  const auto out = chan.run_many_to(receivers, sessions);
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(out.sessions[s].delivered(sessions[s][i]))
+          << "session " << s << " input " << i;
+  // Constant rounds for ALL receivers together.
+  EXPECT_EQ(out.costs.rounds, chan.expected_rounds());
+  EXPECT_EQ(out.costs.broadcast_rounds, chan.expected_broadcast_rounds());
+}
+
+TEST(MultiReceiver, MixedReceiversWithACheaterInOneSession) {
+  const std::size_t n = 4;
+  net::Network net(n, 32);
+  net.set_corrupt(1, true);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 8));
+  chan.set_strategy(1, std::make_shared<DenseVectorAttack>());
+  std::vector<net::PartyId> receivers = {0, 3};
+  std::vector<std::vector<Fld>> sessions(2, std::vector<Fld>(n));
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t i = 0; i < n; ++i) sessions[s][i] = fe(50 * (s + 1) + i);
+  const auto out = chan.run_many_to(receivers, sessions);
+  EXPECT_FALSE(out.pass[1]);
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == 1) continue;
+      EXPECT_TRUE(out.sessions[s].delivered(sessions[s][i]));
+    }
+}
+
+TEST(MultiReceiver, ReceiverCountMismatchThrows) {
+  net::Network net(4, 33);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::light(4));
+  std::vector<std::vector<Fld>> sessions(2, std::vector<Fld>(4, fe(1)));
+  EXPECT_THROW(chan.run_many_to({0}, sessions), ContractViolation);
+  EXPECT_THROW(chan.run_many_to({0, 9}, sessions), ContractViolation);
+}
+
+// --- Collusion edge: duplicate (message, tag) pairs ------------------------
+
+/// Honest-shaped sender with a FIXED tag (colluding corrupt parties use the
+/// same one, merging their committed pairs).
+class FixedTagSender final : public SenderStrategy {
+ public:
+  explicit FixedTagSender(Fld tag) : tag_(tag) {}
+  SenderCommitment build(const Params& params, const BatchLayout& layout,
+                         Fld input, Rng& rng) override {
+    HonestSender honest;
+    SenderCommitment c = honest.build(params, layout, input, rng);
+    // Rewrite the tag component everywhere (v and all copies).
+    auto retag = [&](const vss::Slab& slab_a) {
+      for (std::size_t k = 0; k < params.ell; ++k)
+        if (!c.secrets[slab_a.base + k].is_zero())
+          c.secrets[slab_a.base + k] = tag_;
+    };
+    retag(layout.v_a);
+    for (std::size_t j = 0; j < params.kappa_cc; ++j) retag(layout.w_a[j]);
+    c.tag = tag_;
+    return c;
+  }
+
+ private:
+  Fld tag_;
+};
+
+TEST(MultiReceiver, CollusionWithIdenticalPairsMergesTheirMessages) {
+  // Two corrupt senders commit the SAME (x, a) pair. Their entries merge
+  // into one output — they only hurt themselves; honest inputs unaffected
+  // and |Y| <= n still holds (the Non-Malleability size bound).
+  const std::size_t n = 5;
+  net::Network net(n, 34);
+  net.set_corrupt(0, true);
+  net.set_corrupt(1, true);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(n, 4));
+  const Fld shared_tag = fe(0x7A67);
+  chan.set_strategy(0, std::make_shared<FixedTagSender>(shared_tag));
+  chan.set_strategy(1, std::make_shared<FixedTagSender>(shared_tag));
+  std::vector<Fld> inputs = {fe(0xEEE), fe(0xEEE), fe(300), fe(301), fe(302)};
+  const auto out = chan.run(4, inputs);
+  EXPECT_TRUE(out.pass[0]);
+  EXPECT_TRUE(out.pass[1]);
+  EXPECT_EQ(std::count(out.y.begin(), out.y.end(), fe(0xEEE)), 1);
+  for (std::size_t i = 2; i < n; ++i) EXPECT_TRUE(out.delivered(inputs[i]));
+  EXPECT_LE(out.y.size(), n);
+}
+
+// --- Larger-n stress ---------------------------------------------------------
+
+TEST(Stress, NineArtyLightChannelAcrossSchemes) {
+  for (SchemeKind kind :
+       {SchemeKind::kBGW, SchemeKind::kRB, SchemeKind::kGGOR13}) {
+    net::Network net(9, 35);
+    auto vss = make_vss(kind, net);
+    AnonChan chan(net, *vss, Params::light(9));
+    std::vector<Fld> inputs(9);
+    for (std::size_t i = 0; i < 9; ++i) inputs[i] = fe(600 + i);
+    const auto out = chan.run(8, inputs);
+    EXPECT_EQ(out.costs.rounds, chan.expected_rounds());
+    EXPECT_LE(out.y.size(), 9u);
+  }
+}
+
+TEST(Stress, MaxCorruptionPracticalChannel) {
+  // t = 3 corrupt of n = 7, two of them attacking, one share-corrupting
+  // via the network hook — the full threat budget at once.
+  net::Network net(7, 36);
+  net.set_corrupt(0, true);
+  net.set_corrupt(1, true);
+  net.set_corrupt(2, true);
+  auto vss = make_vss(SchemeKind::kRB, net);
+  AnonChan chan(net, *vss, Params::practical(7, 4));
+  chan.set_strategy(0, std::make_shared<DenseVectorAttack>());
+  chan.set_strategy(1, std::make_shared<UnequalEntriesAttack>());
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  std::vector<Fld> inputs(7);
+  for (std::size_t i = 0; i < 7; ++i) inputs[i] = fe(700 + i);
+  const auto out = chan.run(6, inputs);
+  EXPECT_FALSE(out.pass[0]);
+  EXPECT_FALSE(out.pass[1]);
+  for (std::size_t i = 3; i < 7; ++i)
+    EXPECT_TRUE(out.delivered(inputs[i])) << i;
+}
+
+}  // namespace
+}  // namespace gfor14::anonchan

@@ -1,0 +1,197 @@
+// The synchronous network simulator: delivery, cost accounting, rushing
+// adversary semantics.
+#include <gtest/gtest.h>
+
+#include "net/adversary.hpp"
+#include "net/network.hpp"
+
+namespace gfor14::net {
+namespace {
+
+Payload pay(std::initializer_list<std::uint64_t> vals) {
+  Payload p;
+  for (auto v : vals) p.push_back(Fld::from_u64(v));
+  return p;
+}
+
+TEST(Network, DeliversAtEndOfRound) {
+  Network net(3, 1);
+  net.begin_round();
+  net.send(0, 1, pay({7}));
+  net.send(0, 2, pay({8, 9}));
+  net.end_round();
+  ASSERT_EQ(net.delivered().p2p[1][0].size(), 1u);
+  EXPECT_EQ(net.delivered().p2p[1][0][0], pay({7}));
+  ASSERT_EQ(net.delivered().p2p[2][0].size(), 1u);
+  EXPECT_EQ(net.delivered().p2p[2][0][0], pay({8, 9}));
+  EXPECT_TRUE(net.delivered().p2p[0][1].empty());
+}
+
+TEST(Network, MultipleMessagesPerPairPreserveOrder) {
+  Network net(2, 1);
+  net.begin_round();
+  net.send(0, 1, pay({1}));
+  net.send(0, 1, pay({2}));
+  net.end_round();
+  ASSERT_EQ(net.delivered().p2p[1][0].size(), 2u);
+  EXPECT_EQ(net.delivered().p2p[1][0][0], pay({1}));
+  EXPECT_EQ(net.delivered().p2p[1][0][1], pay({2}));
+}
+
+TEST(Network, BroadcastReachesEveryone) {
+  Network net(4, 1);
+  net.begin_round();
+  net.broadcast(2, pay({5}));
+  net.end_round();
+  ASSERT_EQ(net.delivered().bcast[2].size(), 1u);
+  EXPECT_EQ(net.delivered().bcast[2][0], pay({5}));
+}
+
+TEST(Network, CostAccounting) {
+  Network net(3, 1);
+  // Round 1: p2p only.
+  net.begin_round();
+  net.send(0, 1, pay({1, 2, 3}));
+  net.end_round();
+  // Round 2: broadcast (twice by one party, once by another).
+  net.begin_round();
+  net.broadcast(0, pay({1}));
+  net.broadcast(0, pay({2}));
+  net.broadcast(1, pay({3, 4}));
+  net.end_round();
+  // Round 3: nothing.
+  net.begin_round();
+  net.end_round();
+  const auto& c = net.costs();
+  EXPECT_EQ(c.rounds, 3u);
+  EXPECT_EQ(c.broadcast_rounds, 1u);
+  EXPECT_EQ(c.broadcast_invocations, 3u);
+  EXPECT_EQ(c.p2p_messages, 1u);
+  EXPECT_EQ(c.p2p_elements, 3u);
+  EXPECT_EQ(c.broadcast_elements, 4u);
+}
+
+TEST(Network, CostReportDifference) {
+  Network net(2, 1);
+  net.begin_round();
+  net.send(0, 1, pay({1}));
+  net.end_round();
+  const CostReport snap = net.cost_snapshot();
+  net.begin_round();
+  net.send(1, 0, pay({1, 2}));
+  net.broadcast(0, pay({3}));
+  net.end_round();
+  const CostReport delta = net.costs() - snap;
+  EXPECT_EQ(delta.rounds, 1u);
+  EXPECT_EQ(delta.p2p_messages, 1u);
+  EXPECT_EQ(delta.p2p_elements, 2u);
+  EXPECT_EQ(delta.broadcast_invocations, 1u);
+}
+
+TEST(Network, CorruptionBookkeeping) {
+  Network net(5, 1);
+  EXPECT_EQ(net.max_t_half(), 2u);
+  EXPECT_EQ(net.max_t_third(), 1u);
+  net.corrupt_first(2);
+  EXPECT_TRUE(net.is_corrupt(0));
+  EXPECT_TRUE(net.is_corrupt(1));
+  EXPECT_FALSE(net.is_corrupt(2));
+  EXPECT_EQ(net.num_corrupt(), 2u);
+  net.set_corrupt(0, false);
+  EXPECT_EQ(net.num_corrupt(), 1u);
+}
+
+TEST(Network, RushingAdversarySeesHonestTrafficBeforeDelivery) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  bool saw = false;
+  auto adv = std::make_shared<CallbackAdversary>([&](Network& n) {
+    // Adversary inspects the pending message to corrupt party 0, then sends
+    // a dependent message from party 0 in the same round (rushing).
+    auto pending = n.pending_to_corrupt(0);
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].first, 1u);
+    EXPECT_EQ(pending[0].second, pay({42}));
+    saw = true;
+    n.send(0, 2, pay({pending[0].second[0].to_u64() + 1}));
+  });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(1, 0, pay({42}));
+  net.end_round();
+  EXPECT_TRUE(saw);
+  // The rushed message is delivered in the SAME round.
+  ASSERT_EQ(net.delivered().p2p[2][0].size(), 1u);
+  EXPECT_EQ(net.delivered().p2p[2][0][0], pay({43}));
+}
+
+TEST(Network, ReplacePendingSubstitutesCorruptTraffic) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  auto adv = std::make_shared<ShareCorruptingAdversary>();
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(0, 1, pay({5}));  // corrupt party's outgoing, will be garbled
+  net.send(2, 1, pay({6}));  // honest traffic, untouched
+  net.end_round();
+  ASSERT_EQ(net.delivered().p2p[1][0].size(), 1u);
+  EXPECT_NE(net.delivered().p2p[1][0][0], pay({5}));  // ~2^-64 flake risk
+  EXPECT_EQ(net.delivered().p2p[1][0][0].size(), 1u);
+  EXPECT_EQ(net.delivered().p2p[1][2][0], pay({6}));
+}
+
+TEST(Network, SilentAdversaryDropsCorruptMessages) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<SilentAdversary>());
+  net.begin_round();
+  net.send(0, 2, pay({5}));
+  net.send(1, 2, pay({6}));
+  net.end_round();
+  EXPECT_TRUE(net.delivered().p2p[2][0].empty());
+  ASSERT_EQ(net.delivered().p2p[2][1].size(), 1u);
+}
+
+TEST(Network, RecordingAdversaryCapturesViewOnly) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  auto adv = std::make_shared<RecordingAdversary>();
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(1, 0, pay({10}));  // honest -> corrupt: visible
+  net.send(1, 2, pay({11}));  // honest -> honest: invisible
+  net.broadcast(2, pay({12}));  // broadcast: visible
+  net.end_round();
+  ASSERT_EQ(adv->views().size(), 1u);
+  const auto& view = adv->views()[0];
+  ASSERT_EQ(view.to_corrupt.size(), 1u);
+  EXPECT_EQ(std::get<2>(view.to_corrupt[0]), pay({10}));
+  EXPECT_EQ(view.broadcasts[2][0], pay({12}));
+  const auto flat = adv->flat_transcript();
+  // Contains 10 and 12 but never the honest->honest payload 11.
+  bool has11 = false;
+  for (Fld f : flat)
+    if (f == Fld::from_u64(11)) has11 = true;
+  EXPECT_FALSE(has11);
+}
+
+TEST(Network, GuardsAgainstMisuse) {
+  Network net(2, 1);
+  EXPECT_THROW(net.send(0, 1, pay({1})), ContractViolation);  // no round
+  net.begin_round();
+  EXPECT_THROW(net.begin_round(), ContractViolation);  // nested
+  EXPECT_THROW(net.send(0, 2, pay({1})), ContractViolation);  // bad party
+  EXPECT_THROW(net.pending_to_corrupt(0), ContractViolation);  // not corrupt
+  net.end_round();
+  EXPECT_THROW(net.end_round(), ContractViolation);
+}
+
+TEST(Network, PartyRngsAreIndependentAndDeterministic) {
+  Network a(3, 99), b(3, 99);
+  EXPECT_EQ(a.rng_of(0).next_u64(), b.rng_of(0).next_u64());
+  Network c(3, 99);
+  EXPECT_NE(c.rng_of(0).next_u64(), c.rng_of(1).next_u64());
+}
+
+}  // namespace
+}  // namespace gfor14::net

@@ -1,0 +1,296 @@
+// Section 4 application stack: IT-MACs, pseudosignatures over AnonChan,
+// Dolev–Strong BA, and broadcast simulation without a physical channel.
+#include <gtest/gtest.h>
+
+#include "pseudosig/broadcast_sim.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14::pseudosig {
+namespace {
+
+// --- IT-MAC -----------------------------------------------------------------
+
+TEST(ItMac, MacVerifies) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const MacKey key = MacKey::random(rng);
+    const Msg m = Msg::random(rng);
+    EXPECT_TRUE(key.verify(m, key.mac(m)));
+  }
+}
+
+TEST(ItMac, WrongMessageOrTagRejected) {
+  Rng rng(2);
+  const MacKey key = MacKey::random(rng);
+  const Msg m = Msg::from_u64(5);
+  const Msg tag = key.mac(m);
+  EXPECT_FALSE(key.verify(m + Msg::one(), tag));
+  EXPECT_FALSE(key.verify(m, tag + Msg::one()));
+}
+
+TEST(ItMac, BlindForgeryIsRare) {
+  // Forgery probability is 2^-32 per guess; 10^4 random guesses never hit.
+  Rng rng(3);
+  const MacKey key = MacKey::random(rng);
+  std::size_t hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Msg m = Msg::random(rng);
+    const Msg tag = Msg::random(rng);
+    if (key.verify(m, tag)) ++hits;
+  }
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(ItMac, PackUnpackRoundTrips) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const MacKey key = MacKey::random(rng);
+    const Fld packed = key.pack();
+    EXPECT_FALSE(packed.is_zero());  // channel silence value never produced
+    const auto back = MacKey::unpack(packed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, key);
+  }
+}
+
+TEST(ItMac, UnpackRejectsZeroSlope) {
+  EXPECT_FALSE(MacKey::unpack(Fld::from_u64(0x00000000FFFFFFFFULL)));
+}
+
+// --- Pseudosignature serialization -------------------------------------------
+
+TEST(Pseudosig, SerializationRoundTrips) {
+  Pseudosignature sig;
+  sig.message = Msg::from_u64(77);
+  sig.slot = 2;
+  sig.minisigs = {{Msg::from_u64(1), Msg::from_u64(2)},
+                  {},
+                  {Msg::from_u64(3)}};
+  const auto enc = sig.serialize();
+  const auto back = Pseudosignature::deserialize(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->message, sig.message);
+  EXPECT_EQ(back->slot, sig.slot);
+  EXPECT_EQ(back->minisigs, sig.minisigs);
+}
+
+TEST(Pseudosig, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(Pseudosignature::deserialize(std::vector<Fld>{}));
+  Pseudosignature sig;
+  sig.message = Msg::from_u64(1);
+  sig.minisigs = {{Msg::from_u64(9)}};
+  auto enc = sig.serialize();
+  enc.pop_back();  // truncated
+  EXPECT_FALSE(Pseudosignature::deserialize(enc));
+  enc = sig.serialize();
+  enc.push_back(Fld::zero());  // trailing junk
+  EXPECT_FALSE(Pseudosignature::deserialize(enc));
+}
+
+// --- Scheme end-to-end over AnonChan ------------------------------------------
+
+class PseudosigFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 4;
+
+  // One shared network/scheme per PsParams shape: setup is the expensive
+  // part (a full multi-session AnonChan run), so tests share instances.
+  static PseudosigScheme make_scheme(net::Network& net, net::PartyId signer,
+                                     PsParams ps) {
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(kN, 3));
+    return PseudosigScheme::setup(net, chan, signer, ps);
+  }
+
+  static const PseudosigScheme& shared614() {
+    static net::Network net(kN, 31337);
+    static PseudosigScheme scheme = make_scheme(net, 0, PsParams{6, 1, 4});
+    return scheme;
+  }
+};
+
+TEST_F(PseudosigFixture, SetupDeliversAnonymousKeysConstantRound) {
+  const PsParams ps{4, 2, 3};
+  net::Network net(kN, 424242);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(kN, 3));
+  const auto scheme = PseudosigScheme::setup(net, chan, 0, ps);
+  // Every block/slot holds the n-1 contributed keys (AnonChan reliability).
+  for (std::size_t b = 0; b < ps.blocks; ++b)
+    for (std::size_t s = 0; s < ps.slots; ++s)
+      EXPECT_EQ(scheme.block_size(b, s), kN - 1);
+  // Constant rounds: one run_many == one AnonChan invocation.
+  EXPECT_EQ(scheme.setup_costs().rounds, vss->share_rounds() + 5);
+}
+
+TEST_F(PseudosigFixture, HonestChainOfVerifiersAllAccept) {
+  const auto& scheme = shared614();
+  const Msg m = Msg::from_u64(42);
+  const auto sig = scheme.sign(m, 0);
+  for (net::PartyId v = 1; v < kN; ++v)
+    for (std::size_t level = 1; level <= scheme.params().max_transfers;
+         ++level)
+      EXPECT_TRUE(scheme.verify(sig, v, level))
+          << "verifier " << v << " level " << level;
+}
+
+TEST_F(PseudosigFixture, NonSignerCannotForge) {
+  const auto& scheme = shared614();
+  // A forger without the signer's key blocks guesses tags.
+  Pseudosignature forged;
+  forged.message = Msg::from_u64(13);
+  forged.slot = 0;
+  Rng rng(5);
+  forged.minisigs.assign(scheme.params().blocks, {});
+  for (auto& block : forged.minisigs)
+    for (std::size_t k = 0; k + 1 < kN; ++k)
+      block.push_back(Msg::random(rng));
+  for (net::PartyId v = 1; v < kN; ++v)
+    EXPECT_FALSE(scheme.verify(forged, v, 1));
+}
+
+TEST_F(PseudosigFixture, AlteredMessageInvalidatesSignature) {
+  const auto& scheme = shared614();
+  auto sig = scheme.sign(Msg::from_u64(1), 0);
+  sig.message = Msg::from_u64(2);  // relay tampering
+  for (net::PartyId v = 1; v < kN; ++v)
+    EXPECT_FALSE(scheme.verify(sig, v, 1));
+}
+
+TEST_F(PseudosigFixture, ThresholdsDegradeGracefully) {
+  // Level-l verification tolerates l-1 bad blocks: the half-signed-block
+  // cheat can break at most one level boundary per attacked block, which
+  // the decreasing thresholds absorb (the V1-accepts/V2-rejects scenario
+  // of Section 4 requires MORE attacked blocks than the thresholds allow).
+  const auto& scheme = shared614();
+  const Msg m = Msg::from_u64(7);
+  Rng rng(17);
+  // Attack one block by omitting all its minisignatures.
+  const auto sig = scheme.sign_omitting(m, 0, 1, kN, rng);
+  for (net::PartyId v = 1; v < kN; ++v) {
+    EXPECT_EQ(scheme.valid_blocks(sig, v), scheme.params().blocks - 1);
+    EXPECT_FALSE(scheme.verify(sig, v, 1));  // V1 notices the dead block
+    EXPECT_TRUE(scheme.verify(sig, v, 2));   // V2's threshold absorbs it
+  }
+}
+
+TEST_F(PseudosigFixture, BlindOmissionCannotTargetOneVerifier) {
+  // Because keys arrive anonymously, omitting HALF the keys of a block
+  // hits each verifier's key with probability ~1/2 — the signer cannot
+  // choose WHICH verifier loses the block. Measure across verifiers.
+  const auto& scheme = shared614();
+  Rng rng(23);
+  const auto sig = scheme.sign_omitting(Msg::from_u64(9), 0,
+                                        scheme.params().blocks,
+                                        (kN - 1) / 2, rng);
+  // Each verifier retains some blocks and loses some — nobody is singled
+  // out deterministically.
+  for (net::PartyId v = 1; v < kN; ++v) {
+    const std::size_t valid = scheme.valid_blocks(sig, v);
+    EXPECT_GT(valid, 0u);
+    EXPECT_LT(valid, scheme.params().blocks);
+  }
+}
+
+TEST_F(PseudosigFixture, LevelBeyondBudgetRejected) {
+  const auto& scheme = shared614();
+  const auto sig = scheme.sign(Msg::from_u64(3), 0);
+  EXPECT_TRUE(scheme.verify(sig, 1, scheme.params().max_transfers));
+  EXPECT_FALSE(scheme.verify(sig, 1, scheme.params().max_transfers + 1));
+}
+
+// --- Dolev–Strong / broadcast simulation -------------------------------------
+
+// One shared simulator (setup is n pseudosignature setups); corruption
+// flags are adjusted per test, and each broadcast consumes one key slot.
+struct SharedSim {
+  net::Network net{4, 777};
+  BroadcastSimulator sim{net, vss::SchemeKind::kRB,
+                         anonchan::Params::practical(4, 3),
+                         PsParams{6, 4, 4}};
+  SharedSim() { sim.setup(); }
+  static SharedSim& instance() {
+    static SharedSim s;
+    return s;
+  }
+};
+
+TEST(BroadcastSim, HonestSenderAgreementAndValidity) {
+  auto& shared = SharedSim::instance();
+  auto result = shared.sim.broadcast(1, Msg::from_u64(1234));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  for (net::PartyId p = 0; p < 4; ++p)
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(1234));
+  EXPECT_EQ(shared.sim.main_phase_broadcasts(), 0u);  // p2p only
+  EXPECT_EQ(result.costs.rounds, shared.net.max_t_half() + 1);
+}
+
+TEST(BroadcastSim, EquivocatingSenderStillReachesAgreement) {
+  auto& shared = SharedSim::instance();
+  shared.net.set_corrupt(0, true);
+  auto result = shared.sim.broadcast_equivocating(0, Msg::from_u64(1),
+                                                  Msg::from_u64(2));
+  shared.net.set_corrupt(0, false);
+  EXPECT_TRUE(result.agreement);  // honest parties agree (on the default)
+  EXPECT_EQ(shared.sim.main_phase_broadcasts(), 0u);
+}
+
+TEST(BroadcastSim, SilentSenderYieldsDefault) {
+  auto& shared = SharedSim::instance();
+  shared.net.set_corrupt(2, true);
+  auto result = shared.sim.broadcast_silent(2);
+  shared.net.set_corrupt(2, false);
+  EXPECT_TRUE(result.agreement);
+  for (net::PartyId p = 0; p < 4; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(kDsDefault));
+  }
+}
+
+TEST(BroadcastSim, SlotsAreConsumedPerInvocation) {
+  auto& shared = SharedSim::instance();
+  const std::size_t before = shared.sim.slots_left();
+  ASSERT_GE(before, 1u);
+  shared.sim.broadcast(3, Msg::from_u64(2));
+  EXPECT_EQ(shared.sim.slots_left(), before - 1);
+}
+
+TEST(BroadcastSim, GgorSetupUsesTwoBroadcastRoundsTotal) {
+  // The headline of Section 4: with the GGOR13 VSS, the ENTIRE setup —
+  // all n signers, all blocks and slots, run as parallel AnonChan sessions
+  // with per-session receivers — costs exactly 2 physical-broadcast rounds
+  // and a constant number of rounds overall, against Omega(n^2) for PW96.
+  net::Network net(4, 781);
+  BroadcastSimulator sim(net, vss::SchemeKind::kGGOR13,
+                         anonchan::Params::practical(4, 2), PsParams{4, 1, 3});
+  sim.setup();
+  EXPECT_EQ(sim.setup_costs().broadcast_rounds, 2u);
+  EXPECT_EQ(sim.setup_costs().rounds, 21u + 5u);  // one AnonChan execution
+  auto result = sim.broadcast(0, Msg::from_u64(5));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  EXPECT_EQ(sim.main_phase_broadcasts(), 0u);
+}
+
+TEST(BroadcastSim, SetupAllMatchesPerSignerSetups) {
+  // The parallel all-signers setup produces schemes with the same
+  // functionality as individually set-up ones.
+  net::Network net(4, 782);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(4, 2));
+  const auto schemes = PseudosigScheme::setup_all(net, chan, PsParams{4, 1, 3});
+  ASSERT_EQ(schemes.size(), 4u);
+  for (net::PartyId signer = 0; signer < 4; ++signer) {
+    EXPECT_EQ(schemes[signer].signer(), signer);
+    const auto sig = schemes[signer].sign(Msg::from_u64(100 + signer), 0);
+    for (net::PartyId v = 0; v < 4; ++v) {
+      if (v == signer) continue;
+      EXPECT_TRUE(schemes[signer].verify(sig, v, 1))
+          << "signer " << signer << " verifier " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfor14::pseudosig

@@ -1,0 +1,108 @@
+// LinComb / Slab bookkeeping.
+#include <gtest/gtest.h>
+
+#include "vss/batch.hpp"
+#include "vss/share_algebra.hpp"
+
+namespace gfor14::vss {
+namespace {
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+TEST(LinComb, ConstantOnly) {
+  const auto v = LinComb::constant(fe(5));
+  EXPECT_TRUE(v.terms().empty());
+  EXPECT_EQ(v.constant_term(), fe(5));
+}
+
+TEST(LinComb, OfSingleSharing) {
+  const auto v = LinComb::of({2, 7});
+  ASSERT_EQ(v.terms().size(), 1u);
+  EXPECT_EQ(v.terms()[0].first, (SharingRef{2, 7}));
+  EXPECT_EQ(v.terms()[0].second, Fld::one());
+}
+
+TEST(LinComb, AdditionMergesTermsAfterNormalize) {
+  auto v = LinComb::of({0, 1}) + LinComb::of({0, 1});
+  v.normalize();
+  // char 2: x + x == 0.
+  EXPECT_TRUE(v.terms().empty());
+}
+
+TEST(LinComb, ScalarMultiplication) {
+  auto v = fe(3) * LinComb::of({1, 2});
+  ASSERT_EQ(v.terms().size(), 1u);
+  EXPECT_EQ(v.terms()[0].second, fe(3));
+  EXPECT_EQ((fe(3) * LinComb::constant(fe(2))).constant_term(), fe(3) * fe(2));
+}
+
+TEST(LinComb, ZeroCoefficientDropped) {
+  LinComb v;
+  v.add({0, 0}, Fld::zero());
+  EXPECT_TRUE(v.terms().empty());
+}
+
+TEST(LinComb, NormalizeSortsAndMerges) {
+  LinComb v;
+  v.add({1, 5}, fe(2));
+  v.add({0, 3}, fe(1));
+  v.add({1, 5}, fe(4));
+  v.normalize();
+  ASSERT_EQ(v.terms().size(), 2u);
+  EXPECT_EQ(v.terms()[0].first, (SharingRef{0, 3}));
+  EXPECT_EQ(v.terms()[1].first, (SharingRef{1, 5}));
+  EXPECT_EQ(v.terms()[1].second, fe(2) + fe(4));
+}
+
+TEST(LinComb, SubtractionEqualsAdditionInChar2) {
+  const auto a = LinComb::of({0, 0});
+  const auto b = LinComb::of({1, 1});
+  auto d = a - b;
+  d.normalize();
+  ASSERT_EQ(d.terms().size(), 2u);
+  EXPECT_EQ(d.terms()[0].second, Fld::one());
+  EXPECT_EQ(d.terms()[1].second, Fld::one());
+}
+
+TEST(LinComb, NestedAddWithCoefficient) {
+  LinComb inner;
+  inner.add({3, 1}, fe(2));
+  inner.add_constant(fe(7));
+  LinComb outer;
+  outer.add(inner, fe(3));
+  ASSERT_EQ(outer.terms().size(), 1u);
+  EXPECT_EQ(outer.terms()[0].second, fe(3) * fe(2));
+  EXPECT_EQ(outer.constant_term(), fe(3) * fe(7));
+}
+
+TEST(Slab, RefAndBoundsChecking) {
+  Slab s{4, 10, 3};
+  EXPECT_EQ(s.ref(0), (SharingRef{4, 10}));
+  EXPECT_EQ(s.ref(2), (SharingRef{4, 12}));
+  EXPECT_THROW(s.ref(3), ContractViolation);
+}
+
+TEST(Slab, AllEnumeratesInOrder) {
+  Slab s{1, 5, 4};
+  const auto all = s.all();
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    ASSERT_EQ(all[k].terms().size(), 1u);
+    EXPECT_EQ(all[k].terms()[0].first, (SharingRef{1, 5 + k}));
+  }
+}
+
+TEST(SlabAllocator, CarvesSequentially) {
+  SlabAllocator alloc(2);
+  const Slab a = alloc.take(10);
+  const Slab b = alloc.take(5);
+  EXPECT_EQ(a.base, 0u);
+  EXPECT_EQ(a.size, 10u);
+  EXPECT_EQ(b.base, 10u);
+  EXPECT_EQ(b.size, 5u);
+  EXPECT_EQ(alloc.allocated(), 15u);
+  EXPECT_EQ(a.dealer, 2u);
+}
+
+}  // namespace
+}  // namespace gfor14::vss

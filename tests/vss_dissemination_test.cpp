@@ -1,0 +1,96 @@
+// Robust bandwidth-efficient dissemination: transport robustness and the
+// communication saving (the protocol-level [BFO12] compilation demo).
+#include <gtest/gtest.h>
+
+#include "vss/dissemination.hpp"
+
+namespace gfor14::vss {
+namespace {
+
+std::vector<Fld> vector_of(std::size_t m, std::uint64_t base = 0) {
+  std::vector<Fld> v(m);
+  for (std::size_t i = 0; i < m; ++i)
+    v[i] = Fld::from_u64(base + i * 2654435761ULL);
+  return v;
+}
+
+TEST(Dissemination, HonestDealerAllPartiesDecode) {
+  net::Network net(7, 1);
+  const auto data = vector_of(100);
+  const auto result = disseminate(net, 0, data, false);
+  for (net::PartyId p = 0; p < 7; ++p) {
+    ASSERT_TRUE(result.outputs[p].has_value()) << p;
+    EXPECT_EQ(*result.outputs[p], data);
+  }
+  EXPECT_EQ(result.costs.rounds, 2u);
+  EXPECT_EQ(result.costs.broadcast_invocations, 0u);
+}
+
+TEST(Dissemination, SurvivesGarbledEchoesUpToT) {
+  net::Network net(7, 2);
+  net.set_corrupt(1, true);
+  net.set_corrupt(5, true);  // t = 2 for n = 7
+  const auto data = vector_of(64, 9);
+  const auto result = disseminate(net, 0, data, true);
+  for (net::PartyId p = 0; p < 7; ++p) {
+    if (net.is_corrupt(p)) continue;
+    ASSERT_TRUE(result.outputs[p].has_value()) << p;
+    EXPECT_EQ(*result.outputs[p], data);
+  }
+}
+
+TEST(Dissemination, CorruptDealerPartyStillRelaysItsChunks) {
+  // The DEALER being corrupt at the network level garbles its echoes but
+  // the round-1 distribution already fixed the data; decoding succeeds.
+  net::Network net(7, 3);
+  net.set_corrupt(0, true);  // the dealer garbles its round-2 echo
+  const auto data = vector_of(32, 5);
+  const auto result = disseminate(net, 0, data, true);
+  for (net::PartyId p = 1; p < 7; ++p) {
+    ASSERT_TRUE(result.outputs[p].has_value());
+    EXPECT_EQ(*result.outputs[p], data);
+  }
+}
+
+TEST(Dissemination, VectorShorterThanChunkWorks) {
+  net::Network net(7, 4);
+  const auto data = vector_of(2);
+  const auto result = disseminate(net, 3, data, false);
+  for (net::PartyId p = 0; p < 7; ++p) {
+    ASSERT_TRUE(result.outputs[p].has_value());
+    EXPECT_EQ(*result.outputs[p], data);
+  }
+}
+
+TEST(Dissemination, ChunkAndSavingsArithmetic) {
+  EXPECT_EQ(dissemination_chunk(7, 2), 3u);
+  EXPECT_EQ(dissemination_chunk(10, 3), 4u);
+  const std::size_t m = 3000;
+  const std::size_t coded = dissemination_elements_coded(m, 7, 2);
+  const std::size_t naive = dissemination_elements_naive(m, 7);
+  EXPECT_EQ(naive, 3000u * 7u * 6u);
+  EXPECT_EQ(coded, 1000u * 7u * 6u);  // chunk 3 => 1/3 the echo traffic
+  EXPECT_EQ(naive / coded, 3u);
+}
+
+TEST(Dissemination, MeasuredTrafficMatchesFormula) {
+  net::Network net(7, 5);
+  const std::size_t m = 300;
+  const auto before = net.cost_snapshot();
+  disseminate(net, 0, vector_of(m), false);
+  const auto delta = net.costs() - before;
+  const std::size_t chunk = dissemination_chunk(7, 2);
+  const std::size_t codewords = (m + chunk - 1) / chunk;
+  // Round 1: dealer -> n-1 parties; round 2: n * (n-1) echoes.
+  EXPECT_EQ(delta.p2p_elements,
+            codewords * (7 - 1) + codewords * 7 * (7 - 1));
+}
+
+TEST(Dissemination, RejectsDegenerateInputs) {
+  net::Network net(7, 6);
+  EXPECT_THROW(disseminate(net, 9, vector_of(4), false), ContractViolation);
+  EXPECT_THROW(disseminate(net, 0, {}, false), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gfor14::vss

@@ -1,0 +1,98 @@
+// The ICP as a network protocol: rounds, consistency checking, dispute,
+// reveal semantics — the concrete counterpart of the layer the VSS engine
+// idealizes.
+#include <gtest/gtest.h>
+
+#include "vss/icp_protocol.hpp"
+
+namespace gfor14::vss {
+namespace {
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+std::vector<Fld> values_with_blind(Rng& rng,
+                                   std::initializer_list<std::uint64_t> vs) {
+  std::vector<Fld> out;
+  for (auto v : vs) out.push_back(fe(v));
+  out.push_back(Fld::random(rng));  // the [Rab94]-style blinding row
+  return out;
+}
+
+TEST(IcpProtocol, HonestFlowDistributesAndReveals) {
+  net::Network net(3, 1);
+  IcpSession icp(net, /*D=*/0, /*INT=*/1, /*R=*/2);
+  Rng rng(5);
+  const auto values = values_with_blind(rng, {7, 8, 9});
+  EXPECT_TRUE(icp.distribute(values));
+  EXPECT_FALSE(icp.dealer_faulted());
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_TRUE(icp.reveal(k));
+}
+
+TEST(IcpProtocol, RoundBill) {
+  net::Network net(3, 2);
+  IcpSession icp(net, 0, 1, 2);
+  Rng rng(5);
+  icp.distribute(values_with_blind(rng, {1}));
+  // Distribution + consistency + public verdict = 3 rounds, 1 broadcast.
+  EXPECT_EQ(icp.distribution_costs().rounds, 3u);
+  EXPECT_EQ(icp.distribution_costs().broadcast_rounds, 1u);
+}
+
+TEST(IcpProtocol, ForgedRevealRejected) {
+  net::Network net(3, 3);
+  IcpSession icp(net, 0, 1, 2);
+  Rng rng(5);
+  icp.distribute(values_with_blind(rng, {10, 20}));
+  EXPECT_FALSE(icp.reveal(0, /*forge_delta=*/Fld::one()));
+  EXPECT_TRUE(icp.reveal(0));  // the true value still verifies
+}
+
+TEST(IcpProtocol, MismatchedDealerCaughtAtDistribution) {
+  net::Network net(3, 4);
+  net.set_corrupt(0, true);
+  IcpSession icp(net, 0, 1, 2);
+  Rng rng(5);
+  EXPECT_FALSE(icp.distribute(values_with_blind(rng, {10, 20}),
+                              IcpSession::DealerMode::kMismatchedTags));
+  EXPECT_TRUE(icp.dealer_faulted());
+}
+
+TEST(IcpProtocol, HonestDealerNeverFaultedAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    net::Network net(3, 100 + seed);
+    IcpSession icp(net, 0, 1, 2);
+    Rng rng(seed);
+    EXPECT_TRUE(icp.distribute(values_with_blind(rng, {seed, seed + 1})));
+  }
+}
+
+TEST(IcpProtocol, CombinedRevealVerifiesAndForgeryFails) {
+  net::Network net(3, 6);
+  IcpSession icp(net, 0, 1, 2);
+  Rng rng(5);
+  const auto values = values_with_blind(rng, {3, 4, 5});
+  icp.distribute(values);
+  std::vector<Fld> coeffs = {fe(2), fe(3), fe(4), Fld::one()};
+  EXPECT_TRUE(icp.reveal_combined(coeffs));
+  EXPECT_FALSE(icp.reveal_combined(coeffs, Fld::one()));
+}
+
+TEST(IcpProtocol, DistinctRolesRequired) {
+  net::Network net(3, 7);
+  EXPECT_THROW(IcpSession(net, 0, 0, 2), ContractViolation);
+  EXPECT_THROW(IcpSession(net, 0, 1, 1), ContractViolation);
+}
+
+TEST(IcpProtocol, MultipleSessionsIndependent) {
+  net::Network net(4, 8);
+  IcpSession a(net, 0, 1, 2);
+  IcpSession b(net, 3, 2, 1);
+  Rng rng(9);
+  EXPECT_TRUE(a.distribute(values_with_blind(rng, {1, 2})));
+  EXPECT_TRUE(b.distribute(values_with_blind(rng, {3, 4})));
+  EXPECT_TRUE(a.reveal(0));
+  EXPECT_TRUE(b.reveal(1));
+}
+
+}  // namespace
+}  // namespace gfor14::vss

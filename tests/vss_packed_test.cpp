@@ -1,0 +1,169 @@
+// Packed secret sharing: correctness, linearity, privacy shape, the
+// error-tolerance tradeoff, and the communication saving that motivates
+// the [BFO12]-style compilation remark of Section 1.2.
+#include <gtest/gtest.h>
+
+#include "vss/packed.hpp"
+
+namespace gfor14::vss {
+namespace {
+
+Fld fe(std::uint64_t v) { return Fld::from_u64(v); }
+
+std::vector<std::size_t> iota_parties(std::size_t count, std::size_t from = 0) {
+  std::vector<std::size_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = from + i;
+  return out;
+}
+
+struct PackedCase {
+  std::size_t n, t, k;
+};
+
+class PackedTest : public ::testing::TestWithParam<PackedCase> {
+ public:
+  static std::string CaseName(const ::testing::TestParamInfo<PackedCase>& i) {
+    return "n" + std::to_string(i.param.n) + "_t" + std::to_string(i.param.t) +
+           "_k" + std::to_string(i.param.k);
+  }
+};
+
+TEST_P(PackedTest, DealAndReconstructRoundTrips) {
+  const auto [n, t, k] = GetParam();
+  PackedSharing ps(n, t, k);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Fld> secrets(k);
+    for (auto& s : secrets) s = Fld::random(rng);
+    const auto shares = ps.deal(rng, secrets);
+    ASSERT_EQ(shares.size(), n);
+    const auto parties = iota_parties(ps.degree() + 1);
+    std::vector<Fld> subset(shares.begin(),
+                            shares.begin() + ps.degree() + 1);
+    const auto back = ps.reconstruct(parties, subset);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, secrets);
+  }
+}
+
+TEST_P(PackedTest, AnySubsetOfThresholdSizeWorks) {
+  const auto [n, t, k] = GetParam();
+  PackedSharing ps(n, t, k);
+  Rng rng(7);
+  std::vector<Fld> secrets(k);
+  for (auto& s : secrets) s = Fld::random(rng);
+  const auto shares = ps.deal(rng, secrets);
+  // The LAST degree+1 parties instead of the first.
+  const auto parties = iota_parties(ps.degree() + 1, n - ps.degree() - 1);
+  std::vector<Fld> subset;
+  for (std::size_t p : parties) subset.push_back(shares[p]);
+  const auto back = ps.reconstruct(parties, subset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, secrets);
+}
+
+TEST_P(PackedTest, LinearityOfShares) {
+  const auto [n, t, k] = GetParam();
+  PackedSharing ps(n, t, k);
+  Rng rng(9);
+  std::vector<Fld> sa(k), sb(k);
+  for (auto& s : sa) s = Fld::random(rng);
+  for (auto& s : sb) s = Fld::random(rng);
+  const auto shares_a = ps.deal(rng, sa);
+  const auto shares_b = ps.deal(rng, sb);
+  const Fld c = fe(7);
+  std::vector<Fld> combined(n);
+  for (std::size_t i = 0; i < n; ++i)
+    combined[i] = shares_a[i] + c * shares_b[i];
+  const auto parties = iota_parties(ps.degree() + 1);
+  std::vector<Fld> subset(combined.begin(),
+                          combined.begin() + ps.degree() + 1);
+  const auto back = ps.reconstruct(parties, subset);
+  ASSERT_TRUE(back.has_value());
+  for (std::size_t j = 0; j < k; ++j)
+    EXPECT_EQ((*back)[j], sa[j] + c * sb[j]);
+}
+
+TEST_P(PackedTest, RobustReconstructionAtTheRadius) {
+  const auto [n, t, k] = GetParam();
+  PackedSharing ps(n, t, k);
+  const std::size_t e = ps.max_correctable_errors();
+  Rng rng(11);
+  std::vector<Fld> secrets(k);
+  for (auto& s : secrets) s = Fld::random(rng);
+  auto shares = ps.deal(rng, secrets);
+  for (std::size_t i = 0; i < e; ++i) shares[i] += Fld::one();
+  const auto back = ps.reconstruct_robust(shares, e);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, secrets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackedTest,
+                         ::testing::Values(PackedCase{5, 2, 2},
+                                           PackedCase{7, 2, 3},
+                                           PackedCase{9, 3, 4},
+                                           PackedCase{13, 4, 6},
+                                           PackedCase{6, 1, 5}),
+                         PackedTest::CaseName);
+
+TEST(Packed, PackingCostsErrorTolerance) {
+  // Same n, t: plain Shamir (k = 1) corrects more errors than packed.
+  PackedSharing plain(10, 3, 1);
+  PackedSharing packed(10, 3, 4);
+  EXPECT_GT(plain.max_correctable_errors(),
+            packed.max_correctable_errors());
+}
+
+TEST(Packed, TooFewSharesRejected) {
+  PackedSharing ps(7, 2, 3);
+  Rng rng(13);
+  std::vector<Fld> secrets(3, fe(1));
+  const auto shares = ps.deal(rng, secrets);
+  const auto parties = iota_parties(ps.degree());  // one short
+  std::vector<Fld> subset(shares.begin(), shares.begin() + ps.degree());
+  EXPECT_FALSE(ps.reconstruct(parties, subset).has_value());
+}
+
+TEST(Packed, DuplicateOrInvalidPartiesRejected) {
+  PackedSharing ps(6, 1, 2);
+  Rng rng(17);
+  const auto shares = ps.deal(rng, std::vector<Fld>{fe(1), fe(2)});
+  std::vector<std::size_t> dup = {0, 0, 1};
+  std::vector<Fld> s3(shares.begin(), shares.begin() + 3);
+  EXPECT_FALSE(ps.reconstruct(dup, s3).has_value());
+  std::vector<std::size_t> oob = {0, 1, 9};
+  EXPECT_FALSE(ps.reconstruct(oob, s3).has_value());
+}
+
+TEST(Packed, PrivacyShapeTSharesLookRandom) {
+  // With t shares the secrets retain full entropy: two different secret
+  // vectors induce identically distributed share t-subsets. Sanity check:
+  // the same t parties' shares across many deals of a FIXED secret vector
+  // do not repeat (the dealer randomness blinds them).
+  PackedSharing ps(5, 2, 2);
+  Rng rng(19);
+  const std::vector<Fld> secrets = {fe(1), fe(2)};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 50; ++i)
+    seen.insert(ps.deal(rng, secrets)[0].to_u64());
+  EXPECT_GT(seen.size(), 45u);
+}
+
+TEST(Packed, CommunicationSavingFactorK) {
+  // Sharing m = ell-vector elements: the saving the [BFO12] remark is
+  // about, at AnonChan-like sizes.
+  const std::size_t m = 4096, n = 9, k = 4;
+  EXPECT_EQ(PackedSharing::elements_plain(m, n), 4096u * 9u);
+  EXPECT_EQ(PackedSharing::elements_packed(m, n, k), 1024u * 9u);
+  EXPECT_EQ(PackedSharing::elements_plain(m, n) /
+                PackedSharing::elements_packed(m, n, k),
+            k);
+}
+
+TEST(Packed, ConstructionGuards) {
+  EXPECT_THROW(PackedSharing(4, 3, 2), ContractViolation);  // n < t + k
+  EXPECT_THROW(PackedSharing(4, 2, 0), ContractViolation);  // k == 0
+}
+
+}  // namespace
+}  // namespace gfor14::vss
