@@ -17,6 +17,7 @@
 
 #include "anonchan/anonchan.hpp"
 #include "anonchan/attacks.hpp"
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "vss/schemes.hpp"
 
@@ -30,7 +31,7 @@ std::vector<Fld> inputs_for(std::size_t n) {
   return x;
 }
 
-void ablate_tags() {
+void ablate_tags(benchjson::Artifact& artifact) {
   std::printf("--- (a) tags on/off: duplicate-message delivery ---\n");
   for (bool tags : {true, false}) {
     net::Network net(4, 7);
@@ -46,10 +47,15 @@ void ablate_tags() {
     std::printf("tags=%-5s  duplicate delivered %ld times (want 2), |Y|=%zu\n",
                 tags ? "on" : "off", static_cast<long>(copies),
                 out.y.size());
+    json::Value& row = artifact.row();
+    row.set("ablation", "tags");
+    row.set("tags_enabled", tags);
+    row.set("duplicate_delivered", static_cast<std::size_t>(copies));
+    row.set("y_size", out.y.size());
   }
 }
 
-void ablate_g() {
+void ablate_g(benchjson::Artifact& artifact) {
   std::printf("\n--- (b) receiver permutations g_i on/off: position "
               "concentration of a fixed-position dealer ---\n");
   const std::size_t runs = 30, buckets = 8;
@@ -76,10 +82,15 @@ void ablate_g() {
                 chi < chi_square_critical_001(buckets - 1)
                     ? "uniform"
                     : "CONCENTRATED");
+    json::Value& row = artifact.row();
+    row.set("ablation", "receiver_permutations");
+    row.set("random_g", random_g);
+    row.set("chi_square", chi);
+    row.set("critical_001", chi_square_critical_001(buckets - 1));
   }
 }
 
-void ablate_threshold() {
+void ablate_threshold(benchjson::Artifact& artifact) {
   std::printf("\n--- (c) delivery threshold factor ---\n");
   std::printf("%10s %18s %14s\n", "factor", "honest delivered",
               "|Y| (garbage?)");
@@ -102,6 +113,12 @@ void ablate_threshold() {
     }
     std::printf("%10.3f %11zu/%zu %14.1f\n", factor, delivered, expected,
                 static_cast<double>(ysize) / trials);
+    json::Value& row = artifact.row();
+    row.set("ablation", "threshold_factor");
+    row.set("factor", factor);
+    row.set("honest_delivered", delivered);
+    row.set("honest_expected", expected);
+    row.set("mean_y_size", static_cast<double>(ysize) / trials);
   }
   std::printf(
       "expected shape: 0.5 (the paper's d/2) delivers everything with\n"
@@ -126,9 +143,15 @@ BENCHMARK(BM_AblationRun)->Unit(benchmark::kMillisecond)->Iterations(2);
 
 int main(int argc, char** argv) {
   std::printf("=== E10: design-choice ablations ===\n");
-  ablate_tags();
-  ablate_g();
-  ablate_threshold();
+  benchjson::Artifact artifact(
+      "E10_ablation",
+      "Design ablations: tags preserve multiset semantics; receiver "
+      "permutations g_i restore position uniformity; the d/2 threshold is "
+      "the reliability/garbage sweet spot");
+  ablate_tags(artifact);
+  ablate_g(artifact);
+  ablate_threshold(artifact);
+  artifact.write();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "anonchan/anonchan.hpp"
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "vss/schemes.hpp"
 
@@ -78,6 +79,28 @@ void print_tables() {
               "-> receiver %s attribute the sender\n\n",
               two_sample, crit,
               two_sample < crit ? "CANNOT" : "CAN");
+
+  benchjson::Artifact artifact(
+      "E9_anonymity",
+      "Theorem 1 (Anonymity): message positions in v are uniform; a curious "
+      "receiver cannot attribute a message to its sender");
+  artifact.param("runs_per_world", runs);
+  artifact.param("buckets", kBuckets);
+  auto histogram_json = [](const std::vector<std::size_t>& h) {
+    json::Value a = json::Value::array();
+    for (std::size_t c : h) a.push_back(c);
+    return a;
+  };
+  for (int world = 0; world < 2; ++world) {
+    json::Value& row = artifact.row();
+    row.set("world", world == 0 ? "A_sender_P1" : "B_sender_P2");
+    row.set("histogram", histogram_json(world == 0 ? world_a : world_b));
+    row.set("chi_square", world == 0 ? chi_a : chi_b);
+    row.set("critical_001", crit);
+  }
+  artifact.set("two_sample_chi_square", two_sample);
+  artifact.set("receiver_can_attribute", json::Value(two_sample >= crit));
+  artifact.write();
 }
 
 void BM_PositionExtraction(benchmark::State& state) {

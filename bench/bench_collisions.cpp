@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "anonchan/params.hpp"
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "math/hypergeom.hpp"
 
@@ -49,6 +50,12 @@ TailResult sample_tail(Rng& rng, const anonchan::Params& p,
 
 void print_tables() {
   Rng rng(2014);
+  benchjson::Artifact artifact(
+      "E3_collisions",
+      "Claim 2: Pr[sum |I_i ∩ I_j| >= n^2(d^2/ell + C d)] <= n^2 exp(-C^2 d); "
+      "empirical tail at d/2 stays below the bound");
+  artifact.param("trials_practical", 2000);
+  artifact.param("trials_paper", 200);
   std::printf("=== E3: Claim 2 collision tail (practical profile) ===\n");
   std::printf("%4s %6s %6s %8s %10s %12s %14s %12s\n", "n", "kappa", "d",
               "ell", "E[coll]", "mean(coll)", "Pr[>=d/2] emp",
@@ -60,6 +67,16 @@ void print_tables() {
       std::printf("%4zu %6zu %6zu %8zu %10.2f %12.2f %14.4f %12.3g\n", n,
                   kappa, p.d, p.ell, p.expected_total_collisions(), r.mean,
                   r.tail, p.claim2_failure_bound());
+      json::Value& row = artifact.row();
+      row.set("profile", "practical");
+      row.set("n", n);
+      row.set("kappa", kappa);
+      row.set("d", p.d);
+      row.set("ell", p.ell);
+      row.set("expected_collisions", p.expected_total_collisions());
+      row.set("mean_collisions", r.mean);
+      row.set("tail_at_half_d", r.tail);
+      row.set("claim2_bound", p.claim2_failure_bound());
     }
   }
   std::printf(
@@ -75,6 +92,16 @@ void print_tables() {
       std::printf("%4zu %6zu %8zu %10zu %10.2f %12.2f %14.4f %12.3g\n", n,
                   kappa, p.d, p.ell, p.expected_total_collisions(), r.mean,
                   r.tail, p.claim2_failure_bound());
+      json::Value& row = artifact.row();
+      row.set("profile", "paper");
+      row.set("n", n);
+      row.set("kappa", kappa);
+      row.set("d", p.d);
+      row.set("ell", p.ell);
+      row.set("expected_collisions", p.expected_total_collisions());
+      row.set("mean_collisions", r.mean);
+      row.set("tail_at_half_d", r.tail);
+      row.set("claim2_bound", p.claim2_failure_bound());
     }
   }
   std::printf(
@@ -85,6 +112,8 @@ void print_tables() {
     for (std::size_t kappa : {8u, 64u, 512u})
       all = all && paper_choice_identities_hold(n, kappa);
   std::printf("  identities hold: %s\n\n", all ? "yes" : "NO");
+  artifact.set("paper_choice_identities_hold", json::Value(all));
+  artifact.write();
 }
 
 void BM_DartThrow(benchmark::State& state) {

@@ -12,6 +12,7 @@
 
 #include "anonchan/anonchan.hpp"
 #include "anonchan/attacks.hpp"
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "vss/schemes.hpp"
 
@@ -60,6 +61,12 @@ EscapeStats measure_escape(std::size_t kappa, std::size_t trials) {
 }
 
 void print_tables() {
+  benchjson::Artifact artifact(
+      "E5_cutandchoose",
+      "Claim 1: a dealer committing an improper vector survives the "
+      "cut-and-choose only with probability 2^-kappa");
+  artifact.param("n", std::size_t{4});
+  artifact.param("attack", "GuessingAttack");
   std::printf(
       "=== E5: cut-and-choose escape rate vs 2^-kappa (Claim 1) ===\n");
   std::printf("%6s %8s %10s %14s %14s\n", "kappa", "trials", "escapes",
@@ -72,6 +79,14 @@ void print_tables() {
                 stats.escapes,
                 static_cast<double>(stats.escapes) / stats.trials,
                 1.0 / static_cast<double>(1u << kappa));
+    json::Value& row = artifact.row();
+    row.set("kappa_cc", kappa);
+    row.set("trials", stats.trials);
+    row.set("escapes", stats.escapes);
+    row.set("escape_rate",
+            static_cast<double>(stats.escapes) / stats.trials);
+    row.set("bound_two_to_minus_kappa",
+            1.0 / static_cast<double>(1u << kappa));
     total_lost += stats.honest_lost_on_escape;
     total_on_escape += stats.honest_total_on_escape;
   }
@@ -81,6 +96,22 @@ void print_tables() {
       total_lost, total_on_escape);
   std::printf(
       "expected shape: escape rate ~ 2^-kappa; destroyed fraction ~ 1.\n\n");
+  artifact.set("honest_lost_on_escape", total_lost);
+  artifact.set("honest_total_on_escape", total_on_escape);
+  // Phase breakdown of one attacked run: the cut-and-choose phases are
+  // where Claim 1's work happens.
+  artifact.set("phases", benchjson::traced_phases([] {
+                 net::Network net(4, 40'123);
+                 net.set_corrupt(0, true);
+                 auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+                 auto params = anonchan::Params::practical(4, 2);
+                 params.kappa_cc = 4;
+                 anonchan::AnonChan chan(net, *vss, params);
+                 chan.set_strategy(
+                     0, std::make_shared<anonchan::GuessingAttack>());
+                 chan.run(3, inputs_for(4));
+               }));
+  artifact.write();
 }
 
 void BM_CutAndChooseRun(benchmark::State& state) {

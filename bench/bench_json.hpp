@@ -1,0 +1,113 @@
+// Machine-readable experiment artifacts for the bench harness.
+//
+// Every bench_*.cpp prints a human table AND emits a BENCH_<experiment>.json
+// file in the working directory so results can be diffed, plotted and
+// regression-checked without scraping stdout. An artifact carries the claim
+// id it reproduces (EXPERIMENTS.md), the parameters swept, one row per
+// measured configuration, and — where the protocol is traced — a per-phase
+// cost breakdown from the span tree (commit / challenge / cut-and-choose /
+// delivery, see src/common/trace.hpp).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace gfor14::benchjson {
+
+/// Builder for one BENCH_<experiment>.json document.
+class Artifact {
+ public:
+  /// `experiment` names the file (BENCH_<experiment>.json); `claim` states
+  /// the paper claim being reproduced, verbatim enough to grep for.
+  Artifact(std::string experiment, std::string claim)
+      : experiment_(std::move(experiment)),
+        claim_(std::move(claim)),
+        params_(json::Value::object()),
+        rows_(json::Value::array()) {}
+
+  /// Swept / fixed experiment parameters ({"kappa": 8, "scheme": "RB"}).
+  Artifact& param(const std::string& key, json::Value v) {
+    params_.set(key, std::move(v));
+    return *this;
+  }
+
+  /// Appends an empty row object; fill it with set() on the returned ref.
+  json::Value& row() { return rows_.push_back(json::Value::object()); }
+
+  /// Top-level extras (e.g. a "phases" breakdown or "metrics" snapshot),
+  /// emitted after "rows" in insertion order.
+  Artifact& set(std::string key, json::Value v) {
+    extras_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+
+  json::Value doc() const {
+    json::Value d = json::Value::object();
+    d.set("experiment", experiment_);
+    d.set("claim", claim_);
+    d.set("params", params_);
+    d.set("rows", rows_);
+    for (const auto& [k, v] : extras_) d.set(k, v);
+    return d;
+  }
+
+  /// Writes BENCH_<experiment>.json into the working directory and says so
+  /// on stdout (benches are run manually; the note is the discovery path).
+  bool write() const {
+    const std::string path = "BENCH_" + experiment_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = doc().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("artifact: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string experiment_;
+  std::string claim_;
+  json::Value params_;
+  json::Value rows_;
+  std::vector<std::pair<std::string, json::Value>> extras_;
+};
+
+/// Runs `fn` with tracing enabled and returns the span tree of the last
+/// top-level protocol run as JSON (the per-phase breakdown), restoring the
+/// tracer's previous enabled state afterwards. Returns null when `fn`
+/// produced no trace.
+template <typename Fn>
+json::Value traced_phases(Fn&& fn) {
+  auto& tracer = trace::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  tracer.reset();
+  fn();
+  json::Value out;  // null
+  if (const trace::SpanNode* root = tracer.last_root()) out = root->to_json();
+  tracer.reset();
+  tracer.set_enabled(was_enabled);
+  return out;
+}
+
+/// Snapshot of the process-wide metrics registry, for artifacts that want
+/// the aggregate picture next to the per-row measurements.
+inline json::Value metrics_snapshot() {
+  return metrics::Registry::instance().to_json();
+}
+
+inline json::Value cost_json(const net::CostReport& c) {
+  return trace::cost_to_json(c);
+}
+
+}  // namespace gfor14::benchjson

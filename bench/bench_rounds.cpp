@@ -19,6 +19,7 @@
 #include "baselines/pw96.hpp"
 #include "baselines/vabh03.hpp"
 #include "baselines/zhang11.hpp"
+#include "bench_json.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -39,6 +40,16 @@ std::size_t anonchan_rounds(vss::SchemeKind kind, std::size_t n) {
 }
 
 void print_table() {
+  benchjson::Artifact artifact(
+      "E1_rounds",
+      "AnonChan runs in r_VSS-share + O(1) rounds; PW96 is Omega(n^2) under "
+      "attack; Zhang11 constant but in the hundreds; vABH03 constant");
+  artifact.param("n_sweep", [] {
+    json::Value a = json::Value::array();
+    for (std::size_t n : {4u, 6u, 8u, 10u, 12u, 16u}) a.push_back(n);
+    return a;
+  }());
+  artifact.param("params_profile", "light");
   std::printf("=== E1: rounds to run one anonymous-channel invocation ===\n");
   std::printf("%4s %12s %12s %12s %14s %12s %12s %10s\n", "n", "AnonChan/RB",
               "AnonChan/BGW", "AnonChan/GGOR", "PW96(attack)", "PW96+elim",
@@ -76,7 +87,27 @@ void print_table() {
     }
     std::printf("%4zu %12zu %12zu %12zu %14zu %12zu %12zu %10zu\n", n, rb,
                 bgw, ggor, pw, pwe, zh, va);
+    json::Value& row = artifact.row();
+    row.set("n", n);
+    row.set("anonchan_rb_rounds", rb);
+    row.set("anonchan_bgw_rounds", bgw);
+    row.set("anonchan_ggor_rounds", ggor);
+    row.set("pw96_attack_rounds", pw);
+    row.set("pw96_elimination_rounds", pwe);
+    row.set("zhang11_rounds", zh);
+    row.set("vabh03_rounds", va);
   }
+  // Per-phase breakdown of one representative AnonChan run (n=8, RB): where
+  // the r_VSS+5 rounds go — commit vs challenge vs cut-and-choose vs
+  // delivery.
+  artifact.set("phases", benchjson::traced_phases([] {
+                 net::Network net(8, 7);
+                 auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+                 anonchan::AnonChan chan(net, *vss,
+                                         anonchan::Params::light(8));
+                 chan.run(0, inputs_for(8));
+               }));
+  artifact.write();
   std::printf(
       "expected shape: AnonChan constant (r_VSS+5: 14/14/26); PW96 grows\n"
       "~t*(n-t)*const (quadratic), Theta(n) with player elimination\n"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "anonchan/anonchan.hpp"
+#include "bench_json.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -24,6 +25,12 @@ std::vector<Fld> inputs_for(std::size_t n) {
 }
 
 void print_tables() {
+  benchjson::Artifact artifact(
+      "E8_scaling",
+      "Feasibility: rounds flat in n (constant-round), traffic polynomial; "
+      "multi-session runs amortize the fixed round bill");
+  artifact.param("scheme", "RB");
+  artifact.param("params_profile", "practical");
   std::printf("=== E8: full-run scaling (practical profile, RB VSS) ===\n");
   std::printf("%4s %6s %6s %8s %8s %10s %14s %12s\n", "n", "kappa", "d",
               "ell", "rounds", "p2p msgs", "field elems", "wall ms");
@@ -41,6 +48,16 @@ void print_tables() {
       std::printf("%4zu %6zu %6zu %8zu %8zu %10zu %14zu %12.1f\n", n, kappa,
                   params.d, params.ell, out.costs.rounds,
                   out.costs.p2p_messages, out.costs.p2p_elements, ms);
+      json::Value& row = artifact.row();
+      row.set("case", "single_run");
+      row.set("n", n);
+      row.set("kappa", kappa);
+      row.set("d", params.d);
+      row.set("ell", params.ell);
+      row.set("rounds", out.costs.rounds);
+      row.set("p2p_messages", out.costs.p2p_messages);
+      row.set("p2p_elements", out.costs.p2p_elements);
+      row.set("wall_ms", ms);
     }
   }
 
@@ -59,9 +76,25 @@ void print_tables() {
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     std::printf("%10zu %8zu %14zu %12.1f\n", sessions, out.costs.rounds,
                 out.costs.p2p_elements, ms);
+    json::Value& row = artifact.row();
+    row.set("case", "multi_session");
+    row.set("sessions", sessions);
+    row.set("rounds", out.costs.rounds);
+    row.set("p2p_elements", out.costs.p2p_elements);
+    row.set("wall_ms", ms);
   }
   std::printf("expected shape: rounds CONSTANT in the session count —\n"
               "the property the pseudosignature setup relies on.\n\n");
+  // Phase breakdown of the largest single run in the sweep: shows where
+  // wall-clock and traffic go as n and kappa grow.
+  artifact.set("phases", benchjson::traced_phases([] {
+                 net::Network net(6, 11);
+                 auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+                 anonchan::AnonChan chan(net, *vss,
+                                         anonchan::Params::practical(6, 8));
+                 chan.run(0, inputs_for(6));
+               }));
+  artifact.write();
 }
 
 void BM_AnonChanWallClock(benchmark::State& state) {

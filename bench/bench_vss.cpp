@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "vss/packed.hpp"
 #include "vss/schemes.hpp"
 
@@ -14,6 +15,11 @@ using vss::SchemeKind;
 namespace {
 
 void print_profiles() {
+  benchjson::Artifact artifact(
+      "E8_vss",
+      "VSS substrate profiles: per-scheme sharing rounds and broadcast "
+      "rounds (the r_VSS AnonChan inherits); packed sharing saves a factor "
+      "~k for vector payloads");
   std::printf("=== VSS scheme profiles (sharing phase) ===\n");
   std::printf("%-8s %10s %12s %10s %10s\n", "scheme", "rounds", "bc-rounds",
               "max t", "recon");
@@ -24,6 +30,12 @@ void print_profiles() {
     std::printf("%-8s %10zu %12zu %10zu %10s\n", s->name(),
                 s->share_rounds(), s->share_broadcast_rounds(), s->t(),
                 kind == SchemeKind::kBGW ? "RS-decode" : "IC-filter");
+    json::Value& row = artifact.row();
+    row.set("case", "scheme_profile");
+    row.set("scheme", std::string(s->name()));
+    row.set("share_rounds", s->share_rounds());
+    row.set("share_bc_rounds", s->share_broadcast_rounds());
+    row.set("max_t", s->t());
   }
   std::printf("\n");
 
@@ -43,9 +55,34 @@ void print_profiles() {
       std::printf("%6zu %4zu %4zu %14zu %14zu %7.1fx\n", ell, n, k, plain,
                   packed,
                   static_cast<double>(plain) / static_cast<double>(packed));
+      json::Value& row = artifact.row();
+      row.set("case", "packed_compilation");
+      row.set("ell", ell);
+      row.set("n", n);
+      row.set("k", k);
+      row.set("plain_elements", plain);
+      row.set("packed_elements", packed);
+      row.set("saving_factor",
+              static_cast<double>(plain) / static_cast<double>(packed));
     }
   }
   std::printf("\n");
+  // Phase breakdown of one share_all + public reconstruction on the RB
+  // engine — the two vss.* spans the AnonChan trace decomposes into.
+  artifact.set("phases", benchjson::traced_phases([] {
+                 net::Network net(5, 7);
+                 trace::Span root("vss.bench", net);
+                 auto vss = vss::make_vss(SchemeKind::kRB, net);
+                 std::vector<std::vector<Fld>> batches(5);
+                 for (std::size_t k = 0; k < 16; ++k)
+                   batches[0].push_back(Fld::from_u64(k + 1));
+                 vss->share_all(batches);
+                 std::vector<vss::LinComb> values;
+                 for (std::size_t k = 0; k < 16; ++k)
+                   values.push_back(vss::LinComb::of({0, k}));
+                 vss->reconstruct_public(values);
+               }));
+  artifact.write();
 }
 
 void BM_PackedDeal(benchmark::State& state) {

@@ -6,6 +6,12 @@
 //   gfor14_cli pseudosig [--n N] [--scheme ...] [--seed S]
 //   gfor14_cli compare   [--n N] [--seed S]
 //
+// Observability (any command):
+//   --trace PATH    stream one JSON line per closed protocol phase to PATH
+//                   ("-" prints the finished span trees to stdout instead)
+//   --metrics PATH  write the process-wide metrics registry as JSON to PATH
+//                   on exit ("-" prints to stdout)
+//
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
 #include <cstdio>
@@ -17,6 +23,8 @@
 #include "anonchan/attacks.hpp"
 #include "baselines/pw96.hpp"
 #include "baselines/zhang11.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
 
@@ -32,6 +40,8 @@ struct Options {
   vss::SchemeKind scheme = vss::SchemeKind::kRB;
   std::string attack;
   std::uint64_t seed = 2014;
+  std::string trace_path;    // "-" = stdout, "" = off
+  std::string metrics_path;  // "-" = stdout, "" = off
 };
 
 int usage() {
@@ -40,7 +50,7 @@ int usage() {
                "  [--n N] [--scheme rb|bgw|ggor] [--kappa K]\n"
                "  [--receiver R] [--attack dense|unequal|wrongcopy|guessing"
                "|zero|fixed]\n"
-               "  [--seed S]\n");
+               "  [--seed S] [--trace PATH|-] [--metrics PATH|-]\n");
   return 2;
 }
 
@@ -66,6 +76,10 @@ bool parse(int argc, char** argv, Options& opt) {
         else return false;
       } else if (key == "--attack") {
         opt.attack = value;
+      } else if (key == "--trace") {
+        opt.trace_path = value;
+      } else if (key == "--metrics") {
+        opt.metrics_path = value;
       } else {
         return false;
       }
@@ -203,11 +217,45 @@ int run_compare(const Options& opt) {
   return 0;
 }
 
+// Enables tracing per --trace and, at scope exit, flushes the requested
+// observability outputs (in-memory trace trees to stdout for "-", metrics
+// JSON to the requested sink).
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(const Options& opt) : opt_(opt) {
+    if (opt_.trace_path.empty()) return;
+    auto& tracer = trace::Tracer::instance();
+    tracer.set_enabled(true);
+    if (opt_.trace_path != "-" &&
+        !tracer.set_sink_path(opt_.trace_path))
+      std::fprintf(stderr, "warning: cannot open trace sink '%s'\n",
+                   opt_.trace_path.c_str());
+  }
+  ~ObservabilityScope() {
+    if (opt_.trace_path == "-") {
+      for (const auto& root : trace::Tracer::instance().roots())
+        std::printf("%s\n", root->to_json().dump(2).c_str());
+    }
+    if (!opt_.metrics_path.empty()) {
+      auto& reg = metrics::Registry::instance();
+      if (opt_.metrics_path == "-")
+        std::printf("%s\n", reg.to_json().dump(2).c_str());
+      else if (!reg.write_json(opt_.metrics_path))
+        std::fprintf(stderr, "warning: cannot write metrics to '%s'\n",
+                     opt_.metrics_path.c_str());
+    }
+  }
+
+ private:
+  const Options& opt_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage();
+  ObservabilityScope observability(opt);
   try {
     if (opt.command == "channel") return run_channel(opt);
     if (opt.command == "publish") return run_publish(opt);

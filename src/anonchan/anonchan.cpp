@@ -1,8 +1,11 @@
 #include "anonchan/anonchan.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/expect.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::anonchan {
 
@@ -64,6 +67,15 @@ ManyOutput AnonChan::run_many_to(
   for (const auto& inputs : sessions) GFOR14_EXPECTS(inputs.size() == n);
   const auto cost_before = net_.cost_snapshot();
 
+  // Root span for the whole invocation; the phase spans below tile every
+  // network round between cost_before and the final cost snapshot, so their
+  // deltas sum exactly to result.costs (asserted in common_trace_test).
+  trace::Span run_span("anonchan.run", net_);
+  run_span.metric("n", static_cast<double>(n));
+  run_span.metric("sessions", static_cast<double>(S));
+  metrics::Registry::instance().counter("anonchan.runs").add(1);
+  metrics::Registry::instance().counter("anonchan.sessions").add(S);
+
   // --- Step 1: commitments (all sessions in one parallel sharing phase) ---
   // layouts[s][i]: session s slabs of dealer i, with bases shifted past the
   // dealer's pre-existing sharings and the preceding sessions' slabs.
@@ -75,6 +87,8 @@ ManyOutput AnonChan::run_many_to(
   // g_truth[s][i]: receiver's permutation for dealer i in session s.
   std::vector<std::vector<Permutation>> g_truth(S);
 
+  std::optional<trace::Span> commit_phase;
+  commit_phase.emplace("commit");
   for (net::PartyId i = 0; i < n; ++i) {
     std::size_t base = vss_.count(i);
     for (std::size_t s = 0; s < S; ++s) {
@@ -120,6 +134,7 @@ ManyOutput AnonChan::run_many_to(
     }
   }
   const auto share_result = vss_.share_all(batches);
+  commit_phase.reset();
 
   ManyOutput result;
   result.pass.assign(n, true);
@@ -128,16 +143,19 @@ ManyOutput AnonChan::run_many_to(
   auto& pass = result.pass;
 
   // --- Step 2: joint random challenge (one element, shared by sessions) ---
-  vss::LinComb r_comb;
-  for (net::PartyId i = 0; i < n; ++i) {
-    if (!pass[i]) continue;
-    for (std::size_t s = 0; s < S; ++s)
-      r_comb.add(layouts[s][i].r.ref(0), Fld::one());
-  }
-  const Fld r = vss_.reconstruct_public({r_comb})[0];
   std::vector<bool> bits(params_.kappa_cc);
-  for (std::size_t j = 0; j < params_.kappa_cc; ++j)
-    bits[j] = r.bit(static_cast<unsigned>(j));
+  {
+    trace::Span phase("challenge");
+    vss::LinComb r_comb;
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (!pass[i]) continue;
+      for (std::size_t s = 0; s < S; ++s)
+        r_comb.add(layouts[s][i].r.ref(0), Fld::one());
+    }
+    const Fld r = vss_.reconstruct_public({r_comb})[0];
+    for (std::size_t j = 0; j < params_.kappa_cc; ++j)
+      bits[j] = r.bit(static_cast<unsigned>(j));
+  }
 
   // --- Step 3, round A: open permutations / index lists --------------------
   struct ARef {
@@ -146,22 +164,6 @@ ManyOutput AnonChan::run_many_to(
     std::size_t copy;
     std::size_t offset;
   };
-  std::vector<vss::LinComb> open_a;
-  std::vector<ARef> a_refs;
-  for (net::PartyId i = 0; i < n; ++i) {
-    if (!pass[i]) continue;
-    for (std::size_t s = 0; s < S; ++s) {
-      for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
-        a_refs.push_back({i, s, j, open_a.size()});
-        const auto& slab =
-            bits[j] ? layouts[s][i].idx[j] : layouts[s][i].perm[j];
-        for (std::size_t k = 0; k < slab.size; ++k)
-          open_a.push_back(slab.lc(k));
-      }
-    }
-  }
-  const auto opened_a = vss_.reconstruct_public(open_a);
-
   // Decoded openings, indexed by [session][dealer][copy].
   std::vector<std::vector<std::vector<std::optional<Permutation>>>> pi_open(
       S, std::vector<std::vector<std::optional<Permutation>>>(
@@ -171,73 +173,99 @@ ManyOutput AnonChan::run_many_to(
                std::vector<std::vector<std::optional<std::vector<std::size_t>>>>(
                    n, std::vector<std::optional<std::vector<std::size_t>>>(
                           params_.kappa_cc)));
-  for (const auto& ref : a_refs) {
-    if (bits[ref.copy]) {
-      std::span<const Fld> enc(opened_a.data() + ref.offset, params_.d);
-      auto decoded = decode_index_list(enc, params_.ell);
-      if (!decoded) pass[ref.dealer] = false;
-      idx_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
-    } else {
-      std::vector<Fld> enc(opened_a.begin() + ref.offset,
-                           opened_a.begin() + ref.offset + params_.ell);
-      auto decoded = Permutation::from_field(enc);
-      if (!decoded) pass[ref.dealer] = false;
-      pi_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
+  {
+    trace::Span phase("cut_and_choose.open");
+    std::vector<vss::LinComb> open_a;
+    std::vector<ARef> a_refs;
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (!pass[i]) continue;
+      for (std::size_t s = 0; s < S; ++s) {
+        for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+          a_refs.push_back({i, s, j, open_a.size()});
+          const auto& slab =
+              bits[j] ? layouts[s][i].idx[j] : layouts[s][i].perm[j];
+          for (std::size_t k = 0; k < slab.size; ++k)
+            open_a.push_back(slab.lc(k));
+        }
+      }
+    }
+    const auto opened_a = vss_.reconstruct_public(open_a);
+
+    for (const auto& ref : a_refs) {
+      if (bits[ref.copy]) {
+        std::span<const Fld> enc(opened_a.data() + ref.offset, params_.d);
+        auto decoded = decode_index_list(enc, params_.ell);
+        if (!decoded) pass[ref.dealer] = false;
+        idx_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
+      } else {
+        std::vector<Fld> enc(opened_a.begin() + ref.offset,
+                             opened_a.begin() + ref.offset + params_.ell);
+        auto decoded = Permutation::from_field(enc);
+        if (!decoded) pass[ref.dealer] = false;
+        pi_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
+      }
     }
   }
 
   // --- Step 3, round B: dependent zero/equality checks ---------------------
-  std::vector<vss::LinComb> open_b;
-  std::vector<ARef> b_refs;
-  std::vector<std::size_t> b_sizes;
-  for (net::PartyId i = 0; i < n; ++i) {
-    if (!pass[i]) continue;
-    for (std::size_t s = 0; s < S; ++s) {
-      for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
-        std::vector<vss::LinComb> checks =
-            bits[j] ? sparse_check_values(params_, layouts[s][i], j,
-                                          *idx_open[s][i][j])
-                    : perm_diff_values(params_, layouts[s][i], j,
-                                       *pi_open[s][i][j]);
-        b_refs.push_back({i, s, j, open_b.size()});
-        b_sizes.push_back(checks.size());
-        for (auto& c : checks) open_b.push_back(std::move(c));
+  {
+    trace::Span phase("cut_and_choose.check");
+    std::vector<vss::LinComb> open_b;
+    std::vector<ARef> b_refs;
+    std::vector<std::size_t> b_sizes;
+    for (net::PartyId i = 0; i < n; ++i) {
+      if (!pass[i]) continue;
+      for (std::size_t s = 0; s < S; ++s) {
+        for (std::size_t j = 0; j < params_.kappa_cc; ++j) {
+          std::vector<vss::LinComb> checks =
+              bits[j] ? sparse_check_values(params_, layouts[s][i], j,
+                                            *idx_open[s][i][j])
+                      : perm_diff_values(params_, layouts[s][i], j,
+                                         *pi_open[s][i][j]);
+          b_refs.push_back({i, s, j, open_b.size()});
+          b_sizes.push_back(checks.size());
+          for (auto& c : checks) open_b.push_back(std::move(c));
+        }
       }
     }
-  }
-  const auto opened_b = vss_.reconstruct_public(open_b);
-  for (std::size_t bi = 0; bi < b_refs.size(); ++bi) {
-    const auto& ref = b_refs[bi];
-    for (std::size_t k = 0; k < b_sizes[bi]; ++k) {
-      if (!opened_b[ref.offset + k].is_zero()) {
-        pass[ref.dealer] = false;
-        break;
+    const auto opened_b = vss_.reconstruct_public(open_b);
+    for (std::size_t bi = 0; bi < b_refs.size(); ++bi) {
+      const auto& ref = b_refs[bi];
+      for (std::size_t k = 0; k < b_sizes[bi]; ++k) {
+        if (!opened_b[ref.offset + k].is_zero()) {
+          pass[ref.dealer] = false;
+          break;
+        }
       }
     }
   }
 
   // --- Step 4: delivery (all sessions batched into two rounds) -------------
-  std::vector<vss::LinComb> g_values;
-  for (std::size_t s = 0; s < S; ++s)
-    for (std::size_t gi = 0; gi < n; ++gi)
-      for (std::size_t k = 0; k < params_.ell; ++k)
-        g_values.push_back(layouts[s][receivers[s]].g[gi].lc(k));
-  const auto g_opened = vss_.reconstruct_public(g_values);
   std::vector<std::vector<Permutation>> g(S, std::vector<Permutation>(n));
-  for (std::size_t s = 0; s < S; ++s) {
-    for (std::size_t gi = 0; gi < n; ++gi) {
-      const std::size_t off = (s * n + gi) * params_.ell;
-      std::vector<Fld> enc(g_opened.begin() + off,
-                           g_opened.begin() + off + params_.ell);
-      auto decoded = Permutation::from_field(enc);
-      // An invalid permutation (only possible for a corrupt receiver) is
-      // replaced by the identity: the protocol stays total, and the random
-      // relocation only protected against adversarially placed indices,
-      // which a corrupt receiver cannot exploit against itself.
-      g[s][gi] = decoded ? *decoded : Permutation::identity(params_.ell);
+  {
+    trace::Span phase("deliver.permutations");
+    std::vector<vss::LinComb> g_values;
+    for (std::size_t s = 0; s < S; ++s)
+      for (std::size_t gi = 0; gi < n; ++gi)
+        for (std::size_t k = 0; k < params_.ell; ++k)
+          g_values.push_back(layouts[s][receivers[s]].g[gi].lc(k));
+    const auto g_opened = vss_.reconstruct_public(g_values);
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t gi = 0; gi < n; ++gi) {
+        const std::size_t off = (s * n + gi) * params_.ell;
+        std::vector<Fld> enc(g_opened.begin() + off,
+                             g_opened.begin() + off + params_.ell);
+        auto decoded = Permutation::from_field(enc);
+        // An invalid permutation (only possible for a corrupt receiver) is
+        // replaced by the identity: the protocol stays total, and the random
+        // relocation only protected against adversarially placed indices,
+        // which a corrupt receiver cannot exploit against itself.
+        g[s][gi] = decoded ? *decoded : Permutation::identity(params_.ell);
+      }
     }
   }
 
+  trace::Span deliver_span("deliver.private");
   // One round serves every receiver: the private reconstructions of all
   // sessions are batched per receiver.
   std::vector<vss::VssScheme::PrivateRequest> requests;
@@ -276,6 +304,13 @@ ManyOutput AnonChan::run_many_to(
   }
 
   result.costs = net_.costs() - cost_before;
+  std::size_t passed = 0;
+  for (bool p : result.pass)
+    if (p) ++passed;
+  run_span.metric("passed", static_cast<double>(passed));
+  metrics::Registry::instance()
+      .histogram("anonchan.run_rounds")
+      .observe(static_cast<double>(result.costs.rounds));
   return result;
 }
 

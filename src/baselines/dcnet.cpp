@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::baselines {
 
@@ -34,6 +35,8 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
   GFOR14_EXPECTS(inputs.size() == n && jammers.size() == n);
   GFOR14_EXPECTS(slots >= 1);
   const auto before = net.cost_snapshot();
+  trace::Span span("dcnet.round", net);
+  span.metric("slots", static_cast<double>(slots));
 
   // Setup round: pairwise key agreement over the secure channels (one seed
   // element per ordered pair; pads are expanded locally).
@@ -81,6 +84,7 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
     // detect without higher-layer redundancy.
     if (!sum.is_zero()) out.delivered.push_back(sum);
   }
+  span.metric("collisions", static_cast<double>(out.collisions));
   out.costs = net.costs() - before;
   return out;
 }
@@ -93,6 +97,7 @@ RepetitionOutput run_dcnet_with_repetition(net::Network& net,
   const std::size_t n = net.n();
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
+  trace::Span span("baselines.dcnet_repetition", net);
   RepetitionOutput out;
   std::vector<Fld> pending = inputs;  // zero == already delivered / silent
   const std::vector<bool> no_jammers(n, false);
@@ -127,6 +132,7 @@ RepetitionOutput run_dcnet_with_repetition(net::Network& net,
       }
     }
   }
+  span.metric("attempts", static_cast<double>(out.attempts));
   out.costs = net.costs() - before;
   return out;
 }

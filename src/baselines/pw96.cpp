@@ -4,6 +4,7 @@
 
 #include "baselines/dcnet.hpp"
 #include "common/expect.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::baselines {
 
@@ -21,6 +22,7 @@ Pw96Output run_pw96_elimination(net::Network& net,
   const std::size_t n = net.n();
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
+  trace::Span span("baselines.pw96_elimination", net);
   Pw96Output out;
 
   std::vector<bool> eliminated(n, false);
@@ -45,6 +47,7 @@ Pw96Output run_pw96_elimination(net::Network& net,
       while (scapegoat < n && (net.is_corrupt(scapegoat) ||
                                eliminated[scapegoat]))
         ++scapegoat;
+      trace::Span investigation("pw96.investigation");
       for (std::size_t r = 0; r + 2 < kPw96RoundsPerInvestigation; ++r) {
         net.begin_round();
         net.broadcast(scapegoat, {Fld::from_u64(*c + 1)});
@@ -65,6 +68,11 @@ Pw96Output run_pw96_elimination(net::Network& net,
       break;
     }
   }
+  span.metric("attempts", static_cast<double>(out.attempts));
+  span.metric("disrupted_attempts",
+              static_cast<double>(out.disrupted_attempts));
+  span.metric("parties_eliminated",
+              static_cast<double>(out.parties_eliminated));
   out.costs = net.costs() - before;
   return out;
 }
@@ -74,6 +82,7 @@ Pw96Output run_pw96(net::Network& net, const std::vector<Fld>& inputs,
   const std::size_t n = net.n();
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
+  trace::Span span("baselines.pw96", net);
   Pw96Output out;
 
   // Burnable corrupt-honest pairs: the adversary spends them one disruption
@@ -109,6 +118,7 @@ Pw96Output run_pw96(net::Network& net, const std::vector<Fld>& inputs,
       std::vector<bool> jammers(n, false);
       jammers[c] = true;
       run_dcnet(net, slots, inputs, jammers);  // 2 rounds (setup + send)
+      trace::Span investigation("pw96.investigation");
       for (std::size_t r = 0; r + 2 < kPw96RoundsPerInvestigation; ++r) {
         net.begin_round();
         // Complaint / key-opening / verdict traffic uses broadcast — the
@@ -141,6 +151,10 @@ Pw96Output run_pw96(net::Network& net, const std::vector<Fld>& inputs,
       break;
     }
   }
+  span.metric("attempts", static_cast<double>(out.attempts));
+  span.metric("disrupted_attempts",
+              static_cast<double>(out.disrupted_attempts));
+  span.metric("pairs_burned", static_cast<double>(out.pairs_burned));
   out.costs = net.costs() - before;
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "baselines/dcnet.hpp"
 #include "common/expect.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::baselines {
 
@@ -28,6 +29,8 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
   GFOR14_EXPECTS(inputs.size() == n);
   GFOR14_EXPECTS(k >= 2 && k <= n);
   const auto before = net.cost_snapshot();
+  trace::Span span("baselines.vabh03", net);
+  span.metric("k", static_cast<double>(k));
   Vabh03Output out;
 
   const std::size_t slots = vabh03_slots_for_half(k);
@@ -81,6 +84,8 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
     }
     group_start += size;
   }
+  span.metric("groups", static_cast<double>(out.groups));
+  span.metric("lost", static_cast<double>(out.lost));
   out.costs = net.costs() - before;
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "common/trace.hpp"
 #include "math/permutation.hpp"
 
 namespace gfor14::baselines {
@@ -13,6 +14,7 @@ Zhang11Output run_zhang11(net::Network& net, vss::VssScheme& vss,
   const std::size_t n = net.n();
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
+  trace::Span span("baselines.zhang11", net);
 
   Zhang11Costs costs{vss.share_rounds()};
 
@@ -50,6 +52,8 @@ Zhang11Output run_zhang11(net::Network& net, vss::VssScheme& vss,
   // downstream consumer sees [Zha11]'s round bill.
   Zhang11Output out;
   out.modelled_rounds = costs.total();
+  trace::Span padding("zhang11.modelled_padding");
+  padding.metric("modelled_rounds", static_cast<double>(out.modelled_rounds));
   while ((net.costs() - before).rounds < out.modelled_rounds) {
     net.begin_round();
     net.end_round();

@@ -1,0 +1,72 @@
+#include "common/metrics.hpp"
+
+#include <fstream>
+
+namespace gfor14::metrics {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+json::Value Registry::to_json() const {
+  json::Value root = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, c] : counters_)
+    counters.set(name, static_cast<double>(c.value()));
+  root.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  root.set("gauges", std::move(gauges));
+
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, h] : histograms_) {
+    const Summary& s = h.summary();
+    json::Value o = json::Value::object();
+    o.set("count", s.count());
+    o.set("mean", s.mean());
+    o.set("stddev", s.stddev());
+    o.set("min", s.min());
+    o.set("max", s.max());
+    histograms.set(name, std::move(o));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << to_json().dump(2);
+  return out.good();
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c = Counter{};
+  for (auto& [name, g] : gauges_) g = Gauge{};
+  for (auto& [name, h] : histograms_) h = Histogram{};
+}
+
+}  // namespace gfor14::metrics

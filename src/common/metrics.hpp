@@ -1,0 +1,75 @@
+// Process-wide metrics registry: counters, gauges and Summary-backed
+// histograms, addressable by dotted names ("net.rounds", "anonchan.runs"),
+// with a JSON exporter.
+//
+// Where the trace layer (trace.hpp) answers "where did THIS run spend its
+// rounds and elements", the registry answers "what has this process done in
+// aggregate" — across networks, protocols and repetitions — which is what
+// the bench harness and the CLI's --metrics flag report. Handles returned
+// by the registry are stable for the process lifetime, so hot paths can
+// cache them and pay one integer add per event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace gfor14::metrics {
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { value_ += d; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Distribution metric backed by the Welford Summary of stats.hpp.
+class Histogram {
+ public:
+  void observe(double v) { summary_.add(v); }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  Summary summary_;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Lookup-or-create; the returned reference never moves.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.
+  json::Value to_json() const;
+  /// Pretty-printed to_json(); false when the file cannot be written.
+  bool write_json(const std::string& path) const;
+
+  /// Zeroes everything registered so far (tests, per-experiment scoping).
+  void reset();
+
+ private:
+  Registry() = default;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace gfor14::metrics

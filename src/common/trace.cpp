@@ -1,0 +1,160 @@
+#include "common/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/expect.hpp"
+
+namespace gfor14::trace {
+
+const SpanNode* SpanNode::child(std::string_view child_name) const {
+  for (const auto& c : children)
+    if (c->name == child_name) return c.get();
+  return nullptr;
+}
+
+net::CostReport SpanNode::children_costs() const {
+  net::CostReport sum;
+  for (const auto& c : children) {
+    sum.rounds += c->costs.rounds;
+    sum.broadcast_rounds += c->costs.broadcast_rounds;
+    sum.broadcast_invocations += c->costs.broadcast_invocations;
+    sum.p2p_messages += c->costs.p2p_messages;
+    sum.p2p_elements += c->costs.p2p_elements;
+    sum.broadcast_elements += c->costs.broadcast_elements;
+  }
+  return sum;
+}
+
+json::Value cost_to_json(const net::CostReport& c) {
+  json::Value o = json::Value::object();
+  o.set("rounds", c.rounds);
+  o.set("broadcast_rounds", c.broadcast_rounds);
+  o.set("broadcast_invocations", c.broadcast_invocations);
+  o.set("p2p_messages", c.p2p_messages);
+  o.set("p2p_elements", c.p2p_elements);
+  o.set("broadcast_elements", c.broadcast_elements);
+  return o;
+}
+
+json::Value SpanNode::to_json() const {
+  json::Value o = json::Value::object();
+  o.set("name", name);
+  o.set("wall_us", wall_us);
+  o.set("costs", cost_to_json(costs));
+  if (!metrics.empty()) {
+    json::Value m = json::Value::object();
+    for (const auto& [k, v] : metrics) m.set(k, v);
+    o.set("metrics", std::move(m));
+  }
+  if (!children.empty()) {
+    json::Value kids = json::Value::array();
+    for (const auto& c : children) kids.push_back(c->to_json());
+    o.set("children", std::move(kids));
+  }
+  return o;
+}
+
+struct Tracer::Sink {
+  std::ofstream out;
+};
+
+Tracer::Tracer() {
+  if (const char* env = std::getenv("GFOR14_TRACE"); env && *env) {
+    enabled_ = true;
+    const std::string value(env);
+    if (value != "1" && value != "on") set_sink_path(value);
+  }
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::set_sink_path(const std::string& path) {
+  if (path.empty()) {
+    sink_.reset();
+    return true;
+  }
+  auto sink = std::make_unique<Sink>();
+  sink->out.open(path, std::ios::out | std::ios::trunc);
+  if (!sink->out.is_open()) return false;
+  sink_ = std::move(sink);
+  return true;
+}
+
+void Tracer::reset() { roots_.clear(); }
+
+void Span::open(std::string_view name, const net::Network* net) {
+  Tracer& tr = Tracer::instance();
+  if (!tr.enabled()) return;
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(name);
+  node_ = node.get();
+  tr.pending_.push_back(std::move(node));
+  tr.open_.push_back(node_);
+  if (net) {
+    bound_net_ = true;
+    prev_net_ = tr.current_net_;
+    tr.current_net_ = net;
+  }
+  if (tr.current_net_) start_costs_ = tr.current_net_->costs();
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(std::string_view name) { open(name, nullptr); }
+
+Span::Span(std::string_view name, const net::Network& net) {
+  open(name, &net);
+}
+
+void Span::metric(std::string_view key, double value) {
+  if (node_) node_->metrics.emplace_back(std::string(key), value);
+}
+
+Span::~Span() {
+  if (!node_) return;
+  Tracer& tr = Tracer::instance();
+  // Spans close in strict LIFO order (they are scoped objects).
+  GFOR14_EXPECTS(!tr.open_.empty() && tr.open_.back() == node_);
+  node_->wall_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  if (tr.current_net_) node_->costs = tr.current_net_->costs() - start_costs_;
+
+  if (tr.sink_) {
+    // Streamed JSONL record: path from the open stack, flat costs.
+    std::string path;
+    for (const SpanNode* s : tr.open_) {
+      if (!path.empty()) path.push_back('/');
+      path += s->name;
+    }
+    json::Value line = json::Value::object();
+    line.set("span", std::move(path));
+    line.set("wall_us", node_->wall_us);
+    line.set("costs", cost_to_json(node_->costs));
+    if (!node_->metrics.empty()) {
+      json::Value m = json::Value::object();
+      for (const auto& [k, v] : node_->metrics) m.set(k, v);
+      line.set("metrics", std::move(m));
+    }
+    tr.sink_->out << line.dump() << '\n';
+    tr.sink_->out.flush();
+  }
+
+  tr.open_.pop_back();
+  auto owned = std::move(tr.pending_.back());
+  tr.pending_.pop_back();
+  if (tr.open_.empty())
+    tr.roots_.push_back(std::move(owned));
+  else
+    tr.open_.back()->children.push_back(std::move(owned));
+
+  if (bound_net_) tr.current_net_ = prev_net_;
+}
+
+}  // namespace gfor14::trace

@@ -1,0 +1,116 @@
+// Structured tracing for protocol executions.
+//
+// A Span is an RAII handle for a named, nestable protocol phase. While a
+// span is open, every resource the bound network spends — rounds, broadcast
+// rounds/invocations, p2p and broadcast field elements — is attributed to
+// it; on close the span records the CostReport delta plus wall-clock time
+// and attaches itself to the enclosing span, building an in-memory trace
+// tree per top-level protocol run. Phases that tile a run therefore sum
+// exactly to the run's total CostReport, which is what lets EXPERIMENTS.md
+// claims be decomposed per phase (sharing vs cut-and-choose vs delivery)
+// instead of reported as one opaque aggregate.
+//
+// Tracing is off by default and spans then cost one branch. Enable it
+// programmatically (Tracer::instance().set_enabled(true)), via the
+// GFOR14_TRACE environment variable (value "1" enables the in-memory tree;
+// any other value is a JSONL sink path — one JSON line per closed span),
+// or with the CLI's --trace flag.
+//
+// The simulator is single-threaded; so is the tracer.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "net/network.hpp"
+
+namespace gfor14::trace {
+
+/// One completed phase: its cost delta, wall time, numeric annotations and
+/// sub-phases.
+struct SpanNode {
+  std::string name;
+  net::CostReport costs;  ///< resources spent while the span was open
+  double wall_us = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  /// First direct child with the given name; nullptr when absent.
+  const SpanNode* child(std::string_view child_name) const;
+  /// Sum of the direct children's cost deltas (attribution checks).
+  net::CostReport children_costs() const;
+  json::Value to_json() const;
+};
+
+json::Value cost_to_json(const net::CostReport& c);
+
+class Span;
+
+class Tracer {
+ public:
+  /// Process-wide tracer. First access consults GFOR14_TRACE (see header
+  /// comment).
+  static Tracer& instance();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// JSONL sink: one line per closed span. Empty path closes the sink.
+  /// Returns false when the file cannot be opened.
+  bool set_sink_path(const std::string& path);
+
+  /// Drops all finished trace trees (open spans are unaffected).
+  void reset();
+
+  /// Finished top-level trace trees, in completion order.
+  const std::vector<std::unique_ptr<SpanNode>>& roots() const { return roots_; }
+  /// Most recently finished top-level tree; nullptr when none.
+  const SpanNode* last_root() const {
+    return roots_.empty() ? nullptr : roots_.back().get();
+  }
+
+ private:
+  friend class Span;
+  Tracer();
+  ~Tracer();
+
+  bool enabled_ = false;
+  const net::Network* current_net_ = nullptr;
+  std::vector<SpanNode*> open_;  ///< stack of open spans (owned below)
+  std::vector<std::unique_ptr<SpanNode>> pending_;  ///< open nodes, stack order
+  std::vector<std::unique_ptr<SpanNode>> roots_;
+  struct Sink;
+  std::unique_ptr<Sink> sink_;
+};
+
+/// RAII phase marker. The two-argument form additionally binds `net` as the
+/// cost source for this span and (by inheritance) its children — the root
+/// span of a protocol run binds the network it executes on, and nested
+/// phases just name themselves.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  Span(std::string_view name, const net::Network& net);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric annotation (parameters, outcome counts, ...).
+  void metric(std::string_view key, double value);
+
+ private:
+  void open(std::string_view name, const net::Network* net);
+
+  SpanNode* node_ = nullptr;  ///< null when tracing is disabled
+  bool bound_net_ = false;
+  const net::Network* prev_net_ = nullptr;
+  net::CostReport start_costs_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace gfor14::trace

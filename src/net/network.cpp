@@ -1,8 +1,20 @@
 #include "net/network.hpp"
 
+#include "common/metrics.hpp"
+
 namespace gfor14::net {
 
 CostReport CostReport::operator-(const CostReport& o) const {
+  // Counters are monotone at round boundaries, so a snapshot delta can
+  // never be negative; an underflowing subtraction means the operands were
+  // swapped or taken from different networks. Guard every field rather than
+  // silently wrapping to ~2^64.
+  GFOR14_EXPECTS(rounds >= o.rounds);
+  GFOR14_EXPECTS(broadcast_rounds >= o.broadcast_rounds);
+  GFOR14_EXPECTS(broadcast_invocations >= o.broadcast_invocations);
+  GFOR14_EXPECTS(p2p_messages >= o.p2p_messages);
+  GFOR14_EXPECTS(p2p_elements >= o.p2p_elements);
+  GFOR14_EXPECTS(broadcast_elements >= o.broadcast_elements);
   CostReport r;
   r.rounds = rounds - o.rounds;
   r.broadcast_rounds = broadcast_rounds - o.broadcast_rounds;
@@ -19,7 +31,10 @@ void RoundTraffic::reset(std::size_t n) {
 }
 
 Network::Network(std::size_t n, std::uint64_t seed)
-    : n_(n), corrupt_(n, false), adv_rng_(seed ^ 0xADE5A11ULL) {
+    : n_(n),
+      corrupt_(n, false),
+      adv_rng_(seed ^ 0xADE5A11ULL),
+      party_costs_(n) {
   GFOR14_EXPECTS(n >= 2);
   Rng root(seed);
   party_rng_.reserve(n);
@@ -60,6 +75,7 @@ void Network::begin_round() {
   in_round_ = true;
   in_adversary_turn_ = false;
   round_used_broadcast_ = false;
+  round_start_costs_ = costs_;
   pending_.reset(n_);
 }
 
@@ -68,6 +84,9 @@ void Network::send(PartyId from, PartyId to, Payload payload) {
   GFOR14_EXPECTS(from < n_ && to < n_);
   costs_.p2p_messages += 1;
   costs_.p2p_elements += payload.size();
+  party_costs_[from].p2p_messages_sent += 1;
+  party_costs_[from].p2p_elements_sent += payload.size();
+  party_costs_[to].p2p_elements_received += payload.size();
   pending_.p2p[to][from].push_back(std::move(payload));
 }
 
@@ -76,6 +95,8 @@ void Network::broadcast(PartyId from, Payload payload) {
   GFOR14_EXPECTS(from < n_);
   costs_.broadcast_invocations += 1;
   costs_.broadcast_elements += payload.size();
+  party_costs_[from].broadcast_invocations += 1;
+  party_costs_[from].broadcast_elements += payload.size();
   round_used_broadcast_ = true;
   pending_.bcast[from].push_back(std::move(payload));
 }
@@ -92,6 +113,34 @@ void Network::end_round() {
   if (round_used_broadcast_) costs_.broadcast_rounds += 1;
   delivered_ = std::move(pending_);
   pending_.reset(n_);
+
+  const CostReport round_delta = costs_ - round_start_costs_;
+  // Process-wide aggregates; one map-free pointer add per field per round.
+  static metrics::Counter* const kRounds =
+      &metrics::Registry::instance().counter("net.rounds");
+  static metrics::Counter* const kBroadcastRounds =
+      &metrics::Registry::instance().counter("net.broadcast_rounds");
+  static metrics::Counter* const kBroadcastInvocations =
+      &metrics::Registry::instance().counter("net.broadcast_invocations");
+  static metrics::Counter* const kP2pMessages =
+      &metrics::Registry::instance().counter("net.p2p_messages");
+  static metrics::Counter* const kP2pElements =
+      &metrics::Registry::instance().counter("net.p2p_elements");
+  static metrics::Counter* const kBroadcastElements =
+      &metrics::Registry::instance().counter("net.broadcast_elements");
+  kRounds->add(round_delta.rounds);
+  kBroadcastRounds->add(round_delta.broadcast_rounds);
+  kBroadcastInvocations->add(round_delta.broadcast_invocations);
+  kP2pMessages->add(round_delta.p2p_messages);
+  kP2pElements->add(round_delta.p2p_elements);
+  kBroadcastElements->add(round_delta.broadcast_elements);
+
+  if (round_hook_) round_hook_(*this, round_delta);
+}
+
+const PartyCosts& Network::party_costs(PartyId p) const {
+  GFOR14_EXPECTS(p < n_);
+  return party_costs_[p];
 }
 
 std::vector<std::pair<PartyId, Payload>> Network::pending_to_corrupt(
@@ -127,10 +176,20 @@ void Network::replace_pending(PartyId from, PartyId to,
   GFOR14_EXPECTS(is_corrupt(from));
   auto& slot = pending_.p2p[to][from];
   // Adjust element accounting to reflect the substituted traffic.
-  for (const auto& p : slot) costs_.p2p_elements -= p.size();
-  for (const auto& p : payloads) costs_.p2p_elements += p.size();
-  if (payloads.size() > slot.size())
+  for (const auto& p : slot) {
+    costs_.p2p_elements -= p.size();
+    party_costs_[from].p2p_elements_sent -= p.size();
+    party_costs_[to].p2p_elements_received -= p.size();
+  }
+  for (const auto& p : payloads) {
+    costs_.p2p_elements += p.size();
+    party_costs_[from].p2p_elements_sent += p.size();
+    party_costs_[to].p2p_elements_received += p.size();
+  }
+  if (payloads.size() > slot.size()) {
     costs_.p2p_messages += payloads.size() - slot.size();
+    party_costs_[from].p2p_messages_sent += payloads.size() - slot.size();
+  }
   slot = std::move(payloads);
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,7 +43,21 @@ struct CostReport {
   std::size_t p2p_elements = 0;
   std::size_t broadcast_elements = 0;
 
+  /// Differential accounting between two snapshots of the SAME network,
+  /// taken at round boundaries (where counters are monotone). Subtracting a
+  /// later snapshot from an earlier one is a caller bug and throws.
   CostReport operator-(const CostReport& o) const;
+};
+
+/// Per-party slice of the cost accounting: what each party put on (and,
+/// for p2p, received from) the channels. Aggregated over the network's
+/// lifetime; element sums across parties equal the CostReport totals.
+struct PartyCosts {
+  std::size_t p2p_messages_sent = 0;
+  std::size_t p2p_elements_sent = 0;
+  std::size_t p2p_elements_received = 0;
+  std::size_t broadcast_invocations = 0;
+  std::size_t broadcast_elements = 0;
 };
 
 /// Traffic delivered at the end of one round.
@@ -119,6 +134,18 @@ class Network {
   /// Snapshot for differential accounting of a protocol segment.
   CostReport cost_snapshot() const { return costs_; }
 
+  /// Per-party cost attribution (see PartyCosts).
+  const PartyCosts& party_costs(PartyId p) const;
+  const std::vector<PartyCosts>& all_party_costs() const {
+    return party_costs_;
+  }
+
+  /// Observer called by end_round() after delivery, with this round's
+  /// CostReport delta — the per-round hook the trace/metrics layer and
+  /// ad-hoc diagnostics attach to. One hook at a time; empty clears it.
+  using RoundHook = std::function<void(const Network&, const CostReport&)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
  private:
   std::size_t n_;
   std::vector<bool> corrupt_;
@@ -132,6 +159,9 @@ class Network {
   RoundTraffic delivered_;
   bool round_used_broadcast_ = false;
   CostReport costs_;
+  CostReport round_start_costs_;
+  std::vector<PartyCosts> party_costs_;
+  RoundHook round_hook_;
 };
 
 }  // namespace gfor14::net

@@ -1,6 +1,8 @@
 #include "pseudosig/broadcast_sim.hpp"
 
 #include "common/expect.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::pseudosig {
 
@@ -16,12 +18,15 @@ BroadcastSimulator::BroadcastSimulator(net::Network& net,
 void BroadcastSimulator::setup() {
   GFOR14_EXPECTS(schemes_.empty());
   const auto before = net_.cost_snapshot();
+  trace::Span span("pseudosig.setup", net_);
+  span.metric("signers", static_cast<double>(net_.n()));
   anonchan::AnonChan chan(net_, *vss_, chan_params_);
   // All n signer setups in ONE parallel AnonChan execution: the whole
   // setup phase is constant-round (and, with GGOR13, uses the broadcast
   // channel in exactly 2 rounds total).
   schemes_ = PseudosigScheme::setup_all(net_, chan, ps_);
   setup_costs_ = net_.costs() - before;
+  metrics::Registry::instance().counter("pseudosig.setups").add(1);
 }
 
 DsResult BroadcastSimulator::run(net::PartyId sender, Msg v1, Msg v2,
@@ -29,10 +34,13 @@ DsResult BroadcastSimulator::run(net::PartyId sender, Msg v1, Msg v2,
   GFOR14_EXPECTS(ready());
   GFOR14_EXPECTS(next_slot_ < ps_.slots);
   const std::size_t t = net_.max_t_half();
+  trace::Span span("pseudosig.dolev_strong", net_);
+  span.metric("sender", static_cast<double>(sender));
   const auto bc_before = net_.costs().broadcast_invocations;
   auto result = dolev_strong_broadcast(net_, schemes_, sender, v1, v2,
                                        next_slot_++, t, behaviour);
   main_broadcasts_ += net_.costs().broadcast_invocations - bc_before;
+  metrics::Registry::instance().counter("pseudosig.broadcasts").add(1);
   return result;
 }
 

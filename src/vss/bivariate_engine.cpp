@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/trace.hpp"
 #include "math/berlekamp_welch.hpp"
 
 namespace gfor14::vss {
@@ -228,6 +229,11 @@ ShareResult BivariateEngine::share_all(
   const std::size_t n = net_.n();
   const std::size_t t = profile_.t;
   GFOR14_EXPECTS(batches.size() == n);
+
+  trace::Span span("vss.share_all", net_);
+  std::size_t total_secrets = 0;
+  for (const auto& b : batches) total_secrets += b.size();
+  span.metric("secrets", static_cast<double>(total_secrets));
 
   ShareCtx ctx;
   ctx.batches = &batches;
@@ -651,6 +657,8 @@ std::vector<Fld> BivariateEngine::decode_received(
 std::vector<Fld> BivariateEngine::reconstruct_public(
     const std::vector<LinComb>& values) {
   const std::size_t n = net_.n();
+  trace::Span span("vss.reconstruct_public", net_);
+  span.metric("values", static_cast<double>(values.size()));
   net_.begin_round();
   for (net::PartyId i = 0; i < n; ++i) {
     net::Payload payload(values.size());
@@ -690,6 +698,8 @@ std::vector<Fld> BivariateEngine::reconstruct_private(
 std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
     const std::vector<PrivateRequest>& requests) {
   const std::size_t n = net_.n();
+  trace::Span span("vss.reconstruct_private", net_);
+  span.metric("requests", static_cast<double>(requests.size()));
   net_.begin_round();
   for (const auto& req : requests) {
     GFOR14_EXPECTS(req.receiver < n);

@@ -2,8 +2,10 @@
 // adversary semantics.
 #include <gtest/gtest.h>
 
+#include "anonchan/anonchan.hpp"
 #include "net/adversary.hpp"
 #include "net/network.hpp"
+#include "vss/schemes.hpp"
 
 namespace gfor14::net {
 namespace {
@@ -86,6 +88,116 @@ TEST(Network, CostReportDifference) {
   EXPECT_EQ(delta.p2p_messages, 1u);
   EXPECT_EQ(delta.p2p_elements, 2u);
   EXPECT_EQ(delta.broadcast_invocations, 1u);
+}
+
+TEST(Network, CostReportDifferenceGuardsUnderflow) {
+  Network net(2, 1);
+  const CostReport before = net.cost_snapshot();
+  net.begin_round();
+  net.send(0, 1, pay({1}));
+  net.broadcast(0, pay({2}));
+  net.end_round();
+  const CostReport after = net.cost_snapshot();
+  // Subtracting a LATER snapshot from an earlier one is a caller bug —
+  // every counter field must be guarded, not silently wrapped to ~2^64.
+  EXPECT_THROW(before - after, ContractViolation);
+  // The correct orientation still works, and a report minus itself is zero.
+  const CostReport zero = after - after;
+  EXPECT_EQ(zero.rounds, 0u);
+  EXPECT_EQ(zero.p2p_elements, 0u);
+  // Mixed-field underflow (one field smaller, others equal) also throws.
+  CostReport tweaked = after;
+  tweaked.broadcast_elements += 1;
+  EXPECT_THROW(after - tweaked, ContractViolation);
+}
+
+TEST(Network, PerPartyCostAttribution) {
+  Network net(3, 1);
+  net.begin_round();
+  net.send(0, 1, pay({1, 2, 3}));
+  net.send(0, 2, pay({4}));
+  net.broadcast(1, pay({5, 6}));
+  net.end_round();
+  const PartyCosts& p0 = net.party_costs(0);
+  EXPECT_EQ(p0.p2p_messages_sent, 2u);
+  EXPECT_EQ(p0.p2p_elements_sent, 4u);
+  EXPECT_EQ(p0.p2p_elements_received, 0u);
+  const PartyCosts& p1 = net.party_costs(1);
+  EXPECT_EQ(p1.p2p_elements_received, 3u);
+  EXPECT_EQ(p1.broadcast_invocations, 1u);
+  EXPECT_EQ(p1.broadcast_elements, 2u);
+  // Per-party sends sum to the network totals.
+  std::size_t sent = 0, received = 0;
+  for (const auto& pc : net.all_party_costs()) {
+    sent += pc.p2p_elements_sent;
+    received += pc.p2p_elements_received;
+  }
+  EXPECT_EQ(sent, net.costs().p2p_elements);
+  EXPECT_EQ(received, net.costs().p2p_elements);
+}
+
+TEST(Network, PerPartyCostsTrackReplacedTraffic) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  // The adversary swaps corrupt party 0's 3-element payload for 1 element.
+  auto adv = std::make_shared<CallbackAdversary>([](Network& n) {
+    n.replace_pending(0, 1, {Payload{Fld::from_u64(9)}});
+  });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(0, 1, pay({1, 2, 3}));
+  net.end_round();
+  EXPECT_EQ(net.party_costs(0).p2p_elements_sent, 1u);
+  EXPECT_EQ(net.party_costs(1).p2p_elements_received, 1u);
+  EXPECT_EQ(net.costs().p2p_elements, 1u);
+}
+
+TEST(Network, RoundHookReceivesPerRoundDeltas) {
+  Network net(3, 1);
+  std::vector<CostReport> deltas;
+  net.set_round_hook([&](const Network& n, const CostReport& d) {
+    EXPECT_EQ(n.n(), 3u);
+    deltas.push_back(d);
+  });
+  net.begin_round();
+  net.send(0, 1, pay({1, 2}));
+  net.end_round();
+  net.begin_round();
+  net.broadcast(2, pay({3}));
+  net.end_round();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].rounds, 1u);
+  EXPECT_EQ(deltas[0].p2p_elements, 2u);
+  EXPECT_EQ(deltas[0].broadcast_invocations, 0u);
+  EXPECT_EQ(deltas[1].broadcast_rounds, 1u);
+  EXPECT_EQ(deltas[1].broadcast_elements, 1u);
+  net.set_round_hook({});
+  net.begin_round();
+  net.end_round();
+  EXPECT_EQ(deltas.size(), 2u);  // cleared hook no longer fires
+}
+
+// Regression: the recorded adversary view of a full AnonChan run must be
+// bit-identical across two identically-seeded executions. The replay-based
+// privacy tests depend on this determinism; any hidden nondeterminism
+// (iteration order, uninitialized reads, global RNG use) breaks it.
+TEST(Network, RecordingAdversaryTranscriptIsDeterministic) {
+  auto transcript = [] {
+    Network net(4, 777);
+    net.corrupt_first(1);
+    auto adv = std::make_shared<RecordingAdversary>();
+    net.attach_adversary(adv);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::light(4));
+    std::vector<Fld> inputs;
+    for (std::size_t i = 0; i < 4; ++i) inputs.push_back(Fld::from_u64(i + 1));
+    chan.run(2, inputs);
+    return adv->flat_transcript();
+  };
+  const auto first = transcript();
+  const auto second = transcript();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(Network, CorruptionBookkeeping) {
