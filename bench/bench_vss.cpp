@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_json.hpp"
+#include "ff/kernel.hpp"
 #include "vss/packed.hpp"
 #include "vss/schemes.hpp"
 
@@ -20,6 +21,8 @@ void print_profiles() {
       "VSS substrate profiles: per-scheme sharing rounds and broadcast "
       "rounds (the r_VSS AnonChan inherits); packed sharing saves a factor "
       "~k for vector payloads");
+  // Which clmul kernel produced these numbers (E8 dispatch column).
+  artifact.param("ff_kernel", std::string(ff::active_kernel_name()));
   std::printf("=== VSS scheme profiles (sharing phase) ===\n");
   std::printf("%-8s %10s %12s %10s %10s\n", "scheme", "rounds", "bc-rounds",
               "max t", "recon");

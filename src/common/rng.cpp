@@ -6,6 +6,15 @@ namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/// splitmix64 finalizer — a 64-bit bijection with full avalanche.
+constexpr std::uint64_t mix64(std::uint64_t w) {
+  w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  w = (w ^ (w >> 27)) * 0x94d049bb133111ebULL;
+  return w ^ (w >> 31);
+}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -47,11 +56,31 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 bool Rng::next_bool() { return (next_u64() & 1) != 0; }
 
 Rng Rng::fork(std::uint64_t stream) {
-  // Derive an independent generator: hash the current state with the stream
-  // id through one splitmix64 step each. Advances this generator once so
-  // repeated forks with the same id differ.
-  std::uint64_t mix = next_u64() ^ (0x632be59bd9b4e019ULL * (stream + 1));
-  return Rng(mix);
+  // Derive an independent generator from the FULL 256-bit parent state plus
+  // the stream id. The previous implementation compressed everything into a
+  // single 64-bit splitmix seed, so two forks (from any parents, any stream
+  // ids) collided whenever their 64-bit seeds did — a birthday bound of
+  // ~2^32 derived generators, within reach of large parameter sweeps. Here
+  // each child word i mixes (a) a digest absorbing all four parent words
+  // and the stream id, and (b) the corresponding parent word directly, so a
+  // child-state collision requires a coincidence across the whole 256-bit
+  // state. The parent advances once so repeated forks with the same id
+  // differ, matching the old contract. (Child streams changed relative to
+  // the seed version; per-seed determinism is preserved.)
+  std::uint64_t digest = stream;
+  for (std::uint64_t word : state_) digest = mix64(digest + kGolden + word);
+  Rng child(0);
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    child.state_[i] =
+        mix64(digest + kGolden * (i + 1)) ^ mix64(state_[i] + stream);
+  }
+  // xoshiro256** requires a nonzero state; the all-zero corner is a ~2^-256
+  // accident but costs one branch to rule out entirely.
+  if ((child.state_[0] | child.state_[1] | child.state_[2] |
+       child.state_[3]) == 0)
+    child.state_[0] = kGolden;
+  next_u64();
+  return child;
 }
 
 std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t k,

@@ -31,6 +31,11 @@ class Rng {
   bool next_bool();
 
   /// Derives an independent generator keyed by `stream`; advances this one.
+  /// The child state is derived from the full 256-bit parent state (not a
+  /// 64-bit compression of it), so distinct (parent, stream) pairs collide
+  /// only with ~2^-256 probability rather than the 2^-64/birthday-2^32 of a
+  /// single-word seed. Deterministic per (seed, fork sequence); the derived
+  /// streams differ from pre-fix versions of this library.
   Rng fork(std::uint64_t stream);
 
   // UniformRandomBitGenerator interface, so <random>/std::shuffle work too.

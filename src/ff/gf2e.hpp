@@ -9,27 +9,36 @@
 //
 // Representation: polynomial basis modulo a fixed irreducible polynomial
 // (low-weight trinomials/pentanomials; the 128-bit field uses the GCM
-// polynomial). Addition is XOR; multiplication is software carry-less
-// multiplication followed by modular reduction; inversion is Fermat
-// (a^(2^k - 2)) — no timing side channels matter in a simulator, only
-// correctness and determinism.
+// polynomial). Addition is XOR; multiplication is a carry-less multiply
+// (dispatched at runtime between PCLMULQDQ/PMULL hardware and a windowed
+// software path — see ff/kernel.hpp) followed by modular reduction, except
+// for GF(2^8)/GF(2^16) which use constexpr exp/log tables; inversion is
+// Fermat (a^(2^k - 2)), or one table lookup for the small fields — no
+// timing side channels matter in a simulator, only correctness and
+// determinism.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "common/expect.hpp"
 #include "common/rng.hpp"
+#include "ff/gf2e_tables.hpp"
+#include "ff/kernel.hpp"
 
 namespace gfor14 {
 
 namespace detail {
 
 /// Carry-less (GF(2)[x]) product of two 64-bit polynomials; 128-bit result.
+/// The original bit-at-a-time loop, kept ONLY as the differential-test
+/// oracle — production multiplies go through ff::clmul64 (kernel dispatch).
 inline unsigned __int128 clmul64(std::uint64_t a, std::uint64_t b) {
   unsigned __int128 acc = 0;
   while (b != 0) {
@@ -124,13 +133,22 @@ class GF2E {
   GF2E& operator-=(GF2E o) { return *this = *this - o; }
 
   friend GF2E operator*(GF2E a, GF2E b) {
-    if constexpr (Bits <= 64) {
-      unsigned __int128 p = detail::clmul64(a.limbs_[0], b.limbs_[0]);
+    if constexpr (Bits <= 16) {
+      // Whole-group exp/log tables: three lookups, no reduction.
+      if (a.is_zero() || b.is_zero()) return GF2E{};
+      const auto& t = ff::gf2_small_tables<Bits>();
       GF2E r;
-      r.limbs_[0] = reduce_small(p);
+      r.limbs_[0] = t.exp[static_cast<std::uint32_t>(t.log[a.limbs_[0]]) +
+                          t.log[b.limbs_[0]]];
+      return r;
+    } else if constexpr (Bits <= 64) {
+      GF2E r;
+      r.limbs_[0] = reduce_small(ff::clmul64(a.limbs_[0], b.limbs_[0]));
       return r;
     } else {
-      return mul128(a, b);
+      Wide acc{};
+      mul_acc_wide(a, b, acc);
+      return reduce_wide(acc);
     }
   }
   GF2E& operator*=(GF2E o) { return *this = *this * o; }
@@ -138,16 +156,24 @@ class GF2E {
   /// Multiplicative inverse; requires non-zero.
   GF2E inverse() const {
     GFOR14_EXPECTS(!is_zero());
-    // Fermat: a^(2^Bits - 2) = a^(111...10_2), square-and-multiply.
-    GF2E result = one();
-    GF2E base = *this;
-    // Exponent bits: bit 0 is 0, bits 1..Bits-1 are 1.
-    base = base * base;  // now base = a^2, aligned with exponent bit 1
-    for (unsigned i = 1; i < Bits; ++i) {
-      result = result * base;
-      base = base * base;
+    if constexpr (Bits <= 16) {
+      const auto& t = ff::gf2_small_tables<Bits>();
+      GF2E r;
+      r.limbs_[0] =
+          t.exp[ff::Gf2SmallTables<Bits>::kOrder - t.log[limbs_[0]]];
+      return r;
+    } else {
+      // Fermat: a^(2^Bits - 2) = a^(111...10_2), square-and-multiply.
+      GF2E result = one();
+      GF2E base = *this;
+      // Exponent bits: bit 0 is 0, bits 1..Bits-1 are 1.
+      base = base * base;  // now base = a^2, aligned with exponent bit 1
+      for (unsigned i = 1; i < Bits; ++i) {
+        result = result * base;
+        base = base * base;
+      }
+      return result;
     }
-    return result;
   }
 
   friend GF2E operator/(GF2E a, GF2E b) { return a * b.inverse(); }
@@ -181,52 +207,100 @@ class GF2E {
       out.push_back(static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8)));
   }
 
+  /// Inverse of serialize(): strict — `bytes` must be exactly byte_size()
+  /// little-endian bytes, and any bits beyond the field width must be zero
+  /// (vacuously true for the supported sizes, whose width is a whole number
+  /// of bytes; the check stays as a guard for future field widths).
+  static std::optional<GF2E> deserialize(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() != byte_size()) return std::nullopt;
+    GF2E r;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+      r.limbs_[i / 8] |= static_cast<std::uint64_t>(bytes[i]) << ((i % 8) * 8);
+    if constexpr (Bits % 64 != 0) {
+      if ((r.limbs_[kLimbs - 1] >> (Bits % 64)) != 0) return std::nullopt;
+    }
+    return r;
+  }
+
+  // --- Lazily-reduced product accumulation (span kernels, ff/ops.hpp) -----
+  // An inner product over the field can XOR-accumulate raw carry-less
+  // products and reduce ONCE, instead of reducing every term: addition is
+  // XOR, and reduction is GF(2)-linear.
+
+  /// Unreduced product accumulator: twice the limbs of an element.
+  using Wide = std::array<std::uint64_t, 2 * kLimbs>;
+
+  /// acc ^= a * b, unreduced (schoolbook carry-less multiply over limbs).
+  static void mul_acc_wide(const GF2E& a, const GF2E& b, Wide& acc) {
+    if constexpr (Bits <= 64) {
+      const unsigned __int128 p = ff::clmul64(a.limbs_[0], b.limbs_[0]);
+      acc[0] ^= static_cast<std::uint64_t>(p);
+      acc[1] ^= static_cast<std::uint64_t>(p >> 64);
+    } else {
+      const auto xor_at = [&acc](unsigned limb, unsigned __int128 v) {
+        acc[limb] ^= static_cast<std::uint64_t>(v);
+        acc[limb + 1] ^= static_cast<std::uint64_t>(v >> 64);
+      };
+      xor_at(0, ff::clmul64(a.limbs_[0], b.limbs_[0]));
+      xor_at(1, ff::clmul64(a.limbs_[0], b.limbs_[1]));
+      xor_at(1, ff::clmul64(a.limbs_[1], b.limbs_[0]));
+      xor_at(2, ff::clmul64(a.limbs_[1], b.limbs_[1]));
+    }
+  }
+
+  /// Reduces an accumulated Wide value into the field.
+  static GF2E reduce_wide(const Wide& w) {
+    if constexpr (Bits <= 64) {
+      GF2E r;
+      r.limbs_[0] = reduce_small(
+          (static_cast<unsigned __int128>(w[1]) << 64) | w[0]);
+      return r;
+    } else {
+      // Fold the top 128 bits down twice: x^128 == 0x87 (GCM reduction).
+      // 0x87 has 4 set bits, so each fold is a few constant shift-XORs over
+      // the (lo, hi) limb pair — no clmul dispatch on the reduction path.
+      std::array<std::uint64_t, 4> p = w;
+      for (int round = 0; round < 2; ++round) {
+        const std::uint64_t lo = p[2];
+        const std::uint64_t hi = p[3];
+        if ((lo | hi) == 0) break;
+        p[2] = p[3] = 0;
+        for (std::uint64_t m = Gf2Modulus<Bits>::low; m != 0; m &= m - 1) {
+          const int s = __builtin_ctzll(m);
+          p[0] ^= lo << s;
+          p[1] ^= hi << s;
+          if (s != 0) {
+            p[1] ^= lo >> (64 - s);
+            p[2] ^= hi >> (64 - s);
+          }
+        }
+      }
+      GF2E r;
+      r.limbs_[0] = p[0];
+      r.limbs_[1] = p[1];
+      return r;
+    }
+  }
+
  private:
   static std::uint64_t reduce_small(unsigned __int128 p) {
     // Fold-based reduction modulo x^Bits + low: since x^Bits == low, the
-    // high part folds down via one carry-less multiply per round. The
-    // moduli are low-weight, so two folds always suffice.
+    // high part folds down by hi * low. The moduli are low-weight (4-5 set
+    // bits), so the fold is a handful of constant shift-XORs — the unrolled
+    // carry-less product by the constant, cheaper than any clmul dispatch.
+    // Two folds always suffice.
     constexpr std::uint64_t low = Gf2Modulus<Bits>::low;
     constexpr unsigned __int128 mask =
         Bits == 64 ? static_cast<unsigned __int128>(~0ULL)
                    : ((static_cast<unsigned __int128>(1) << Bits) - 1);
     while ((p >> Bits) != 0) {
-      const std::uint64_t hi = static_cast<std::uint64_t>(p >> Bits);
-      p = (p & mask) ^ detail::clmul64(hi, low);
+      const unsigned __int128 hi = p >> Bits;
+      unsigned __int128 fold = 0;
+      for (std::uint64_t m = low; m != 0; m &= m - 1)
+        fold ^= hi << __builtin_ctzll(m);
+      p = (p & mask) ^ fold;
     }
     return static_cast<std::uint64_t>(p);
-  }
-
-  static GF2E mul128(const GF2E& a, const GF2E& b) {
-    // Schoolbook over 64-bit limbs: 4 carry-less products -> 256-bit value.
-    std::array<std::uint64_t, 4> p{};
-    auto acc = [&p](unsigned limb, unsigned __int128 v) {
-      p[limb] ^= static_cast<std::uint64_t>(v);
-      p[limb + 1] ^= static_cast<std::uint64_t>(v >> 64);
-    };
-    acc(0, detail::clmul64(a.limbs_[0], b.limbs_[0]));
-    acc(1, detail::clmul64(a.limbs_[0], b.limbs_[1]));
-    acc(1, detail::clmul64(a.limbs_[1], b.limbs_[0]));
-    acc(2, detail::clmul64(a.limbs_[1], b.limbs_[1]));
-    // Fold the top 128 bits down twice: x^128 == 0x87 (GCM reduction).
-    for (int round = 0; round < 2; ++round) {
-      const unsigned __int128 hi =
-          (static_cast<unsigned __int128>(p[3]) << 64) | p[2];
-      p[2] = p[3] = 0;
-      if (hi == 0) break;
-      const unsigned __int128 f0 =
-          detail::clmul64(static_cast<std::uint64_t>(hi), 0x87);
-      const unsigned __int128 f1 =
-          detail::clmul64(static_cast<std::uint64_t>(hi >> 64), 0x87);
-      p[0] ^= static_cast<std::uint64_t>(f0);
-      p[1] ^= static_cast<std::uint64_t>(f0 >> 64);
-      p[1] ^= static_cast<std::uint64_t>(f1);
-      p[2] ^= static_cast<std::uint64_t>(f1 >> 64);
-    }
-    GF2E r;
-    r.limbs_[0] = p[0];
-    r.limbs_[1] = p[1];
-    return r;
   }
 
   std::array<std::uint64_t, kLimbs> limbs_{};

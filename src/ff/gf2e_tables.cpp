@@ -1,0 +1,70 @@
+#include "ff/gf2e_tables.hpp"
+
+#include "ff/gf2e.hpp"
+
+namespace gfor14::ff {
+
+namespace {
+
+/// Russian-peasant multiply modulo x^Bits + low (no tables; generation only).
+template <unsigned Bits>
+constexpr std::uint32_t mul_slow(std::uint32_t a, std::uint32_t b) {
+  constexpr std::uint32_t low = static_cast<std::uint32_t>(Gf2Modulus<Bits>::low);
+  constexpr std::uint32_t top = 1u << (Bits - 1);
+  constexpr std::uint32_t mask = (1u << Bits) - 1;
+  std::uint32_t acc = 0;
+  while (b != 0) {
+    if (b & 1) acc ^= a;
+    b >>= 1;
+    const bool carry = (a & top) != 0;
+    a = (a << 1) & mask;
+    if (carry) a ^= low;
+  }
+  return acc;
+}
+
+template <unsigned Bits>
+constexpr std::uint32_t pow_slow(std::uint32_t g, std::uint32_t e) {
+  std::uint32_t acc = 1;
+  while (e != 0) {
+    if (e & 1) acc = mul_slow<Bits>(acc, g);
+    g = mul_slow<Bits>(g, g);
+    e >>= 1;
+  }
+  return acc;
+}
+
+/// g generates the multiplicative group iff g^((2^Bits-1)/p) != 1 for every
+/// prime p dividing the group order (255 = 3*5*17, 65535 = 3*5*17*257).
+template <unsigned Bits>
+constexpr bool is_primitive(std::uint32_t g) {
+  constexpr std::uint32_t order = (1u << Bits) - 1;
+  for (std::uint32_t p : {3u, 5u, 17u, 257u}) {
+    if (order % p != 0) continue;
+    if (pow_slow<Bits>(g, order / p) == 1) return false;
+  }
+  return true;
+}
+
+template <unsigned Bits>
+constexpr Gf2SmallTables<Bits> make_tables() {
+  Gf2SmallTables<Bits> t{};
+  constexpr std::uint32_t order = Gf2SmallTables<Bits>::kOrder;
+  std::uint32_t g = 2;
+  while (!is_primitive<Bits>(g)) ++g;
+  std::uint32_t v = 1;
+  for (std::uint32_t e = 0; e < order; ++e) {
+    t.exp[e] = static_cast<std::uint16_t>(v);
+    t.exp[e + order] = static_cast<std::uint16_t>(v);
+    t.log[v] = static_cast<std::uint16_t>(e);
+    v = mul_slow<Bits>(v, g);
+  }
+  return t;
+}
+
+}  // namespace
+
+constinit const Gf2SmallTables<8> kGf2Tables8 = make_tables<8>();
+constinit const Gf2SmallTables<16> kGf2Tables16 = make_tables<16>();
+
+}  // namespace gfor14::ff

@@ -1,0 +1,40 @@
+// Constexpr exp/log tables for the small binary fields GF(2^8) and GF(2^16).
+//
+// For Bits <= 16 the whole multiplicative group fits in a table, so a field
+// multiplication is three lookups (exp[log a + log b]) and an inversion is
+// one subtraction plus one lookup — far cheaper than any carry-less multiply
+// plus reduction. The tables are generated at compile time (constinit, one
+// translation unit) from a primitive element found by exhaustive order
+// check, so they are correct by construction for the moduli of Gf2Modulus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gfor14::ff {
+
+template <unsigned Bits>
+struct Gf2SmallTables {
+  static_assert(Bits == 8 || Bits == 16);
+  static constexpr std::uint32_t kOrder = (1u << Bits) - 1;
+
+  /// exp[e] = g^e for e in [0, 2*kOrder): doubled so exp[log a + log b]
+  /// needs no modular reduction of the exponent sum.
+  std::array<std::uint16_t, 2 * kOrder> exp{};
+  /// log[v] = discrete log of v base g; log[0] is unused (stays 0).
+  std::array<std::uint16_t, kOrder + 1> log{};
+};
+
+extern const Gf2SmallTables<8> kGf2Tables8;
+extern const Gf2SmallTables<16> kGf2Tables16;
+
+template <unsigned Bits>
+const Gf2SmallTables<Bits>& gf2_small_tables() {
+  if constexpr (Bits == 8) {
+    return kGf2Tables8;
+  } else {
+    return kGf2Tables16;
+  }
+}
+
+}  // namespace gfor14::ff

@@ -1,0 +1,210 @@
+#include "ff/kernel.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.hpp"
+
+// GFOR14_DISABLE_HW_CLMUL comes from CMake ISA detection: when the
+// toolchain cannot compile the target-attribute intrinsics, the hardware
+// path is compiled out and dispatch settles on the table kernel.
+#if defined(__x86_64__) && !defined(GFOR14_DISABLE_HW_CLMUL)
+#include <immintrin.h>
+#define GFOR14_HW_KERNEL_X86 1
+#elif defined(__aarch64__) && !defined(GFOR14_DISABLE_HW_CLMUL)
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#define GFOR14_HW_KERNEL_ARM 1
+#endif
+
+namespace gfor14::ff {
+
+u128 clmul64_bitloop(std::uint64_t a, std::uint64_t b) {
+  u128 acc = 0;
+  while (b != 0) {
+    const int i = __builtin_ctzll(b);
+    acc ^= static_cast<u128>(a) << i;
+    b &= b - 1;
+  }
+  return acc;
+}
+
+u128 clmul64_table(std::uint64_t a, std::uint64_t b) {
+  // 4-bit window: 16 precomputed multiples of a, one constant-shifted XOR
+  // per nibble of b — 16 data-independent steps instead of up to 64
+  // data-dependent ones. The nibble contributions are gathered as two
+  // independent XOR trees with compile-time shift amounts, so the compiler
+  // schedules them in parallel instead of a serial (acc << 4) chain.
+  // Table build as independent XORs of the four shifted copies (depth 2)
+  // rather than a serial doubling chain.
+  const u128 a0 = a;
+  const u128 a1 = a0 << 1;
+  const u128 a2 = a0 << 2;
+  const u128 a3 = a0 << 3;
+  u128 tab[16];
+  tab[0] = 0;
+  tab[1] = a0;
+  tab[2] = a1;
+  tab[3] = a1 ^ a0;
+  tab[4] = a2;
+  tab[5] = a2 ^ a0;
+  tab[6] = a2 ^ a1;
+  tab[7] = a2 ^ tab[3];
+  tab[8] = a3;
+  tab[9] = a3 ^ a0;
+  tab[10] = a3 ^ a1;
+  tab[11] = a3 ^ tab[3];
+  tab[12] = a3 ^ a2;
+  tab[13] = a3 ^ tab[5];
+  tab[14] = a3 ^ tab[6];
+  tab[15] = a3 ^ tab[7];
+  const auto at = [&](unsigned s) { return tab[(b >> s) & 0xF] << s; };
+  const u128 even = at(0) ^ at(8) ^ at(16) ^ at(24) ^ at(32) ^ at(40) ^
+                    at(48) ^ at(56);
+  const u128 odd = at(4) ^ at(12) ^ at(20) ^ at(28) ^ at(36) ^ at(44) ^
+                   at(52) ^ at(60);
+  return even ^ odd;
+}
+
+#if defined(GFOR14_HW_KERNEL_X86)
+
+__attribute__((target("pclmul,sse4.1"))) u128 clmul64_hardware(
+    std::uint64_t a, std::uint64_t b) {
+  const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
+  const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
+  const __m128i p = _mm_clmulepi64_si128(va, vb, 0x00);
+  const auto lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(p));
+  const auto hi = static_cast<std::uint64_t>(_mm_extract_epi64(p, 1));
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+bool hardware_available() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+namespace {
+constexpr Kernel kHardwareKernel = Kernel::kPclmul;
+}
+
+#elif defined(GFOR14_HW_KERNEL_ARM)
+
+__attribute__((target("+crypto"))) u128 clmul64_hardware(std::uint64_t a,
+                                                         std::uint64_t b) {
+  const poly128_t p =
+      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b));
+  u128 r;
+  static_assert(sizeof(r) == sizeof(p));
+  std::memcpy(&r, &p, sizeof(r));
+  return r;
+}
+
+bool hardware_available() {
+#if defined(__linux__) && defined(HWCAP_PMULL)
+  return (getauxval(AT_HWCAP) & HWCAP_PMULL) != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+constexpr Kernel kHardwareKernel = Kernel::kPmull;
+}
+
+#else
+
+u128 clmul64_hardware(std::uint64_t a, std::uint64_t b) {
+  // Unreachable by contract (hardware_available() is false); keep a correct
+  // fallback rather than UB in case a caller skips the check.
+  return clmul64_table(a, b);
+}
+
+bool hardware_available() { return false; }
+
+namespace {
+constexpr Kernel kHardwareKernel = Kernel::kTable;
+}
+
+#endif
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kBitloop: return "bitloop";
+    case Kernel::kTable: return "table";
+    case Kernel::kPclmul: return "pclmul";
+    case Kernel::kPmull: return "pmull";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Kernel g_active = Kernel::kTable;
+bool g_resolved = false;
+
+detail::Clmul64Fn fn_of(Kernel k) {
+  switch (k) {
+    case Kernel::kBitloop: return &clmul64_bitloop;
+    case Kernel::kTable: return &clmul64_table;
+    case Kernel::kPclmul:
+    case Kernel::kPmull: return &clmul64_hardware;
+  }
+  return &clmul64_table;
+}
+
+void activate(Kernel k) {
+  g_active = k;
+  g_resolved = true;
+  detail::g_clmul64 = fn_of(k);
+  metrics::Registry::instance()
+      .counter(std::string("ff.kernel.") + kernel_name(k))
+      .add();
+}
+
+/// GFOR14_FF_KERNEL: auto (default) | hard | pclmul | pmull | soft | table |
+/// bitloop. Unknown values and unavailable hardware fall back to auto.
+Kernel resolve_from_env() {
+  const char* env = std::getenv("GFOR14_FF_KERNEL");
+  const std::string want = env ? env : "auto";
+  if (want == "bitloop") return Kernel::kBitloop;
+  if (want == "soft" || want == "table") return Kernel::kTable;
+  if ((want == "hard" || want == "pclmul" || want == "pmull") &&
+      hardware_available())
+    return kHardwareKernel;
+  return hardware_available() ? kHardwareKernel : Kernel::kTable;
+}
+
+u128 clmul64_resolve_trampoline(std::uint64_t a, std::uint64_t b) {
+  activate(resolve_from_env());
+  return detail::g_clmul64(a, b);
+}
+
+}  // namespace
+
+namespace detail {
+Clmul64Fn g_clmul64 = &clmul64_resolve_trampoline;
+}  // namespace detail
+
+Kernel active_kernel() {
+  if (!g_resolved) activate(resolve_from_env());
+  return g_active;
+}
+
+const char* active_kernel_name() { return kernel_name(active_kernel()); }
+
+bool set_kernel(Kernel k) {
+  if ((k == Kernel::kPclmul || k == Kernel::kPmull) &&
+      (!hardware_available() || k != kHardwareKernel))
+    return false;
+  activate(k);
+  return true;
+}
+
+void reset_kernel() {
+  g_resolved = false;
+  detail::g_clmul64 = &clmul64_resolve_trampoline;
+}
+
+}  // namespace gfor14::ff

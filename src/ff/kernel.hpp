@@ -1,0 +1,71 @@
+// Carry-less multiplication kernels with runtime dispatch.
+//
+// Every GF(2^k) multiplication in the repository bottoms out in a 64x64 -> 128
+// carry-less (GF(2)[x]) product. This header owns the choice of how that
+// product is computed:
+//
+//   * kPclmul  — x86-64 PCLMULQDQ, one instruction per product;
+//   * kPmull   — aarch64 NEON PMULL (the 64-bit polynomial multiply);
+//   * kTable   — portable 4-bit-window precomputed-table multiply (the
+//                software fast path, ~2x the bit-loop);
+//   * kBitloop — the original one-bit-at-a-time loop, kept as the
+//                differential-test oracle and as the force-selectable
+//                slowest path.
+//
+// The kernel is resolved once, lazily, from CPU detection plus the
+// GFOR14_FF_KERNEL environment variable (auto | hard | pclmul | pmull |
+// soft | table | bitloop; "hard"/"soft" pick the best hardware/software
+// path). Tests and benches may override the choice at runtime with
+// set_kernel(). Each resolution or override bumps a metrics counter
+// ff.kernel.<name> so BENCH_*.json artifacts record which path produced
+// their numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace gfor14::ff {
+
+using u128 = unsigned __int128;
+
+enum class Kernel {
+  kBitloop,  ///< one bit of b per iteration (test oracle)
+  kTable,    ///< 4-bit window, 16-entry table per multiplicand
+  kPclmul,   ///< x86-64 PCLMULQDQ
+  kPmull,    ///< aarch64 NEON PMULL
+};
+
+/// Stable lowercase name ("bitloop", "table", "pclmul", "pmull").
+const char* kernel_name(Kernel k);
+
+/// The kernel currently answering clmul64(); resolves on first use.
+Kernel active_kernel();
+/// Name of the active kernel (convenience for bench artifact columns).
+const char* active_kernel_name();
+
+/// True when this host can execute a hardware carry-less multiply.
+bool hardware_available();
+
+/// Forces a kernel (tests/benches). Returns false — and leaves the active
+/// kernel unchanged — when the host cannot execute `k`.
+bool set_kernel(Kernel k);
+
+/// Drops any override and re-resolves from CPU + GFOR14_FF_KERNEL.
+void reset_kernel();
+
+namespace detail {
+using Clmul64Fn = u128 (*)(std::uint64_t, std::uint64_t);
+extern Clmul64Fn g_clmul64;  // constant-initialized to a resolving trampoline
+}  // namespace detail
+
+/// Carry-less product of two 64-bit polynomials via the active kernel.
+inline u128 clmul64(std::uint64_t a, std::uint64_t b) {
+  return detail::g_clmul64(a, b);
+}
+
+// Direct entry points for differential tests (bypass dispatch).
+u128 clmul64_bitloop(std::uint64_t a, std::uint64_t b);
+u128 clmul64_table(std::uint64_t a, std::uint64_t b);
+/// Requires hardware_available().
+u128 clmul64_hardware(std::uint64_t a, std::uint64_t b);
+
+}  // namespace gfor14::ff

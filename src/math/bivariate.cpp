@@ -1,6 +1,7 @@
 #include "math/bivariate.hpp"
 
 #include "common/expect.hpp"
+#include "ff/ops.hpp"
 
 namespace gfor14 {
 
@@ -33,14 +34,23 @@ Fld SymmetricBivariate::eval(Fld x, Fld y) const {
 }
 
 Poly SymmetricBivariate::slice(Fld y0) const {
-  // F(x, y0) = sum_i x^i * (sum_j c_{ij} y0^j).
+  // F(x, y0) = sum_i x^i * (sum_j c_{ij} y0^j). The triangular storage keeps
+  // row r (entries c_{r,j}, j >= r) contiguous, so the upper-triangle part
+  // of out[r] is one fused inner product with y0^r..y0^deg, and the mirrored
+  // lower-triangle contributions (c_{j,r} = c_{r,j}) are one fused
+  // multiply-accumulate of the same row into out[r+1..].
   std::vector<Fld> ypow(deg_ + 1);
   ypow[0] = Fld::one();
   for (std::size_t j = 1; j <= deg_; ++j) ypow[j] = ypow[j - 1] * y0;
   std::vector<Fld> out(deg_ + 1, Fld::zero());
-  for (std::size_t i = 0; i <= deg_; ++i)
-    for (std::size_t j = 0; j <= deg_; ++j)
-      out[i] += coeff(i, j) * ypow[j];
+  std::size_t row_start = 0;
+  for (std::size_t r = 0; r <= deg_; ++r) {
+    const std::size_t len = deg_ + 1 - r;
+    const std::span<const Fld> row(&coeffs_[row_start], len);
+    out[r] += ff::dot(row, std::span<const Fld>(&ypow[r], len));
+    ff::axpy(ypow[r], row.subspan(1), std::span<Fld>(&out[r + 1], len - 1));
+    row_start += len;
+  }
   return Poly{std::move(out)};
 }
 

@@ -1,0 +1,34 @@
+#include "math/lagrange_cache.hpp"
+
+#include "common/metrics.hpp"
+#include "math/poly.hpp"
+
+namespace gfor14 {
+
+LagrangeCache& LagrangeCache::instance() {
+  static LagrangeCache cache;
+  return cache;
+}
+
+const std::vector<Fld>& LagrangeCache::coefficients(std::span<const Fld> xs,
+                                                    Fld at) {
+  Key key;
+  key.reserve(xs.size() + 1);
+  key.push_back(at.to_u64());
+  for (Fld x : xs) key.push_back(x.to_u64());
+
+  static metrics::Counter* const kHit =
+      &metrics::Registry::instance().counter("math.lagrange_cache.hit");
+  static metrics::Counter* const kMiss =
+      &metrics::Registry::instance().counter("math.lagrange_cache.miss");
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    kHit->add();
+    return it->second;
+  }
+  kMiss->add();
+  return cache_.emplace(std::move(key), lagrange_coefficients(xs, at))
+      .first->second;
+}
+
+}  // namespace gfor14

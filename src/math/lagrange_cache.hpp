@@ -1,0 +1,44 @@
+// Process-wide cache of Lagrange coefficient vectors.
+//
+// VSS reconstruction evaluates interpolations at the SAME alpha-point sets
+// thousands of times per run (every batch element, every round, reconstructs
+// at eval_point(0..n)), so the coefficient vectors lambda(xs, at) are pure
+// functions of a handful of distinct keys. Caching them turns the per-value
+// reconstruction cost into one inner product.
+//
+// The simulator is single-threaded, so the cache is unsynchronized; returned
+// references stay valid until clear() (node-based map storage). Hits and
+// misses are counted in the metrics registry as math.lagrange_cache.{hit,
+// miss} so bench artifacts can attribute reconstruction speed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "ff/gf2e.hpp"
+
+namespace gfor14 {
+
+class LagrangeCache {
+ public:
+  static LagrangeCache& instance();
+
+  /// lambda_i with f(at) = sum_i lambda_i * ys[i] for deg f < xs.size();
+  /// computed via lagrange_coefficients on miss. The reference is stable
+  /// until clear().
+  const std::vector<Fld>& coefficients(std::span<const Fld> xs, Fld at);
+
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  LagrangeCache() = default;
+  // Key: the point multiset (order-sensitive — callers use ordered party
+  // sets) plus the evaluation point, as raw representations.
+  using Key = std::vector<std::uint64_t>;
+  std::map<Key, std::vector<Fld>> cache_;
+};
+
+}  // namespace gfor14

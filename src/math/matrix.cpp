@@ -1,6 +1,7 @@
 #include "math/matrix.hpp"
 
 #include "common/expect.hpp"
+#include "ff/ops.hpp"
 
 namespace gfor14 {
 
@@ -30,11 +31,15 @@ std::size_t Matrix::row_reduce() {
     }
     const Fld inv = at(rank, col).inverse();
     for (std::size_t c = col; c < cols_; ++c) at(rank, c) *= inv;
+    // Eliminate the column below and above the pivot with fused row
+    // updates (row_r += factor * row_rank; char 2, so += is -=).
+    const std::span<const Fld> pivot_row(&data_[rank * cols_ + col],
+                                         cols_ - col);
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == rank || at(r, col).is_zero()) continue;
       const Fld factor = at(r, col);
-      for (std::size_t c = col; c < cols_; ++c)
-        at(r, c) -= factor * at(rank, c);
+      ff::axpy(factor, pivot_row,
+               std::span<Fld>(&data_[r * cols_ + col], cols_ - col));
     }
     ++rank;
   }

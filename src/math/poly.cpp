@@ -2,7 +2,47 @@
 
 #include <algorithm>
 
+#include "ff/ops.hpp"
+
 namespace gfor14 {
+
+namespace {
+
+/// Master polynomial M(x) = prod_j (x - xs[j]), coefficient order low-to-
+/// high; O(m^2) multiplies, no inversions.
+std::vector<Fld> master_polynomial(std::span<const Fld> xs) {
+  std::vector<Fld> m(xs.size() + 1, Fld::zero());
+  m[0] = Fld::one();
+  std::size_t deg = 0;
+  for (Fld x : xs) {
+    ++deg;
+    for (std::size_t k = deg; k >= 1; --k) m[k] = m[k - 1] + x * m[k];
+    m[0] *= x;  // char 2: (x - r) == (x + r)
+  }
+  return m;
+}
+
+/// d_i = prod_{j != i} (xs[i] - xs[j]) for all i, as M'(xs[i]) — the formal
+/// derivative of the master polynomial kills every term but the i-th at
+/// xs[i]. In characteristic 2 the derivative keeps exactly the odd-degree
+/// coefficients. A zero d_i means xs held a duplicate point.
+std::vector<Fld> master_derivative_at(const std::vector<Fld>& m,
+                                      std::span<const Fld> xs) {
+  std::vector<Fld> dcoeffs;
+  dcoeffs.reserve(m.size() / 2);
+  for (std::size_t k = 1; k < m.size(); k += 2) dcoeffs.push_back(m[k]);
+  std::vector<Fld> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Fld x2 = xs[i] * xs[i];
+    Fld acc = Fld::zero();
+    for (std::size_t k = dcoeffs.size(); k-- > 0;) acc = acc * x2 + dcoeffs[k];
+    GFOR14_EXPECTS(!acc.is_zero());  // pairwise-distinct xs required
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace
 
 Poly::Poly(std::vector<Fld> coeffs) : coeffs_(std::move(coeffs)) { normalize(); }
 
@@ -50,8 +90,8 @@ Poly operator*(const Poly& a, const Poly& b) {
   if (a.is_zero() || b.is_zero()) return Poly{};
   std::vector<Fld> c(a.coeffs_.size() + b.coeffs_.size() - 1);
   for (std::size_t i = 0; i < a.coeffs_.size(); ++i)
-    for (std::size_t j = 0; j < b.coeffs_.size(); ++j)
-      c[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    ff::axpy(a.coeffs_[i], std::span<const Fld>(b.coeffs_),
+             std::span<Fld>(c).subspan(i));
   return Poly{std::move(c)};
 }
 
@@ -80,49 +120,60 @@ Poly::DivMod Poly::divmod(const Poly& d) const {
 }
 
 std::vector<Fld> lagrange_coefficients(std::span<const Fld> xs, Fld at) {
+  // Master-polynomial form: lambda_i = M(at) / ((at - xs[i]) * M'(xs[i])).
+  // One batched inversion for the whole vector instead of m Fermat
+  // inversions, O(m^2) multiplies total.
   const std::size_t m = xs.size();
   GFOR14_EXPECTS(m > 0);
-  std::vector<Fld> lambda(m);
+  const auto master = master_polynomial(xs);
+  const auto denom = master_derivative_at(master, xs);
+  std::vector<Fld> lambda(m, Fld::zero());
+  // When `at` is itself an interpolation point the answer is a unit vector.
   for (std::size_t i = 0; i < m; ++i) {
-    Fld num = Fld::one();
-    Fld den = Fld::one();
-    for (std::size_t j = 0; j < m; ++j) {
-      if (j == i) continue;
-      GFOR14_EXPECTS(xs[i] != xs[j]);
-      num *= at - xs[j];
-      den *= xs[i] - xs[j];
+    if (xs[i] == at) {
+      lambda[i] = Fld::one();
+      return lambda;
     }
-    lambda[i] = num / den;
   }
+  Fld m_at = Fld::zero();
+  for (std::size_t k = master.size(); k-- > 0;) m_at = m_at * at + master[k];
+  std::vector<Fld> inv(m);
+  for (std::size_t i = 0; i < m; ++i) inv[i] = (at - xs[i]) * denom[i];
+  ff::batch_inverse(std::span<Fld>(inv));
+  for (std::size_t i = 0; i < m; ++i) lambda[i] = m_at * inv[i];
   return lambda;
 }
 
 Fld lagrange_eval_at(std::span<const Fld> xs, std::span<const Fld> ys, Fld at) {
   GFOR14_EXPECTS(xs.size() == ys.size());
   const auto lambda = lagrange_coefficients(xs, at);
-  Fld acc = Fld::zero();
-  for (std::size_t i = 0; i < xs.size(); ++i) acc += lambda[i] * ys[i];
-  return acc;
+  return ff::dot(std::span<const Fld>(lambda), ys);
 }
 
 Poly lagrange_interpolate(std::span<const Fld> xs, std::span<const Fld> ys) {
   GFOR14_EXPECTS(xs.size() == ys.size());
   GFOR14_EXPECTS(!xs.empty());
-  // Incremental Newton-style construction via basis polynomials:
-  // result = sum_i ys[i] * prod_{j != i} (x - xs[j]) / (xs[i] - xs[j]).
-  Poly result;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    Poly basis = Poly::constant(Fld::one());
-    Fld denom = Fld::one();
-    for (std::size_t j = 0; j < xs.size(); ++j) {
-      if (j == i) continue;
-      GFOR14_EXPECTS(xs[i] != xs[j]);
-      basis = basis * Poly{{xs[j], Fld::one()}};  // (x - xs[j]) == (x + xs[j])
-      denom *= xs[i] - xs[j];
-    }
-    result = result + (ys[i] / denom) * basis;
+  // Master-polynomial construction: result = sum_i c_i * M(x)/(x - xs[i])
+  // with c_i = ys[i] / M'(xs[i]). Each quotient M/(x - xs[i]) comes from an
+  // O(m) synthetic division, so the whole interpolation is O(m^2) field
+  // multiplies with a single (batched) inversion — down from the O(m^3)
+  // basis rebuild with m separate inversions.
+  const std::size_t m = xs.size();
+  const auto master = master_polynomial(xs);
+  std::vector<Fld> coeff = master_derivative_at(master, xs);
+  ff::batch_inverse(std::span<Fld>(coeff));
+  std::vector<Fld> result(m, Fld::zero());
+  std::vector<Fld> quot(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Fld c = ys[i] * coeff[i];
+    if (c.is_zero()) continue;
+    // Synthetic division of M by (x - xs[i]); the remainder M(xs[i]) is 0.
+    quot[m - 1] = master[m];
+    for (std::size_t k = m - 1; k >= 1; --k)
+      quot[k - 1] = master[k] + xs[i] * quot[k];
+    ff::axpy(c, std::span<const Fld>(quot), std::span<Fld>(result));
   }
-  return result;
+  return Poly{std::move(result)};
 }
 
 }  // namespace gfor14

@@ -5,13 +5,17 @@ namespace gfor14::net {
 void ShareCorruptingAdversary::on_round(Network& net) {
   for (PartyId p = 0; p < net.n(); ++p) {
     if (!net.is_corrupt(p)) continue;
+    // One snapshot of p's outgoing traffic; only the sizes are read, and
+    // only before the corresponding channel is rewritten, so the payload
+    // views never dangle.
+    const auto pending = net.pending_from_corrupt(p);
     for (PartyId to = 0; to < net.n(); ++to) {
       if (to == p) continue;
-      // Collect this party's pending payloads to `to` and rerandomize them.
+      // Rerandomize this party's pending payloads to `to` in place.
       std::vector<Payload> replaced;
-      for (auto& [dst, payload] : net.pending_from_corrupt(p)) {
-        if (dst != to) continue;
-        Payload garbage(payload.size());
+      for (const auto& view : pending) {
+        if (view.peer != to) continue;
+        Payload garbage(view.payload.size());
         for (auto& x : garbage) x = Fld::random(net.adversary_rng());
         replaced.push_back(std::move(garbage));
       }
@@ -34,8 +38,10 @@ void RecordingAdversary::on_round(Network& net) {
   RoundView view;
   for (PartyId p = 0; p < net.n(); ++p) {
     if (!net.is_corrupt(p)) continue;
-    for (auto& [from, payload] : net.pending_to_corrupt(p))
-      view.to_corrupt.emplace_back(from, p, std::move(payload));
+    // The recorder owns its view of the transcript, so it copies the
+    // payloads out of the pending queue (the only adversary that must).
+    for (const auto& pv : net.pending_to_corrupt(p))
+      view.to_corrupt.emplace_back(pv.peer, p, pv.payload);
   }
   view.broadcasts = net.pending_broadcasts();
   views_.push_back(std::move(view));

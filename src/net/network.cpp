@@ -143,14 +143,13 @@ const PartyCosts& Network::party_costs(PartyId p) const {
   return party_costs_[p];
 }
 
-std::vector<std::pair<PartyId, Payload>> Network::pending_to_corrupt(
-    PartyId to) const {
+std::vector<PendingView> Network::pending_to_corrupt(PartyId to) const {
   GFOR14_EXPECTS(in_round_);
   GFOR14_EXPECTS(is_corrupt(to));
-  std::vector<std::pair<PartyId, Payload>> out;
+  std::vector<PendingView> out;
   for (PartyId from = 0; from < n_; ++from)
     for (const auto& payload : pending_.p2p[to][from])
-      out.emplace_back(from, payload);
+      out.push_back({from, payload});
   return out;
 }
 
@@ -159,14 +158,13 @@ const std::vector<std::vector<Payload>>& Network::pending_broadcasts() const {
   return pending_.bcast;
 }
 
-std::vector<std::pair<PartyId, Payload>> Network::pending_from_corrupt(
-    PartyId from) const {
+std::vector<PendingView> Network::pending_from_corrupt(PartyId from) const {
   GFOR14_EXPECTS(in_round_);
   GFOR14_EXPECTS(is_corrupt(from));
-  std::vector<std::pair<PartyId, Payload>> out;
+  std::vector<PendingView> out;
   for (PartyId to = 0; to < n_; ++to)
     for (const auto& payload : pending_.p2p[to][from])
-      out.emplace_back(to, payload);
+      out.push_back({to, payload});
   return out;
 }
 
@@ -175,20 +173,25 @@ void Network::replace_pending(PartyId from, PartyId to,
   GFOR14_EXPECTS(in_round_);
   GFOR14_EXPECTS(is_corrupt(from));
   auto& slot = pending_.p2p[to][from];
-  // Adjust element accounting to reflect the substituted traffic.
+  // Adjust accounting to reflect the substituted traffic symmetrically:
+  // the replaced messages and elements come off the books, the substitutes
+  // go on. In particular a drop (empty substitute list) DECREASES the
+  // message count — the withheld messages never hit the wire. The counters
+  // stay monotone at round boundaries because a slot only ever holds
+  // messages submitted earlier in the same round.
+  costs_.p2p_messages -= slot.size();
+  party_costs_[from].p2p_messages_sent -= slot.size();
   for (const auto& p : slot) {
     costs_.p2p_elements -= p.size();
     party_costs_[from].p2p_elements_sent -= p.size();
     party_costs_[to].p2p_elements_received -= p.size();
   }
+  costs_.p2p_messages += payloads.size();
+  party_costs_[from].p2p_messages_sent += payloads.size();
   for (const auto& p : payloads) {
     costs_.p2p_elements += p.size();
     party_costs_[from].p2p_elements_sent += p.size();
     party_costs_[to].p2p_elements_received += p.size();
-  }
-  if (payloads.size() > slot.size()) {
-    costs_.p2p_messages += payloads.size() - slot.size();
-    party_costs_[from].p2p_messages_sent += payloads.size() - slot.size();
   }
   slot = std::move(payloads);
 }

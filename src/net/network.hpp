@@ -60,6 +60,17 @@ struct PartyCosts {
   std::size_t broadcast_elements = 0;
 };
 
+/// A pending message as observed by the rushing adversary: the peer party
+/// and a reference to the payload still queued for this round. The reference
+/// stays valid until the queue it points into is rewritten (replace_pending
+/// on the same (from, to) channel) or the round ends — adversaries that need
+/// the data past that point must copy it.
+struct PendingView {
+  /// Sender for pending_to_corrupt; receiver for pending_from_corrupt.
+  PartyId peer;
+  const Payload& payload;
+};
+
 /// Traffic delivered at the end of one round.
 struct RoundTraffic {
   /// p2p[to][from] = ordered payloads sent from `from` to `to` this round.
@@ -120,13 +131,14 @@ class Network {
   const RoundTraffic& delivered() const { return delivered_; }
 
   // --- Rushing-adversary visibility (valid between begin/end round) -------
-  /// Pending payloads addressed to a corrupt party this round.
-  std::vector<std::pair<PartyId, Payload>> pending_to_corrupt(PartyId to) const;
+  /// Pending payloads addressed to a corrupt party this round. Views, not
+  /// copies: the payloads stay owned by the pending queue (see PendingView).
+  std::vector<PendingView> pending_to_corrupt(PartyId to) const;
   /// Pending broadcasts of this round (broadcasts are public by nature).
   const std::vector<std::vector<Payload>>& pending_broadcasts() const;
   /// Pending payloads a corrupt party is about to send (the adversary owns
   /// its parties' outgoing traffic and may rewrite it via replace_pending).
-  std::vector<std::pair<PartyId, Payload>> pending_from_corrupt(PartyId from) const;
+  std::vector<PendingView> pending_from_corrupt(PartyId from) const;
   /// Replaces a corrupt party's pending p2p messages to one receiver.
   void replace_pending(PartyId from, PartyId to, std::vector<Payload> payloads);
 

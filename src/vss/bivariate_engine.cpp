@@ -5,7 +5,9 @@
 #include <set>
 
 #include "common/trace.hpp"
+#include "ff/ops.hpp"
 #include "math/berlekamp_welch.hpp"
+#include "math/lagrange_cache.hpp"
 
 namespace gfor14::vss {
 
@@ -499,17 +501,20 @@ ShareResult BivariateEngine::share_all(
       xs.push_back(eval_point<64>(p));
     }
     GFOR14_ENSURES(content.size() >= t + 1);
+    std::vector<Fld> denoms(t + 1, Fld::one());
+    for (std::size_t i = 0; i <= t; ++i)
+      for (std::size_t jj = 0; jj <= t; ++jj)
+        if (jj != i) denoms[i] *= xs[i] - xs[jj];
+    ff::batch_inverse(std::span<Fld>(denoms));  // one inversion for the basis
     std::vector<Poly> basis;
     basis.reserve(t + 1);
     for (std::size_t i = 0; i <= t; ++i) {
       Poly b = Poly::constant(Fld::one());
-      Fld denom = Fld::one();
       for (std::size_t jj = 0; jj <= t; ++jj) {
         if (jj == i) continue;
         b = b * Poly{{xs[jj], Fld::one()}};
-        denom *= xs[i] - xs[jj];
       }
-      basis.push_back(denom.inverse() * b);
+      basis.push_back(denoms[i] * b);
     }
     for (std::size_t k = 0; k < m; ++k) {
       // Interpolate the committed share polynomial g(y) = F(0, y) from the
@@ -567,9 +572,9 @@ std::vector<Fld> BivariateEngine::decode_received(
 
   if (profile_.recon == ReconMode::kAuthenticated) {
     // Filter each revealed share through the information-checking layer,
-    // then interpolate t + 1 accepted shares. Lagrange coefficients are
-    // cached per accepted set (the common case is a single set).
-    std::map<std::vector<net::PartyId>, std::vector<Fld>> lambda_cache;
+    // then interpolate t + 1 accepted shares. Lagrange coefficients come
+    // from the process-wide cache keyed by the accepted point set (the
+    // common case is a single set across all values and rounds).
     for (std::size_t vi = 0; vi < values.size(); ++vi) {
       std::vector<net::PartyId> accepted;
       std::vector<Fld> accepted_vals;
@@ -591,19 +596,13 @@ std::vector<Fld> BivariateEngine::decode_received(
       }
       if (accepted.size() < t + 1) continue;  // default 0 (cannot happen
                                               // with an honest majority)
-      auto it = lambda_cache.find(accepted);
-      if (it == lambda_cache.end()) {
-        std::vector<Fld> xs(accepted.size());
-        for (std::size_t i = 0; i < accepted.size(); ++i)
-          xs[i] = eval_point<64>(accepted[i]);
-        it = lambda_cache.emplace(accepted,
-                                  lagrange_coefficients(xs, Fld::zero()))
-                 .first;
-      }
-      Fld acc = Fld::zero();
+      std::vector<Fld> xs(accepted.size());
       for (std::size_t i = 0; i < accepted.size(); ++i)
-        acc += it->second[i] * accepted_vals[i];
-      out[vi] = acc;
+        xs[i] = eval_point<64>(accepted[i]);
+      const auto& lambda = LagrangeCache::instance().coefficients(
+          std::span<const Fld>(xs), Fld::zero());
+      out[vi] = ff::dot(std::span<const Fld>(lambda),
+                        std::span<const Fld>(accepted_vals));
     }
     return out;
   }
@@ -625,27 +624,26 @@ std::vector<Fld> BivariateEngine::decode_received(
   // are then inner products with the received shares (no per-value
   // interpolation or field inversions).
   const std::span<const Fld> head_x(xs.data(), t + 1);
-  const auto lambda0 = lagrange_coefficients(head_x, Fld::zero());
-  std::vector<std::vector<Fld>> tail_rows;
+  auto& lcache = LagrangeCache::instance();
+  const auto& lambda0 = lcache.coefficients(head_x, Fld::zero());
+  std::vector<const std::vector<Fld>*> tail_rows;
   tail_rows.reserve(navail - (t + 1));
   for (std::size_t i = t + 1; i < navail; ++i)
-    tail_rows.push_back(lagrange_coefficients(head_x, xs[i]));
+    tail_rows.push_back(&lcache.coefficients(head_x, xs[i]));
   for (std::size_t vi = 0; vi < values.size(); ++vi) {
     std::vector<Fld> ys(navail);
     for (std::size_t i = 0; i < navail; ++i)
       ys[i] = (*per_sender[present[i]])[vi];
+    const std::span<const Fld> head_y(ys.data(), t + 1);
     // Fast path: check that the tail shares lie on the head interpolation.
     bool consistent = true;
     for (std::size_t i = t + 1; i < navail && consistent; ++i) {
-      Fld predicted = Fld::zero();
-      const auto& row = tail_rows[i - (t + 1)];
-      for (std::size_t jj = 0; jj <= t; ++jj) predicted += row[jj] * ys[jj];
-      if (predicted != ys[i]) consistent = false;
+      if (ff::dot(std::span<const Fld>(*tail_rows[i - (t + 1)]), head_y) !=
+          ys[i])
+        consistent = false;
     }
     if (consistent) {
-      Fld acc = Fld::zero();
-      for (std::size_t i = 0; i <= t; ++i) acc += lambda0[i] * ys[i];
-      out[vi] = acc;
+      out[vi] = ff::dot(std::span<const Fld>(lambda0), head_y);
       continue;
     }
     auto decoded = berlekamp_welch(xs, ys, t, max_errors);

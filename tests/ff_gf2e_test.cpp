@@ -81,6 +81,51 @@ TYPED_TEST(Gf2eTest, SerializationIsCanonicalAndSized) {
   EXPECT_EQ(bytes, again);
 }
 
+TYPED_TEST(Gf2eTest, DeserializeRoundTrips) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = TypeParam::random(rng);
+    std::vector<std::uint8_t> bytes;
+    a.serialize(bytes);
+    const auto back = TypeParam::deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  // Zero and one round-trip too.
+  for (const auto v : {TypeParam::zero(), TypeParam::one()}) {
+    std::vector<std::uint8_t> bytes;
+    v.serialize(bytes);
+    const auto back = TypeParam::deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TYPED_TEST(Gf2eTest, DeserializeRejectsWrongLength) {
+  std::vector<std::uint8_t> bytes(TypeParam::byte_size(), 0x5A);
+  EXPECT_TRUE(TypeParam::deserialize(bytes).has_value());
+  // Too short, too long, and empty are all strict failures — no truncation
+  // or zero-padding.
+  bytes.pop_back();
+  EXPECT_FALSE(TypeParam::deserialize(bytes).has_value());
+  bytes.resize(TypeParam::byte_size() + 1, 0);
+  EXPECT_FALSE(TypeParam::deserialize(bytes).has_value());
+  EXPECT_FALSE(
+      TypeParam::deserialize(std::span<const std::uint8_t>{}).has_value());
+}
+
+TYPED_TEST(Gf2eTest, DeserializeAcceptsMaxedBytes) {
+  // All supported widths are whole bytes, so the all-ones pattern is a
+  // valid canonical encoding and must round-trip rather than be rejected
+  // by the range guard.
+  std::vector<std::uint8_t> bytes(TypeParam::byte_size(), 0xFF);
+  const auto v = TypeParam::deserialize(bytes);
+  ASSERT_TRUE(v.has_value());
+  std::vector<std::uint8_t> again;
+  v->serialize(again);
+  EXPECT_EQ(again, bytes);
+}
+
 TEST(Gf2e64, KnownReduction) {
   // x^63 * x = x^64 == x^4 + x^3 + x + 1 == 0x1B (mod the F64 polynomial).
   const F64 x63 = F64::from_u64(1ULL << 63);

@@ -152,6 +152,55 @@ TEST(Network, PerPartyCostsTrackReplacedTraffic) {
   EXPECT_EQ(net.costs().p2p_elements, 1u);
 }
 
+// Regression for the asymmetric replace_pending accounting: dropping or
+// shrinking a corrupt party's pending traffic must DECREASE the message
+// counters just as growing it increases them. The seed implementation only
+// ever incremented p2p_messages (when the substitute list was larger), so a
+// drop attack left phantom messages on the books and a repeated
+// drop-then-resend cycle inflated the counter without bound.
+TEST(Network, ReplacePendingAccountsDroppedMessagesSymmetrically) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  auto adv = std::make_shared<CallbackAdversary>([](Network& n) {
+    n.replace_pending(0, 1, {});  // drop attack: withhold everything
+  });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(0, 1, pay({1, 2}));
+  net.send(0, 1, pay({3}));
+  net.send(2, 1, pay({4}));  // honest traffic, untouched
+  net.end_round();
+  // Only the honest message remains on the books — the two withheld
+  // messages never hit the wire.
+  EXPECT_EQ(net.costs().p2p_messages, 1u);
+  EXPECT_EQ(net.costs().p2p_elements, 1u);
+  EXPECT_EQ(net.party_costs(0).p2p_messages_sent, 0u);
+  EXPECT_EQ(net.party_costs(0).p2p_elements_sent, 0u);
+  EXPECT_EQ(net.party_costs(1).p2p_elements_received, 1u);
+}
+
+// Shrinking (2 messages -> 1) and growing (1 -> 3) are mirror cases of the
+// same symmetric accounting.
+TEST(Network, ReplacePendingAccountsResizedSubstituteLists) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  auto adv = std::make_shared<CallbackAdversary>([](Network& n) {
+    n.replace_pending(0, 1, {pay({7})});                      // 2 -> 1
+    n.replace_pending(0, 2, {pay({8}), pay({9}), pay({10})});  // 1 -> 3
+  });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(0, 1, pay({1}));
+  net.send(0, 1, pay({2}));
+  net.send(0, 2, pay({3}));
+  net.end_round();
+  EXPECT_EQ(net.costs().p2p_messages, 4u);
+  EXPECT_EQ(net.costs().p2p_elements, 4u);
+  EXPECT_EQ(net.party_costs(0).p2p_messages_sent, 4u);
+  ASSERT_EQ(net.delivered().p2p[1][0].size(), 1u);
+  ASSERT_EQ(net.delivered().p2p[2][0].size(), 3u);
+}
+
 TEST(Network, RoundHookReceivesPerRoundDeltas) {
   Network net(3, 1);
   std::vector<CostReport> deltas;
@@ -222,10 +271,10 @@ TEST(Network, RushingAdversarySeesHonestTrafficBeforeDelivery) {
     // a dependent message from party 0 in the same round (rushing).
     auto pending = n.pending_to_corrupt(0);
     ASSERT_EQ(pending.size(), 1u);
-    EXPECT_EQ(pending[0].first, 1u);
-    EXPECT_EQ(pending[0].second, pay({42}));
+    EXPECT_EQ(pending[0].peer, 1u);
+    EXPECT_EQ(pending[0].payload, pay({42}));
     saw = true;
-    n.send(0, 2, pay({pending[0].second[0].to_u64() + 1}));
+    n.send(0, 2, pay({pending[0].payload[0].to_u64() + 1}));
   });
   net.attach_adversary(adv);
   net.begin_round();
