@@ -7,11 +7,13 @@
 // runs amortize the fixed round bill over S sessions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "anonchan/anonchan.hpp"
 #include "bench_json.hpp"
+#include "common/thread_pool.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -85,6 +87,49 @@ void print_tables() {
   }
   std::printf("expected shape: rounds CONSTANT in the session count —\n"
               "the property the pseudosignature setup relies on.\n\n");
+
+  // --- thread sweep: the deterministic parallel round engine. ---
+  // Every row at the same n produces a byte-identical transcript (same
+  // seed, same rounds/traffic); only wall-clock may change. Speedup is
+  // relative to the 1-lane row at the same n and is only meaningful when
+  // hardware_threads > 1 — the artifact records the hardware context so a
+  // 1-core container's rows read as what they are.
+  artifact.set("hardware_threads", hardware_threads());
+  std::printf("--- thread sweep (kappa=2, RB VSS; hw threads = %zu) ---\n",
+              hardware_threads());
+  std::printf("%4s %8s %8s %14s %12s %8s\n", "n", "threads", "rounds",
+              "field elems", "wall ms", "speedup");
+  for (std::size_t n : {4u, 8u, 16u}) {
+    std::vector<std::size_t> lanes = {1, 2, 4};
+    if (const std::size_t hw = hardware_threads();
+        std::find(lanes.begin(), lanes.end(), hw) == lanes.end())
+      lanes.push_back(hw);
+    double serial_ms = 0.0;
+    for (std::size_t threads : lanes) {
+      net::Network net(n, 13);
+      net.set_threads(threads);
+      auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+      anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(n, 2));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto out = chan.run(0, inputs_for(n));
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (threads == 1) serial_ms = ms;
+      const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+      std::printf("%4zu %8zu %8zu %14zu %12.1f %7.2fx\n", n, threads,
+                  out.costs.rounds, out.costs.p2p_elements, ms, speedup);
+      json::Value& row = artifact.row();
+      row.set("case", "thread_sweep");
+      row.set("n", n);
+      row.set("threads", threads);
+      row.set("rounds", out.costs.rounds);
+      row.set("p2p_elements", out.costs.p2p_elements);
+      row.set("wall_ms", ms);
+      row.set("speedup_vs_serial", speedup);
+    }
+  }
+  std::printf("\n");
   // Phase breakdown of the largest single run in the sweep: shows where
   // wall-clock and traffic go as n and kappa grow.
   artifact.set("phases", benchjson::traced_phases([] {

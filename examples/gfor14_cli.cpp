@@ -11,6 +11,10 @@
 //                   ("-" prints the finished span trees to stdout instead)
 //   --metrics PATH  write the process-wide metrics registry as JSON to PATH
 //                   on exit ("-" prints to stdout)
+//   --threads N|hw  run party round handlers on N worker lanes ("hw" = one
+//                   per hardware thread); output is byte-identical to the
+//                   serial default for the same seed. Overrides the
+//                   GFOR14_THREADS environment variable.
 //
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
@@ -24,6 +28,7 @@
 #include "baselines/pw96.hpp"
 #include "baselines/zhang11.hpp"
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
@@ -42,6 +47,7 @@ struct Options {
   std::uint64_t seed = 2014;
   std::string trace_path;    // "-" = stdout, "" = off
   std::string metrics_path;  // "-" = stdout, "" = off
+  std::size_t threads = 0;   // 0 = keep the GFOR14_THREADS / serial default
 };
 
 int usage() {
@@ -50,7 +56,8 @@ int usage() {
                "  [--n N] [--scheme rb|bgw|ggor] [--kappa K]\n"
                "  [--receiver R] [--attack dense|unequal|wrongcopy|guessing"
                "|zero|fixed]\n"
-               "  [--seed S] [--trace PATH|-] [--metrics PATH|-]\n");
+               "  [--seed S] [--trace PATH|-] [--metrics PATH|-]"
+               " [--threads N|hw]\n");
   return 2;
 }
 
@@ -80,6 +87,10 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.trace_path = value;
       } else if (key == "--metrics") {
         opt.metrics_path = value;
+      } else if (key == "--threads") {
+        opt.threads = value == "hw" ? hardware_threads() : std::stoul(value);
+        if (opt.threads == 0) return false;
+        set_default_threads(opt.threads);
       } else {
         return false;
       }

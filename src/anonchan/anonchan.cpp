@@ -89,7 +89,11 @@ ManyOutput AnonChan::run_many_to(
 
   std::optional<trace::Span> commit_phase;
   commit_phase.emplace("commit");
-  for (net::PartyId i = 0; i < n; ++i) {
+  // Local commitment building is embarrassingly parallel across dealers:
+  // party i draws only from rng_of(i) and writes only the i-indexed slots
+  // (and, when i is session s's receiver, g_truth[s] — one writer per
+  // session).
+  net_.for_each_party([&](net::PartyId i) {
     std::size_t base = vss_.count(i);
     for (std::size_t s = 0; s < S; ++s) {
       const bool is_recv = receivers[s] == i;
@@ -132,7 +136,7 @@ ManyOutput AnonChan::run_many_to(
       base += chunk.size();
       batches[i].insert(batches[i].end(), chunk.begin(), chunk.end());
     }
-  }
+  });
   const auto share_result = vss_.share_all(batches);
   commit_phase.reset();
 

@@ -39,12 +39,12 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
   span.metric("slots", static_cast<double>(slots));
 
   // Setup round: pairwise key agreement over the secure channels (one seed
-  // element per ordered pair; pads are expanded locally).
-  net.begin_round();
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      if (i < j) net.send(i, j, {Fld::random(net.rng_of(i))});
-  net.end_round();
+  // element per ordered pair; pads are expanded locally). Each sender draws
+  // only from its own forked stream, so lanes are independent.
+  net.run_round([&](net::PartyId i, net::RoundLane& lane) {
+    for (std::size_t j = i + 1; j < n; ++j)
+      lane.send(j, {Fld::random(net.rng_of(i))});
+  });
   PadSchedule pads(n, slots, net.adversary_rng());
 
   // Each party draws a slot; senders with zero input stay silent.
@@ -52,21 +52,30 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
   for (std::size_t i = 0; i < n; ++i)
     slot_of[i] = static_cast<std::size_t>(net.rng_of(i).next_below(slots));
 
+  // Jamming garbage comes from the SHARED adversary stream, whose draw
+  // order is part of the determinism contract — pre-draw it here in the
+  // serial (party, slot) order before fanning the round out.
+  std::vector<std::vector<Fld>> garbage(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!jammers[i]) continue;
+    garbage[i].resize(slots);
+    for (std::size_t s = 0; s < slots; ++s)
+      garbage[i][s] = Fld::random(net.adversary_rng());
+  }
+
   // Superposed sending: one broadcast round, every party announces its
   // pad-combination per slot (plus message, plus garbage when jamming).
-  net.begin_round();
   std::vector<std::vector<Fld>> announcements(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  net.run_round([&](net::PartyId i, net::RoundLane& lane) {
     std::vector<Fld> ann(slots);
     for (std::size_t s = 0; s < slots; ++s) {
       ann[s] = pads.combined(i, s);
       if (!inputs[i].is_zero() && slot_of[i] == s) ann[s] += inputs[i];
-      if (jammers[i]) ann[s] += Fld::random(net.adversary_rng());
+      if (jammers[i]) ann[s] += garbage[i][s];
     }
     announcements[i] = ann;
-    net.broadcast(i, std::move(ann));
-  }
-  net.end_round();
+    lane.broadcast(std::move(ann));
+  });
 
   // Everyone sums the announcements; pads cancel.
   DcNetOutput out;

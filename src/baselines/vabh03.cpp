@@ -43,13 +43,13 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
     const std::size_t size = remaining < 2 * k ? remaining : k;
     out.groups += 1;
 
-    // Pairwise pad setup within the group (one secure-channel round).
-    net.begin_round();
-    for (std::size_t a = 0; a < size; ++a)
-      for (std::size_t b = a + 1; b < size; ++b)
-        net.send(group_start + a, group_start + b,
-                 {Fld::random(net.rng_of(group_start + a))});
-    net.end_round();
+    // Pairwise pad setup within the group (one secure-channel round);
+    // parties outside the group idle this round.
+    net.run_round([&](net::PartyId p, net::RoundLane& lane) {
+      if (p < group_start || p >= group_start + size) return;
+      for (std::size_t b = p - group_start + 1; b < size; ++b)
+        lane.send(group_start + b, {Fld::random(net.rng_of(p))});
+    });
     PadSchedule pads(size, slots, net.adversary_rng());
 
     // One throw each, then superposed announcement (one broadcast round).
@@ -57,19 +57,18 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
     for (std::size_t a = 0; a < size; ++a)
       slot_of[a] = static_cast<std::size_t>(
           net.rng_of(group_start + a).next_below(slots));
-    net.begin_round();
     std::vector<std::vector<Fld>> anns(size);
-    for (std::size_t a = 0; a < size; ++a) {
+    net.run_round([&](net::PartyId p, net::RoundLane& lane) {
+      if (p < group_start || p >= group_start + size) return;
+      const std::size_t a = p - group_start;
       std::vector<Fld> ann(slots);
       for (std::size_t s = 0; s < slots; ++s) {
         ann[s] = pads.combined(a, s);
-        if (!inputs[group_start + a].is_zero() && slot_of[a] == s)
-          ann[s] += inputs[group_start + a];
+        if (!inputs[p].is_zero() && slot_of[a] == s) ann[s] += inputs[p];
       }
       anns[a] = ann;
-      net.broadcast(group_start + a, std::move(ann));
-    }
-    net.end_round();
+      lane.broadcast(std::move(ann));
+    });
 
     // Sum announcements per slot; collisions destroy the colliding
     // messages (their XOR is garbage that does not match either input).

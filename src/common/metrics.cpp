@@ -10,27 +10,30 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  if (it == gauges_.end())
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  if (it == gauges_.end()) it = gauges_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
 json::Value Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   json::Value root = json::Value::object();
   json::Value counters = json::Value::object();
   for (const auto& [name, c] : counters_)
@@ -43,7 +46,7 @@ json::Value Registry::to_json() const {
 
   json::Value histograms = json::Value::object();
   for (const auto& [name, h] : histograms_) {
-    const Summary& s = h.summary();
+    const Summary s = h.summary();
     json::Value o = json::Value::object();
     o.set("count", s.count());
     o.set("mean", s.mean());
@@ -64,9 +67,10 @@ bool Registry::write_json(const std::string& path) const {
 }
 
 void Registry::reset() {
-  for (auto& [name, c] : counters_) c = Counter{};
-  for (auto& [name, g] : gauges_) g = Gauge{};
-  for (auto& [name, h] : histograms_) h = Histogram{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
 }
 
 }  // namespace gfor14::metrics

@@ -8,10 +8,19 @@
 // the bench harness and the CLI's --metrics flag report. Handles returned
 // by the registry are stable for the process lifetime, so hot paths can
 // cache them and pay one integer add per event.
+//
+// Thread safety (the parallel round engine may bump counters from worker
+// threads): Counter and Gauge are relaxed atomics — increments from any
+// thread, totals exact at round barriers; Histogram serializes its Welford
+// update under a private mutex; the registry's name maps are mutex-guarded
+// (std::map storage keeps returned references stable, so the lock is paid
+// only on first lookup, never on the hot add path).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -22,29 +31,44 @@ namespace gfor14::metrics {
 
 class Counter {
  public:
-  void add(std::uint64_t d = 1) { value_ += d; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t d = 1) {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Distribution metric backed by the Welford Summary of stats.hpp.
 class Histogram {
  public:
-  void observe(double v) { summary_.add(v); }
-  const Summary& summary() const { return summary_; }
+  void observe(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    summary_.add(v);
+  }
+  Summary summary() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return summary_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    summary_ = Summary{};
+  }
 
  private:
+  mutable std::mutex mu_;
   Summary summary_;
 };
 
@@ -67,6 +91,7 @@ class Registry {
 
  private:
   Registry() = default;
+  mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

@@ -1,0 +1,178 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gfor14 {
+
+namespace {
+
+// Safety cap: lane counts beyond this are clamped. Oversubscription beyond
+// the core count is allowed (the differential tests deliberately run more
+// lanes than cores to shake out scheduling dependence), runaway values from
+// a malformed GFOR14_THREADS are not.
+constexpr std::size_t kMaxLanes = 256;
+
+std::size_t clamp_lanes(std::size_t threads) {
+  if (threads == 0) return hardware_threads();
+  return threads < kMaxLanes ? threads : kMaxLanes;
+}
+
+std::size_t parse_env_threads() {
+  const char* env = std::getenv("GFOR14_THREADS");
+  if (!env || !*env) return 1;
+  const std::string value(env);
+  if (value == "hw") return hardware_threads();
+  char* tail = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &tail, 10);
+  if (tail == value.c_str() || *tail != '\0') return 1;  // not a number
+  return clamp_lanes(static_cast<std::size_t>(parsed));
+}
+
+std::atomic<std::size_t>& default_threads_slot() {
+  static std::atomic<std::size_t> slot{parse_env_threads()};
+  return slot;
+}
+
+// Nested parallel_for calls run inline: a strand blocking on an inner batch
+// whose runner tasks sit behind other blocked strands in the queue would
+// deadlock, and the simulator's call graph never needs two parallel levels.
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t default_threads() {
+  return default_threads_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_threads(std::size_t threads) {
+  default_threads_slot().store(clamp_lanes(threads),
+                               std::memory_order_relaxed);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> tasks;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void ensure_workers(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mu);
+    while (workers.size() < count && workers.size() + 1 < kMaxLanes)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return stop || !tasks.empty(); });
+        if (stop && tasks.empty()) return;
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t lanes,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t range = end - begin;
+  std::size_t strands = clamp_lanes(lanes);
+  if (strands > range) strands = range;
+  if (strands <= 1 || tl_in_parallel_region) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // One shared batch: strands grab indices from an atomic cursor, so load
+  // imbalance between parties self-levels. Which strand runs which index is
+  // scheduling-dependent by design — callers own the determinism contract
+  // (disjoint writes per index).
+  struct Batch {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    const std::function<void(std::size_t)>* fn;
+    std::atomic<std::size_t> active;
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->next.store(begin, std::memory_order_relaxed);
+  batch->end = end;
+  batch->fn = &fn;
+  batch->active.store(strands, std::memory_order_relaxed);
+
+  auto run_strand = [](const std::shared_ptr<Batch>& b) {
+    tl_in_parallel_region = true;
+    for (;;) {
+      const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b->end) break;
+      try {
+        (*b->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        if (!b->error) b->error = std::current_exception();
+      }
+    }
+    tl_in_parallel_region = false;
+    if (b->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      b->done.notify_all();
+    }
+  };
+
+  impl_->ensure_workers(strands - 1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (std::size_t s = 1; s < strands; ++s)
+      impl_->tasks.emplace_back([batch, run_strand] { run_strand(batch); });
+  }
+  impl_->cv.notify_all();
+
+  run_strand(batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&] {
+      return batch->active.load(std::memory_order_acquire) == 0;
+    });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+}  // namespace gfor14

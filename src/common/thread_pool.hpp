@@ -1,0 +1,63 @@
+// Fixed worker pool for the deterministic parallel round engine.
+//
+// The simulator's unit of parallelism is one party's per-round computation:
+// parties only interact through the Network's message queues, so their round
+// handlers are data-independent and can run on separate workers as long as
+// every shared-state write is collected per party and merged at the round
+// barrier in a canonical order (see Network::run_round). The pool therefore
+// exposes exactly one primitive, parallel_for over an index range, with the
+// completion barrier built in — protocol code never sees a task handle.
+//
+// Determinism contract: parallel_for guarantees fn(i) is invoked exactly
+// once per index, with no ordering guarantee BETWEEN indices. Callers must
+// ensure distinct indices write to disjoint slots (per-party lanes, forked
+// per-party Rngs); given that, results are identical for every lane count
+// and every scheduling, which is what the serial-vs-parallel differential
+// suite (tests/parallel_engine_test.cpp) locks in.
+//
+// Worker threads are spawned lazily up to the highest lane count ever
+// requested (minus the caller, which always participates) and live for the
+// process lifetime. Exceptions thrown by fn are captured and the first one
+// is rethrown on the calling thread after the barrier.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gfor14 {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+std::size_t hardware_threads();
+
+/// Process-wide default lane count consulted by every new Network. First
+/// call parses GFOR14_THREADS: unset/empty/"1" -> 1 (serial), a number ->
+/// that many lanes, "0" or "hw" -> hardware_threads().
+std::size_t default_threads();
+
+/// Overrides the process default (CLI --threads). 0 means hardware_threads().
+void set_default_threads(std::size_t threads);
+
+class ThreadPool {
+ public:
+  /// Process-wide pool (workers are shared by all networks; rounds from
+  /// different networks never overlap because run_round is a full barrier).
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [begin, end) across up to `lanes` concurrent
+  /// strands (the calling thread plus lanes - 1 workers), returning after
+  /// ALL indices completed. lanes <= 1, or a range of at most one index,
+  /// runs inline. Rethrows the first exception fn threw.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t lanes,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace gfor14

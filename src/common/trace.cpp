@@ -74,7 +74,13 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
+Tracer::ThreadState& Tracer::state() {
+  static thread_local ThreadState ts;
+  return ts;
+}
+
 bool Tracer::set_sink_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (path.empty()) {
     sink_.reset();
     return true;
@@ -86,22 +92,26 @@ bool Tracer::set_sink_path(const std::string& path) {
   return true;
 }
 
-void Tracer::reset() { roots_.clear(); }
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.clear();
+}
 
 void Span::open(std::string_view name, const net::Network* net) {
   Tracer& tr = Tracer::instance();
   if (!tr.enabled()) return;
+  Tracer::ThreadState& ts = Tracer::state();
   auto node = std::make_unique<SpanNode>();
   node->name = std::string(name);
   node_ = node.get();
-  tr.pending_.push_back(std::move(node));
-  tr.open_.push_back(node_);
+  ts.pending.push_back(std::move(node));
+  ts.open.push_back(node_);
   if (net) {
     bound_net_ = true;
-    prev_net_ = tr.current_net_;
-    tr.current_net_ = net;
+    prev_net_ = ts.current_net;
+    ts.current_net = net;
   }
-  if (tr.current_net_) start_costs_ = tr.current_net_->costs();
+  if (ts.current_net) start_costs_ = ts.current_net->costs();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -118,43 +128,49 @@ void Span::metric(std::string_view key, double value) {
 Span::~Span() {
   if (!node_) return;
   Tracer& tr = Tracer::instance();
-  // Spans close in strict LIFO order (they are scoped objects).
-  GFOR14_EXPECTS(!tr.open_.empty() && tr.open_.back() == node_);
+  Tracer::ThreadState& ts = Tracer::state();
+  // Spans close in strict LIFO order per thread (they are scoped objects).
+  GFOR14_EXPECTS(!ts.open.empty() && ts.open.back() == node_);
   node_->wall_us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start_)
           .count();
-  if (tr.current_net_) node_->costs = tr.current_net_->costs() - start_costs_;
+  if (ts.current_net) node_->costs = ts.current_net->costs() - start_costs_;
 
-  if (tr.sink_) {
-    // Streamed JSONL record: path from the open stack, flat costs.
-    std::string path;
-    for (const SpanNode* s : tr.open_) {
-      if (!path.empty()) path.push_back('/');
-      path += s->name;
+  {
+    std::lock_guard<std::mutex> lock(tr.mu_);
+    if (tr.sink_) {
+      // Streamed JSONL record: path from this thread's open stack.
+      std::string path;
+      for (const SpanNode* s : ts.open) {
+        if (!path.empty()) path.push_back('/');
+        path += s->name;
+      }
+      json::Value line = json::Value::object();
+      line.set("span", std::move(path));
+      line.set("wall_us", node_->wall_us);
+      line.set("costs", cost_to_json(node_->costs));
+      if (!node_->metrics.empty()) {
+        json::Value m = json::Value::object();
+        for (const auto& [k, v] : node_->metrics) m.set(k, v);
+        line.set("metrics", std::move(m));
+      }
+      tr.sink_->out << line.dump() << '\n';
+      tr.sink_->out.flush();
     }
-    json::Value line = json::Value::object();
-    line.set("span", std::move(path));
-    line.set("wall_us", node_->wall_us);
-    line.set("costs", cost_to_json(node_->costs));
-    if (!node_->metrics.empty()) {
-      json::Value m = json::Value::object();
-      for (const auto& [k, v] : node_->metrics) m.set(k, v);
-      line.set("metrics", std::move(m));
-    }
-    tr.sink_->out << line.dump() << '\n';
-    tr.sink_->out.flush();
   }
 
-  tr.open_.pop_back();
-  auto owned = std::move(tr.pending_.back());
-  tr.pending_.pop_back();
-  if (tr.open_.empty())
+  ts.open.pop_back();
+  auto owned = std::move(ts.pending.back());
+  ts.pending.pop_back();
+  if (ts.open.empty()) {
+    std::lock_guard<std::mutex> lock(tr.mu_);
     tr.roots_.push_back(std::move(owned));
-  else
-    tr.open_.back()->children.push_back(std::move(owned));
+  } else {
+    ts.open.back()->children.push_back(std::move(owned));
+  }
 
-  if (bound_net_) tr.current_net_ = prev_net_;
+  if (bound_net_) ts.current_net = prev_net_;
 }
 
 }  // namespace gfor14::trace

@@ -16,11 +16,19 @@
 // any other value is a JSONL sink path — one JSON line per closed span),
 // or with the CLI's --trace flag.
 //
-// The simulator is single-threaded; so is the tracer.
+// Concurrency: the span stack is thread-local, so a span opened on a worker
+// thread of the parallel round engine nests under that thread's own spans
+// only and becomes its own trace tree. Completed trees and JSONL sink
+// writes go through one mutex-guarded buffer; round handlers finish before
+// the round barrier, so every worker-side span is flushed into the shared
+// root list by the time the orchestrator's enclosing span closes. The
+// orchestrator-level phase spans that tile a protocol run are all opened on
+// the orchestrating thread and keep their exact serial semantics.
 #pragma once
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,7 +74,9 @@ class Tracer {
   /// Drops all finished trace trees (open spans are unaffected).
   void reset();
 
-  /// Finished top-level trace trees, in completion order.
+  /// Finished top-level trace trees, in completion order. Call from the
+  /// orchestrating thread with no round in flight (worker spans flush at
+  /// round barriers, so the list is stable between rounds).
   const std::vector<std::unique_ptr<SpanNode>>& roots() const { return roots_; }
   /// Most recently finished top-level tree; nullptr when none.
   const SpanNode* last_root() const {
@@ -78,10 +88,18 @@ class Tracer {
   Tracer();
   ~Tracer();
 
+  /// Per-thread open-span state: stack plus the network bound as the cost
+  /// source. Worker threads get their own, so concurrent handlers cannot
+  /// interleave each other's stacks.
+  struct ThreadState {
+    const net::Network* current_net = nullptr;
+    std::vector<SpanNode*> open;  ///< stack of open spans (owned below)
+    std::vector<std::unique_ptr<SpanNode>> pending;  ///< open, stack order
+  };
+  static ThreadState& state();
+
   bool enabled_ = false;
-  const net::Network* current_net_ = nullptr;
-  std::vector<SpanNode*> open_;  ///< stack of open spans (owned below)
-  std::vector<std::unique_ptr<SpanNode>> pending_;  ///< open nodes, stack order
+  std::mutex mu_;  ///< guards roots_ and the sink
   std::vector<std::unique_ptr<SpanNode>> roots_;
   struct Sink;
   std::unique_ptr<Sink> sink_;

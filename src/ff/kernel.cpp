@@ -141,8 +141,8 @@ const char* kernel_name(Kernel k) {
 
 namespace {
 
-Kernel g_active = Kernel::kTable;
-bool g_resolved = false;
+std::atomic<Kernel> g_active{Kernel::kTable};
+std::atomic<bool> g_resolved{false};
 
 detail::Clmul64Fn fn_of(Kernel k) {
   switch (k) {
@@ -155,9 +155,12 @@ detail::Clmul64Fn fn_of(Kernel k) {
 }
 
 void activate(Kernel k) {
-  g_active = k;
-  g_resolved = true;
-  detail::g_clmul64 = fn_of(k);
+  // Racing activations (worker lanes hitting the trampoline together) all
+  // resolve to the same kernel; relaxed stores are fine because every
+  // intermediate state is a valid dispatch target.
+  g_active.store(k, std::memory_order_relaxed);
+  g_resolved.store(true, std::memory_order_relaxed);
+  detail::g_clmul64.store(fn_of(k), std::memory_order_relaxed);
   metrics::Registry::instance()
       .counter(std::string("ff.kernel.") + kernel_name(k))
       .add();
@@ -178,18 +181,19 @@ Kernel resolve_from_env() {
 
 u128 clmul64_resolve_trampoline(std::uint64_t a, std::uint64_t b) {
   activate(resolve_from_env());
-  return detail::g_clmul64(a, b);
+  return detail::g_clmul64.load(std::memory_order_relaxed)(a, b);
 }
 
 }  // namespace
 
 namespace detail {
-Clmul64Fn g_clmul64 = &clmul64_resolve_trampoline;
+std::atomic<Clmul64Fn> g_clmul64{&clmul64_resolve_trampoline};
 }  // namespace detail
 
 Kernel active_kernel() {
-  if (!g_resolved) activate(resolve_from_env());
-  return g_active;
+  if (!g_resolved.load(std::memory_order_relaxed))
+    activate(resolve_from_env());
+  return g_active.load(std::memory_order_relaxed);
 }
 
 const char* active_kernel_name() { return kernel_name(active_kernel()); }
@@ -203,8 +207,9 @@ bool set_kernel(Kernel k) {
 }
 
 void reset_kernel() {
-  g_resolved = false;
-  detail::g_clmul64 = &clmul64_resolve_trampoline;
+  g_resolved.store(false, std::memory_order_relaxed);
+  detail::g_clmul64.store(&clmul64_resolve_trampoline,
+                          std::memory_order_relaxed);
 }
 
 }  // namespace gfor14::ff

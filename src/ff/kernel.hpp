@@ -21,6 +21,7 @@
 // their numbers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace gfor14::ff {
@@ -54,12 +55,16 @@ void reset_kernel();
 
 namespace detail {
 using Clmul64Fn = u128 (*)(std::uint64_t, std::uint64_t);
-extern Clmul64Fn g_clmul64;  // constant-initialized to a resolving trampoline
+// Constant-initialized to a resolving trampoline. Atomic because worker
+// lanes may race on the first-use resolution; relaxed ordering is enough —
+// every value ever stored is a valid kernel entry point and racing
+// resolvers all compute the same answer.
+extern std::atomic<Clmul64Fn> g_clmul64;
 }  // namespace detail
 
 /// Carry-less product of two 64-bit polynomials via the active kernel.
 inline u128 clmul64(std::uint64_t a, std::uint64_t b) {
-  return detail::g_clmul64(a, b);
+  return detail::g_clmul64.load(std::memory_order_relaxed)(a, b);
 }
 
 // Direct entry points for differential tests (bypass dispatch).

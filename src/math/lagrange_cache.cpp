@@ -21,14 +21,21 @@ const std::vector<Fld>& LagrangeCache::coefficients(std::span<const Fld> xs,
       &metrics::Registry::instance().counter("math.lagrange_cache.hit");
   static metrics::Counter* const kMiss =
       &metrics::Registry::instance().counter("math.lagrange_cache.miss");
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    kHit->add();
-    return it->second;
+  {
+    std::shared_lock lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      kHit->add();
+      return it->second;
+    }
   }
+  // Miss: compute outside any lock (pure function, possibly duplicated by a
+  // concurrent missing thread), then insert; try_emplace keeps the first
+  // winner so the returned reference is stable either way.
   kMiss->add();
-  return cache_.emplace(std::move(key), lagrange_coefficients(xs, at))
-      .first->second;
+  auto coeffs = lagrange_coefficients(xs, at);
+  std::unique_lock lock(mu_);
+  return cache_.try_emplace(std::move(key), std::move(coeffs)).first->second;
 }
 
 }  // namespace gfor14

@@ -6,14 +6,22 @@
 // functions of a handful of distinct keys. Caching them turns the per-value
 // reconstruction cost into one inner product.
 //
-// The simulator is single-threaded, so the cache is unsynchronized; returned
-// references stay valid until clear() (node-based map storage). Hits and
-// misses are counted in the metrics registry as math.lagrange_cache.{hit,
-// miss} so bench artifacts can attribute reconstruction speed.
+// The parallel round engine reaches this cache from worker threads (the
+// per-value halves of reconstruction decode run concurrently), so lookups
+// take a shared lock and insertions an exclusive one; std::map's node-based
+// storage keeps returned references stable until clear(), which must not
+// race with readers (call it only between protocol executions). When two
+// workers miss the same key at once, both compute the (identical, pure)
+// vector and one insertion wins — the returned values are deterministic
+// either way, only the math.lagrange_cache.{hit,miss} split can differ
+// between thread counts. Hits and misses are counted in the metrics
+// registry so bench artifacts can attribute reconstruction speed.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -30,14 +38,21 @@ class LagrangeCache {
   /// until clear().
   const std::vector<Fld>& coefficients(std::span<const Fld> xs, Fld at);
 
-  std::size_t size() const { return cache_.size(); }
-  void clear() { cache_.clear(); }
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return cache_.size();
+  }
+  void clear() {
+    std::unique_lock lock(mu_);
+    cache_.clear();
+  }
 
  private:
   LagrangeCache() = default;
   // Key: the point multiset (order-sensitive — callers use ordered party
   // sets) plus the evaluation point, as raw representations.
   using Key = std::vector<std::uint64_t>;
+  mutable std::shared_mutex mu_;
   std::map<Key, std::vector<Fld>> cache_;
 };
 

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gfor14::net {
 
@@ -32,6 +33,7 @@ void RoundTraffic::reset(std::size_t n) {
 
 Network::Network(std::size_t n, std::uint64_t seed)
     : n_(n),
+      threads_(default_threads()),
       corrupt_(n, false),
       adv_rng_(seed ^ 0xADE5A11ULL),
       party_costs_(n) {
@@ -68,6 +70,43 @@ void Network::corrupt_first(std::size_t t) {
 Rng& Network::rng_of(PartyId p) {
   GFOR14_EXPECTS(p < n_);
   return party_rng_[p];
+}
+
+void Network::set_threads(std::size_t threads) {
+  threads_ = threads == 0 ? hardware_threads() : threads;
+}
+
+void Network::run_round(const PartyHandler& handler) {
+  begin_round();
+  // Handlers only touch their own lane, their own party slots and their own
+  // forked rng_of(p) stream, so they can run on any number of workers; the
+  // lanes are then replayed below in ascending sender order, which is
+  // exactly the order the serial engine issues sends in. All accounting
+  // (costs_, party_costs_) happens in the replay, on this thread.
+  std::vector<RoundLane> lanes(n_);
+  if (threads_ <= 1) {
+    for (PartyId p = 0; p < n_; ++p) handler(p, lanes[p]);
+  } else {
+    ThreadPool::instance().parallel_for(
+        0, n_, threads_, [&](std::size_t p) { handler(p, lanes[p]); });
+  }
+  for (PartyId p = 0; p < n_; ++p) {
+    for (auto& item : lanes[p].items_) {
+      if (item.is_broadcast)
+        broadcast(p, std::move(item.payload));
+      else
+        send(p, item.to, std::move(item.payload));
+    }
+  }
+  end_round();
+}
+
+void Network::for_each_party(const std::function<void(PartyId)>& fn) const {
+  if (threads_ <= 1) {
+    for (PartyId p = 0; p < n_; ++p) fn(p);
+  } else {
+    ThreadPool::instance().parallel_for(0, n_, threads_, fn);
+  }
 }
 
 void Network::begin_round() {

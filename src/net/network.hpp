@@ -9,6 +9,17 @@
 // this evaluation order is the standard simulation of a *rushing*
 // adversary. end_round() then delivers all pending traffic at once.
 //
+// Parallel round engine: run_round(handler) executes every party's round
+// handler — its local computation plus the outgoing messages it submits to
+// its RoundLane — on the worker pool when threads() > 1, then merges the
+// per-party lanes into the pending queues in canonical (sender id,
+// submission sequence) order before the adversary turn and delivery. The
+// merged pending state, and therefore the delivered transcript, every cost
+// counter, every trace span and every rushing-adversary decision, is
+// byte-identical to the serial execution of the same handlers (locked in by
+// tests/parallel_engine_test.cpp). See DESIGN.md §8 for the determinism
+// contract.
+//
 // The network keeps the cost counters that the experiments report:
 //   * rounds                — total synchronous rounds elapsed;
 //   * broadcast_rounds      — rounds in which the physical broadcast channel
@@ -47,6 +58,8 @@ struct CostReport {
   /// taken at round boundaries (where counters are monotone). Subtracting a
   /// later snapshot from an earlier one is a caller bug and throws.
   CostReport operator-(const CostReport& o) const;
+
+  bool operator==(const CostReport&) const = default;
 };
 
 /// Per-party slice of the cost accounting: what each party put on (and,
@@ -83,6 +96,37 @@ struct RoundTraffic {
 
 class Network;
 
+/// Per-party outgoing-traffic buffer for run_round. A handler running on a
+/// worker thread submits its messages here instead of calling Network::send
+/// directly; the lanes are merged into the pending queues at the round
+/// barrier in (sender id, submission sequence) order, which reproduces the
+/// serial engine's pending state exactly (the serial loops iterate parties
+/// in ascending id order).
+class RoundLane {
+ public:
+  void send(PartyId to, Payload payload) {
+    items_.push_back({to, false, std::move(payload)});
+  }
+  void broadcast(Payload payload) {
+    items_.push_back({0, true, std::move(payload)});
+  }
+
+ private:
+  friend class Network;
+  struct Item {
+    PartyId to;
+    bool is_broadcast;
+    Payload payload;
+  };
+  std::vector<Item> items_;
+};
+
+/// One party's round computation: reads whatever protocol state it needs
+/// (prior delivered() traffic, its own rng_of(p) stream), writes only to
+/// party-indexed slots and to its RoundLane. Handlers for distinct parties
+/// may run concurrently — see DESIGN.md §8 for the full contract.
+using PartyHandler = std::function<void(PartyId, RoundLane&)>;
+
 /// Message-level adversary hook (rushing). Protocol-level misbehaviour
 /// (e.g. committing to improper vectors) is modelled by behaviour objects at
 /// the protocol layer; this hook covers attacks expressed directly on
@@ -118,7 +162,24 @@ class Network {
   void attach_adversary(std::shared_ptr<Adversary> adv) { adversary_ = std::move(adv); }
   Adversary* adversary() const { return adversary_.get(); }
 
+  /// Lane count for run_round and for_each_party: 1 = serial (the default,
+  /// or the GFOR14_THREADS process default at construction), > 1 runs party
+  /// handlers on the shared worker pool. 0 selects hardware_threads().
+  void set_threads(std::size_t threads);
+  std::size_t threads() const { return threads_; }
+
   // --- Round protocol -----------------------------------------------------
+  /// Executes one full synchronous round: begin_round, every party's
+  /// handler (parallel when threads() > 1), canonical lane merge, adversary
+  /// turn, delivery. Byte-identical to calling the handlers serially in
+  /// ascending party order with direct send/broadcast.
+  void run_round(const PartyHandler& handler);
+
+  /// Runs fn(p) for every party on the round engine's lanes — for the
+  /// compute-only halves of a round (parsing delivered traffic, building
+  /// commitments) that write to party-indexed slots but send nothing.
+  void for_each_party(const std::function<void(PartyId)>& fn) const;
+
   void begin_round();
   /// Secure (private, authenticated) channel send; delivered at end_round.
   void send(PartyId from, PartyId to, Payload payload);
@@ -160,6 +221,7 @@ class Network {
 
  private:
   std::size_t n_;
+  std::size_t threads_;
   std::vector<bool> corrupt_;
   std::vector<Rng> party_rng_;
   Rng adv_rng_;

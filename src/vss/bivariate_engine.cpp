@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "ff/ops.hpp"
 #include "math/berlekamp_welch.hpp"
@@ -95,11 +96,14 @@ struct BivariateEngine::ShareCtx {
 void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
   const std::size_t n = net_.n();
   const std::size_t t = profile_.t;
-  net_.begin_round();
-  for (net::PartyId d : ctx.dealers) {
+  // Round handler runs per dealer (non-dealers are no-ops); dealer d only
+  // touches rng_of(d), dealt[d] and its own recv[d][d] slot, so dealers are
+  // independent lanes.
+  net_.run_round([&](net::PartyId d, net::RoundLane& lane) {
     const auto& batch = (*ctx.batches)[d];
+    if (batch.empty()) return;
     const DealerBehaviour b = behaviour_[d];
-    if (b == DealerBehaviour::kSilent) continue;
+    if (b == DealerBehaviour::kSilent) return;
     for (net::PartyId i = 0; i < n; ++i) {
       net::Payload payload;
       payload.reserve(batch.size() * (t + 1));
@@ -124,13 +128,13 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
           ctx.recv[i][d][k] = Poly{std::move(coeffs)};
         }
       } else {
-        net_.send(d, i, std::move(payload));
+        lane.send(i, std::move(payload));
       }
     }
-  }
-  net_.end_round();
+  });
   // Parse: wrong-size or missing payloads leave the default zero slices.
-  for (net::PartyId i = 0; i < n; ++i) {
+  // Party i only writes recv[i].
+  net_.for_each_party([&](net::PartyId i) {
     for (net::PartyId d : ctx.dealers) {
       if (i == d) continue;
       const auto& msgs = net_.delivered().p2p[i][d];
@@ -144,13 +148,12 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
         ctx.recv[i][d][k] = Poly{std::move(coeffs)};
       }
     }
-  }
+  });
 }
 
 void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
   const std::size_t n = net_.n();
-  net_.begin_round();
-  for (net::PartyId i = 0; i < n; ++i) {
+  net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
     for (net::PartyId j = 0; j < n; ++j) {
       if (i == j) continue;
       net::Payload payload;
@@ -158,12 +161,14 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
       for (net::PartyId d : ctx.dealers)
         for (const auto& slice : ctx.recv[i][d])
           payload.push_back(slice.eval(eval_point<64>(j)));
-      net_.send(i, j, std::move(payload));
+      lane.send(j, std::move(payload));
     }
-  }
-  net_.end_round();
-  // Compare: j's claimed f_j(alpha_i) against my f_i(alpha_j).
-  for (net::PartyId i = 0; i < n; ++i) {
+  });
+  // Compare: j's claimed f_j(alpha_i) against my f_i(alpha_j). Each party
+  // buffers its own complaints; the merge into the (deduplicating, ordered)
+  // set is order-insensitive, so the parallel schedule cannot show through.
+  std::vector<std::vector<ShareCtx::Complaint>> found(n);
+  net_.for_each_party([&](net::PartyId i) {
     for (net::PartyId j = 0; j < n; ++j) {
       if (i == j) continue;
       const auto& msgs = net_.delivered().p2p[i][j];
@@ -176,13 +181,15 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
           const Fld claimed = payload ? (*payload)[pos] : Fld::zero();
           const Fld mine = ctx.recv[i][d][k].eval(eval_point<64>(j));
           if (claimed != mine) {
-            ctx.complaints.insert(
+            found[i].push_back(
                 {d, k, std::min<std::size_t>(i, j), std::max<std::size_t>(i, j)});
           }
         }
       }
     }
-  }
+  });
+  for (const auto& per_party : found)
+    ctx.complaints.insert(per_party.begin(), per_party.end());
 }
 
 void BivariateEngine::publish_round(const std::vector<net::Payload>& per_party,
@@ -249,13 +256,18 @@ ShareResult BivariateEngine::share_all(
     if (batches[d].empty()) continue;
     ctx.dealers.push_back(d);
     ctx.total_m += batches[d].size();
+    for (net::PartyId i = 0; i < n; ++i)
+      ctx.recv[i][d].assign(batches[d].size(), Poly{});
+  }
+  // Polynomial generation per dealer: dealer d draws only from its own
+  // forked RNG stream and fills only dealt[d].
+  net_.for_each_party([&](net::PartyId d) {
+    if (batches[d].empty()) return;
     ctx.dealt[d].reserve(batches[d].size());
     for (Fld s : batches[d])
       ctx.dealt[d].push_back(
           SymmetricBivariate::random_with_secret(net_.rng_of(d), t, s));
-    for (net::PartyId i = 0; i < n; ++i)
-      ctx.recv[i][d].assign(batches[d].size(), Poly{});
-  }
+  });
 
   // R1 + R2.
   round_distribute_slices(ctx);
@@ -477,18 +489,24 @@ ShareResult BivariateEngine::share_all(
   }
   run_padding_rounds();
 
-  // Finalize: append sharings, derive committed share polynomials.
+  // Finalize: append sharings, derive committed share polynomials. The
+  // qualification flags live in vector<bool> (adjacent bits share a byte),
+  // so they are set serially; the interpolation work — all of the cost —
+  // then runs per dealer, each writing only its own pre-sized slots.
   ShareResult result;
   result.qualified.assign(n, true);
+  std::vector<std::size_t> base(n, 0);
   for (net::PartyId d : ctx.dealers) {
     const bool ok = accepts[d] >= n - profile_.t;
     result.qualified[d] = ok;
     if (!ok) qualified_[d] = false;
+    base[d] = sharings_[d].size();
+    sharings_[d].resize(base[d] + batches[d].size());  // zero polys until
+                                                       // interpolated
+  }
+  net_.for_each_party([&](net::PartyId d) {
     const std::size_t m = batches[d].size();
-    if (!ok) {
-      sharings_[d].resize(sharings_[d].size() + m);  // default zero polys
-      continue;
-    }
+    if (m == 0 || !result.qualified[d]) return;
     // The content honest parties (those without a private conflict) are
     // the same for every index k of this dealer's batch, so the Lagrange
     // basis polynomials L_p(y) of the first t + 1 of them are computed
@@ -528,11 +546,9 @@ ShareResult BivariateEngine::share_all(
       for (std::size_t i = t + 1; i < content.size(); ++i)
         GFOR14_ENSURES(g.eval(xs[i]) ==
                        ctx.recv[content[i]][d][k].eval(Fld::zero()));
-      Sharing sh;
-      sh.share_poly = std::move(g);
-      sharings_[d].push_back(std::move(sh));
+      sharings_[d][base[d] + k].share_poly = std::move(g);
     }
-  }
+  });
   return result;
 }
 
@@ -575,7 +591,7 @@ std::vector<Fld> BivariateEngine::decode_received(
     // then interpolate t + 1 accepted shares. Lagrange coefficients come
     // from the process-wide cache keyed by the accepted point set (the
     // common case is a single set across all values and rounds).
-    for (std::size_t vi = 0; vi < values.size(); ++vi) {
+    const auto decode_one = [&](std::size_t vi) {
       std::vector<net::PartyId> accepted;
       std::vector<Fld> accepted_vals;
       for (net::PartyId i = 0; i < n && accepted.size() < t + 1; ++i) {
@@ -594,8 +610,8 @@ std::vector<Fld> BivariateEngine::decode_received(
           accepted_vals.push_back(revealed);
         }
       }
-      if (accepted.size() < t + 1) continue;  // default 0 (cannot happen
-                                              // with an honest majority)
+      if (accepted.size() < t + 1) return;  // default 0 (cannot happen
+                                            // with an honest majority)
       std::vector<Fld> xs(accepted.size());
       for (std::size_t i = 0; i < accepted.size(); ++i)
         xs[i] = eval_point<64>(accepted[i]);
@@ -603,6 +619,15 @@ std::vector<Fld> BivariateEngine::decode_received(
           std::span<const Fld>(xs), Fld::zero());
       out[vi] = ff::dot(std::span<const Fld>(lambda),
                         std::span<const Fld>(accepted_vals));
+    };
+    if (profile_.forgery_success_prob > 0.0) {
+      // The forgery coin draws from the shared adversary stream in (value,
+      // sender) order — that order is part of the determinism contract, so
+      // this path stays serial regardless of the thread setting.
+      for (std::size_t vi = 0; vi < values.size(); ++vi) decode_one(vi);
+    } else {
+      ThreadPool::instance().parallel_for(0, values.size(), net_.threads(),
+                                          decode_one);
     }
     return out;
   }
@@ -630,25 +655,29 @@ std::vector<Fld> BivariateEngine::decode_received(
   tail_rows.reserve(navail - (t + 1));
   for (std::size_t i = t + 1; i < navail; ++i)
     tail_rows.push_back(&lcache.coefficients(head_x, xs[i]));
-  for (std::size_t vi = 0; vi < values.size(); ++vi) {
-    std::vector<Fld> ys(navail);
-    for (std::size_t i = 0; i < navail; ++i)
-      ys[i] = (*per_sender[present[i]])[vi];
-    const std::span<const Fld> head_y(ys.data(), t + 1);
-    // Fast path: check that the tail shares lie on the head interpolation.
-    bool consistent = true;
-    for (std::size_t i = t + 1; i < navail && consistent; ++i) {
-      if (ff::dot(std::span<const Fld>(*tail_rows[i - (t + 1)]), head_y) !=
-          ys[i])
-        consistent = false;
-    }
-    if (consistent) {
-      out[vi] = ff::dot(std::span<const Fld>(lambda0), head_y);
-      continue;
-    }
-    auto decoded = berlekamp_welch(xs, ys, t, max_errors);
-    if (decoded) out[vi] = decoded->eval(Fld::zero());
-  }
+  // Values are independent (pure field arithmetic on precomputed rows), so
+  // the viewer-side decode splits across lanes — without it the serial
+  // decode would Amdahl-cap reconstruction speedups.
+  ThreadPool::instance().parallel_for(
+      0, values.size(), net_.threads(), [&](std::size_t vi) {
+        std::vector<Fld> ys(navail);
+        for (std::size_t i = 0; i < navail; ++i)
+          ys[i] = (*per_sender[present[i]])[vi];
+        const std::span<const Fld> head_y(ys.data(), t + 1);
+        // Fast path: the tail shares lie on the head interpolation.
+        bool consistent = true;
+        for (std::size_t i = t + 1; i < navail && consistent; ++i) {
+          if (ff::dot(std::span<const Fld>(*tail_rows[i - (t + 1)]),
+                      head_y) != ys[i])
+            consistent = false;
+        }
+        if (consistent) {
+          out[vi] = ff::dot(std::span<const Fld>(lambda0), head_y);
+          return;
+        }
+        auto decoded = berlekamp_welch(xs, ys, t, max_errors);
+        if (decoded) out[vi] = decoded->eval(Fld::zero());
+      });
   return out;
 }
 
@@ -657,15 +686,15 @@ std::vector<Fld> BivariateEngine::reconstruct_public(
   const std::size_t n = net_.n();
   trace::Span span("vss.reconstruct_public", net_);
   span.metric("values", static_cast<double>(values.size()));
-  net_.begin_round();
-  for (net::PartyId i = 0; i < n; ++i) {
+  // The n× committed_share_of evaluations per sender are the hot path of
+  // reconstruction; each sender computes and queues independently.
+  net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
     net::Payload payload(values.size());
     for (std::size_t vi = 0; vi < values.size(); ++vi)
       payload[vi] = committed_share_of(values[vi], i);
     for (net::PartyId j = 0; j < n; ++j)
-      if (i != j) net_.send(i, j, payload);
-  }
-  net_.end_round();
+      if (i != j) lane.send(j, payload);
+  });
   // Decode from the viewpoint of the lowest-indexed honest party (all honest
   // parties derive the same values — equivocated or corrupted shares are
   // rejected receiver-side).
@@ -698,18 +727,20 @@ std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
   const std::size_t n = net_.n();
   trace::Span span("vss.reconstruct_private", net_);
   span.metric("requests", static_cast<double>(requests.size()));
-  net_.begin_round();
-  for (const auto& req : requests) {
-    GFOR14_EXPECTS(req.receiver < n);
-    for (net::PartyId i = 0; i < n; ++i) {
+  for (const auto& req : requests) GFOR14_EXPECTS(req.receiver < n);
+  // Sender-major iteration (each sender walks the requests in order) keeps
+  // every (sender, receiver) channel's message sequence in request order —
+  // exactly what the slot-indexed inbox reads below rely on — while letting
+  // each sender evaluate its committed shares on its own lane.
+  net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
+    for (const auto& req : requests) {
       if (i == req.receiver) continue;
       net::Payload payload(req.values.size());
       for (std::size_t vi = 0; vi < req.values.size(); ++vi)
         payload[vi] = committed_share_of(req.values[vi], i);
-      net_.send(i, req.receiver, std::move(payload));
+      lane.send(req.receiver, std::move(payload));
     }
-  }
-  net_.end_round();
+  });
   // Per receiver, messages arrive in request order (FIFO per channel), so
   // the r-th request toward a receiver reads that receiver's r-th inbox
   // entry from each sender.

@@ -1,0 +1,182 @@
+// Focused coverage of the cut-and-choose opening machinery (Figure 1,
+// step 3) at the slab level: the honest open verifies on BOTH challenge
+// branches, each tampering class is caught on exactly the branch that
+// audits it, shares tampered on the wire are filtered out by the
+// information-checking layer, and the only way past the proof is guessing
+// every one of the kappa_cc challenge bits — probability 2^-kappa_cc.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "anonchan/attacks.hpp"
+#include "anonchan/cut_and_choose.hpp"
+#include "common/stats.hpp"
+#include "net/adversary.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14 {
+namespace {
+
+using anonchan::AnonChan;
+using anonchan::BatchLayout;
+using anonchan::Params;
+using vss::SchemeKind;
+
+// Shares one dealer's commitment (built by `strategy`) on a fresh network
+// and exposes the opened cut-and-choose views per copy.
+struct SharedCommitment {
+  net::Network net;
+  std::unique_ptr<vss::VssScheme> vss;
+  Params params;
+  BatchLayout layout;
+  anonchan::SenderCommitment commitment;
+
+  SharedCommitment(anonchan::SenderStrategy& strategy, std::uint64_t seed)
+      : net(4, seed),
+        vss(vss::make_vss(SchemeKind::kRB, net)),
+        params(Params::practical(4, 3)),
+        layout(BatchLayout::make(params, 0, /*is_receiver=*/false)) {
+    commitment =
+        strategy.build(params, layout, Fld::from_u64(77), net.rng_of(0));
+    std::vector<std::vector<Fld>> batches(net.n());
+    batches[0] = commitment.secrets;
+    vss->share_all(batches);
+  }
+
+  std::vector<Fld> open(const std::vector<vss::LinComb>& values) {
+    return vss->reconstruct_public(values);
+  }
+
+  /// Round A, challenge bit 0: the opened permutation of copy j.
+  std::optional<Permutation> open_permutation(std::size_t j) {
+    return Permutation::from_field(open(layout.perm[j].all()));
+  }
+  /// Round A, challenge bit 1: the opened index list of copy j.
+  std::optional<std::vector<std::size_t>> open_index_list(std::size_t j) {
+    return anonchan::decode_index_list(
+        std::span<const Fld>(open(layout.idx[j].all())), params.ell);
+  }
+
+  bool all_zero(const std::vector<vss::LinComb>& checks) {
+    for (Fld f : open(checks))
+      if (!f.is_zero()) return false;
+    return true;
+  }
+};
+
+TEST(CutAndChooseOpen, HonestOpenVerifiesOnBothBranches) {
+  anonchan::HonestSender honest;
+  SharedCommitment sc(honest, 314159);
+  for (std::size_t j = 0; j < sc.params.kappa_cc; ++j) {
+    // Bit 0 branch: the permutation decodes and the permuted-difference
+    // vector u[k] = v[pi(k)] - w_j[k] reconstructs to all zeros.
+    const auto pi = sc.open_permutation(j);
+    ASSERT_TRUE(pi.has_value()) << "copy " << j;
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::perm_diff_values(sc.params, sc.layout, j, *pi)));
+    // Bit 1 branch: the index list decodes, matches the ground-truth
+    // non-zero positions of w_j = pi_j(v), and the zero/equality checks
+    // all reconstruct to zero.
+    const auto idx = sc.open_index_list(j);
+    ASSERT_TRUE(idx.has_value()) << "copy " << j;
+    EXPECT_EQ(*idx, anonchan::permuted_indices(*pi, sc.commitment.v_indices,
+                                               sc.params.ell));
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::sparse_check_values(sc.params, sc.layout, j, *idx)));
+  }
+}
+
+TEST(CutAndChooseOpen, UnequalEntriesCaughtByIndexBranchOnly) {
+  // A d-sparse vector with unequal entries: every copy is a genuine
+  // permutation of v (bit 0 passes), but the consecutive-difference checks
+  // of the bit 1 branch expose the inequality.
+  anonchan::UnequalEntriesAttack attack;
+  SharedCommitment sc(attack, 271828);
+  for (std::size_t j = 0; j < sc.params.kappa_cc; ++j) {
+    const auto pi = sc.open_permutation(j);
+    ASSERT_TRUE(pi.has_value());
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::perm_diff_values(sc.params, sc.layout, j, *pi)));
+    const auto idx = sc.open_index_list(j);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_FALSE(sc.all_zero(
+        anonchan::sparse_check_values(sc.params, sc.layout, j, *idx)));
+  }
+}
+
+TEST(CutAndChooseOpen, WrongCopiesCaughtByPermutationBranchOnly) {
+  // Proper but unrelated copies: each w_j is d-sparse with a truthful index
+  // list (bit 1 passes), while the claimed pi_j does not map v onto w_j.
+  anonchan::WrongCopyAttack attack;
+  SharedCommitment sc(attack, 161803);
+  bool caught_somewhere = false;
+  for (std::size_t j = 0; j < sc.params.kappa_cc; ++j) {
+    const auto idx = sc.open_index_list(j);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::sparse_check_values(sc.params, sc.layout, j, *idx)));
+    const auto pi = sc.open_permutation(j);
+    ASSERT_TRUE(pi.has_value());
+    if (!sc.all_zero(
+            anonchan::perm_diff_values(sc.params, sc.layout, j, *pi)))
+      caught_somewhere = true;
+  }
+  EXPECT_TRUE(caught_somewhere);
+}
+
+TEST(CutAndChooseOpen, WireTamperedSharesAreFilteredByTheICLayer) {
+  // Tampered-share detection: corrupt parties rewrite every outgoing share
+  // during the reconstruction rounds (rushing adversary, replace_pending).
+  // The information-checking layer rejects the forged shares, so every
+  // opened value is still the committed one and the honest open verifies.
+  anonchan::HonestSender honest;
+  SharedCommitment sc(honest, 141421);
+  sc.net.corrupt_first(sc.net.max_t_half());  // t = 1 for n = 4
+  sc.net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  for (std::size_t j = 0; j < sc.params.kappa_cc; ++j) {
+    const auto pi = sc.open_permutation(j);
+    ASSERT_TRUE(pi.has_value());
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::perm_diff_values(sc.params, sc.layout, j, *pi)));
+    const auto idx = sc.open_index_list(j);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, anonchan::permuted_indices(*pi, sc.commitment.v_indices,
+                                               sc.params.ell));
+    EXPECT_TRUE(sc.all_zero(
+        anonchan::sparse_check_values(sc.params, sc.layout, j, *idx)));
+  }
+}
+
+TEST(CutAndChooseOpen, EscapePathIsExactlyGuessingEveryChallengeBit) {
+  // The 2^-kappa_cc escape: the optimal generic cheat survives iff every
+  // one of the kappa_cc challenge-bit guesses is right. With kappa_cc = 3
+  // the escape rate must straddle 1/8; and whenever the cheat escapes, the
+  // dense vector enters the sum and wipes out the honest messages — the
+  // failure mode the statistical bound prices.
+  const std::size_t kappa_cc = 3;
+  const std::size_t trials = 60;
+  std::size_t escapes = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    net::Network net(4, 52000 + trial);
+    net.set_corrupt(0, true);
+    auto vss = vss::make_vss(SchemeKind::kRB, net);
+    AnonChan chan(net, *vss, Params::practical(4, kappa_cc));
+    chan.set_strategy(0, std::make_shared<anonchan::GuessingAttack>());
+    std::vector<Fld> inputs = {Fld::zero(), Fld::from_u64(201),
+                               Fld::from_u64(202), Fld::zero()};
+    const auto out = chan.run(3, inputs);
+    ASSERT_EQ(out.challenge_bits.size(), kappa_cc);
+    if (!out.pass[0]) continue;
+    ++escapes;
+    EXPECT_FALSE(out.delivered(inputs[1]));
+    EXPECT_FALSE(out.delivered(inputs[2]));
+  }
+  const auto ci = wilson_interval(escapes, trials);
+  EXPECT_LT(ci.lo, 1.0 / 8.0);
+  EXPECT_GT(ci.hi, 1.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -4,6 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
 
 #include "anonchan/anonchan.hpp"
 #include "net/adversary.hpp"
@@ -126,6 +131,84 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+TEST(ParallelSweep, RandomConfigurationsMatchSerialByteForByte) {
+  // Property: for RANDOM configurations (n, scheme, receiver, corruption,
+  // lane count, inputs), a parallel execution is byte-identical to the
+  // serial one — the randomized companion to the fixed-scenario
+  // differential suite in parallel_engine_test.cpp.
+  //
+  // The sweep seed is fresh each run and printed below; replay any failure
+  // exactly by setting the one environment variable GFOR14_SWEEP_SEED.
+  std::uint64_t sweep_seed;
+  if (const char* env = std::getenv("GFOR14_SWEEP_SEED"); env && *env) {
+    sweep_seed = std::strtoull(env, nullptr, 10);
+  } else {
+    std::random_device rd;
+    sweep_seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }
+  std::printf("[ParallelSweep] GFOR14_SWEEP_SEED=%llu (export to replay)\n",
+              static_cast<unsigned long long>(sweep_seed));
+
+  Rng meta(sweep_seed);
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::size_t n = 4 + meta.next_below(2);        // 4..5
+    const std::size_t kappa = 2 + meta.next_below(2);    // 2..3
+    const std::size_t sessions = 1 + meta.next_below(2);  // 1..2
+    const SchemeKind kind = std::array{SchemeKind::kRB, SchemeKind::kBGW,
+                                       SchemeKind::kGGOR13}[meta.next_below(3)];
+    const std::size_t threads = 2 + meta.next_below(3);  // 2..4
+    const std::uint64_t net_seed = meta.next_u64();
+    const net::PartyId receiver =
+        static_cast<net::PartyId>(meta.next_below(n));
+    const bool corrupt_one = meta.next_bool();
+    std::vector<std::vector<Fld>> many(sessions);
+    for (auto& inputs : many) {
+      inputs.resize(n);
+      for (auto& x : inputs) x = Fld::random_nonzero(meta);
+    }
+
+    auto run_once = [&](std::size_t lanes) {
+      net::Network net(n, net_seed);
+      net.set_threads(lanes);
+      if (corrupt_one && receiver != 0) net.set_corrupt(0, true);
+      std::string transcript;
+      net.set_round_hook([&](const net::Network& nw,
+                             const net::CostReport& delta) {
+        transcript += std::to_string(delta.p2p_elements) + "|" +
+                      std::to_string(delta.broadcast_elements) + ":";
+        const auto& tr = nw.delivered();
+        for (std::size_t to = 0; to < nw.n(); ++to)
+          for (std::size_t from = 0; from < nw.n(); ++from)
+            for (const auto& payload : tr.p2p[to][from])
+              for (Fld f : payload)
+                transcript += std::to_string(f.to_u64()) + ",";
+        for (std::size_t from = 0; from < nw.n(); ++from)
+          for (const auto& payload : tr.bcast[from])
+            for (Fld f : payload)
+              transcript += std::to_string(f.to_u64()) + ",";
+        transcript += "\n";
+      });
+      auto vss = make_vss(kind, net);
+      anonchan::AnonChan chan(net, *vss,
+                              anonchan::Params::practical(n, kappa));
+      const auto out = chan.run_many(receiver, many);
+      for (const auto& session : out.sessions)
+        for (Fld f : session.y)
+          transcript += "y" + std::to_string(f.to_u64());
+      for (bool p : out.pass) transcript += p ? '1' : '0';
+      transcript += "r" + std::to_string(out.costs.rounds);
+      return transcript;
+    };
+
+    const std::string serial = run_once(1);
+    const std::string parallel = run_once(threads);
+    ASSERT_EQ(serial, parallel)
+        << "GFOR14_SWEEP_SEED=" << sweep_seed << " iter " << iter
+        << " n=" << n << " kappa=" << kappa << " sessions=" << sessions
+        << " threads=" << threads;
+  }
+}
 
 }  // namespace
 }  // namespace gfor14
