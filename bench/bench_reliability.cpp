@@ -15,8 +15,10 @@
 
 #include "anonchan/anonchan.hpp"
 #include "anonchan/attacks.hpp"
+#include "baselines/dcnet.hpp"
 #include "baselines/vabh03.hpp"
 #include "bench_json.hpp"
+#include "net/faultplan.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -140,6 +142,103 @@ void print_tables() {
   artifact.write();
 }
 
+// Experiment E11 — Robustness under deterministic wire faults: honest
+// delivery rate, blame-record volume and round counts of AnonChan as the
+// number of random in-model faults (traffic of the t corrupt parties only)
+// grows, against the DC-net baseline where the same faults silently destroy
+// deliveries with nobody incriminated.
+void print_e11() {
+  benchjson::Artifact artifact(
+      "E11_faults",
+      "Robustness sweep: AnonChan honest delivery, blame records and rounds "
+      "under random in-model fault plans vs the DC-net baseline");
+  artifact.param("scheme", "RB");
+  artifact.param("params_profile", "practical");
+  const std::size_t n = 5, kappa = 4, t = 2, trials = 6;
+  artifact.param("n", n);
+  artifact.param("kappa", kappa);
+  artifact.param("t", t);
+  std::printf("=== E11: robustness under random wire faults (n=%zu, t=%zu) "
+              "===\n", n, t);
+  std::printf("%8s %16s %14s %10s %16s\n", "faults", "honest delivery",
+              "blames/run", "rounds", "dcnet delivery");
+  Rng plan_rng(0xE11);
+  for (std::size_t faults : {0u, 2u, 4u, 8u, 16u}) {
+    Rate anon_rate, dc_rate;
+    std::size_t blames = 0, rounds_max = 0, events = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      net::FaultPlan::RandomSpec rs;
+      for (std::size_t p = 0; p < t; ++p)
+        rs.targets.push_back(static_cast<net::PartyId>(p));
+      rs.n = n;
+      rs.count = faults;
+      rs.allow_crash = false;  // keep every run comparable message-wise
+
+      // AnonChan: hardened receive paths, blame records, disqualification.
+      {
+        net::Network net(n, 30'000 + trial);
+        net.corrupt_first(t);
+        auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+        anonchan::AnonChan chan(net, *vss,
+                                anonchan::Params::practical(n, kappa));
+        rs.rounds = chan.expected_rounds();
+        auto engine = std::make_shared<net::FaultEngine>(
+            faults == 0 ? net::FaultPlan{}
+                        : net::FaultPlan::random(plan_rng, rs),
+            40'000 + trial);
+        net.attach_faults(engine);
+        const auto inputs = inputs_for(n);
+        const auto out = chan.run(n - 1, inputs);
+        for (std::size_t i = t; i < n; ++i) {
+          anon_rate.expected += 1;
+          if (out.delivered(inputs[i])) anon_rate.delivered += 1;
+        }
+        blames += net.blame_count();
+        rounds_max = std::max(rounds_max, out.costs.rounds);
+        events += engine->events().size();
+      }
+
+      // DC-net contrast: the same fault volume on a 2-round protocol with
+      // no blame/disqualification machinery.
+      {
+        net::Network net(n, 30'000 + trial);
+        net.corrupt_first(t);
+        rs.rounds = 2;
+        auto engine = std::make_shared<net::FaultEngine>(
+            faults == 0 ? net::FaultPlan{}
+                        : net::FaultPlan::random(plan_rng, rs),
+            50'000 + trial);
+        net.attach_faults(engine);
+        const auto inputs = inputs_for(n);
+        const std::vector<bool> no_jammers(n, false);
+        const auto out = baselines::run_dcnet(net, 4 * n * n, inputs,
+                                              no_jammers);
+        for (std::size_t i = t; i < n; ++i) {
+          dc_rate.expected += 1;
+          if (std::find(out.delivered.begin(), out.delivered.end(),
+                        inputs[i]) != out.delivered.end())
+            dc_rate.delivered += 1;
+        }
+      }
+    }
+    std::printf("%8zu %16.4f %14.2f %10zu %16.4f\n", faults,
+                anon_rate.rate(),
+                static_cast<double>(blames) / trials, rounds_max,
+                dc_rate.rate());
+    json::Value& row = artifact.row();
+    row.set("faults_per_run", faults);
+    row.set("trials", trials);
+    row.set("anonchan_honest_delivery_rate", anon_rate.rate());
+    row.set("anonchan_blames_per_run",
+            static_cast<double>(blames) / trials);
+    row.set("anonchan_rounds_max", rounds_max);
+    row.set("fault_events_total", events);
+    row.set("dcnet_honest_delivery_rate", dc_rate.rate());
+  }
+  std::printf("\n");
+  artifact.write();
+}
+
 void BM_FullRunPractical(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t kappa = static_cast<std::size_t>(state.range(1));
@@ -163,6 +262,7 @@ BENCHMARK(BM_FullRunPractical)
 
 int main(int argc, char** argv) {
   print_tables();
+  print_e11();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,10 +16,19 @@
 //                   serial default for the same seed. Overrides the
 //                   GFOR14_THREADS environment variable.
 //
+// Fault injection (channel, publish, pseudosig):
+//   --faults SPEC   deterministic wire faults, e.g.
+//                   "drop@3:0->2,corrupt@5:1->*:2,crash@7:0" (see
+//                   net/faultplan.hpp for the grammar). Every party the
+//                   spec targets is marked corrupt.
+//   --fault-seed S  seed for the fault randomness (default: the
+//                   GFOR14_FAULT_SEED environment variable, else --seed)
+//
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
 #include <cstdio>
 #include <cstring>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -30,6 +39,7 @@
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "net/faultplan.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
 
@@ -48,6 +58,9 @@ struct Options {
   std::string trace_path;    // "-" = stdout, "" = off
   std::string metrics_path;  // "-" = stdout, "" = off
   std::size_t threads = 0;   // 0 = keep the GFOR14_THREADS / serial default
+  std::string faults;        // fault plan spec, "" = no fault injection
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 };
 
 int usage() {
@@ -57,7 +70,8 @@ int usage() {
                "  [--receiver R] [--attack dense|unequal|wrongcopy|guessing"
                "|zero|fixed]\n"
                "  [--seed S] [--trace PATH|-] [--metrics PATH|-]"
-               " [--threads N|hw]\n");
+               " [--threads N|hw]\n"
+               "  [--faults SPEC] [--fault-seed S]\n");
   return 2;
 }
 
@@ -91,6 +105,11 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.threads = value == "hw" ? hardware_threads() : std::stoul(value);
         if (opt.threads == 0) return false;
         set_default_threads(opt.threads);
+      } else if (key == "--faults") {
+        opt.faults = value;
+      } else if (key == "--fault-seed") {
+        opt.fault_seed = std::stoull(value);
+        opt.fault_seed_set = true;
       } else {
         return false;
       }
@@ -123,6 +142,53 @@ void print_costs(const net::CostReport& c) {
               c.p2p_messages, c.p2p_elements);
 }
 
+/// Parses --faults, marks every targeted sender corrupt and attaches a
+/// FaultEngine seeded per --fault-seed / GFOR14_FAULT_SEED / --seed.
+/// Returns the engine (null when no faults were requested), or exits with
+/// a diagnostic on a malformed spec.
+std::shared_ptr<net::FaultEngine> attach_faults(net::Network& net,
+                                                const Options& opt) {
+  if (opt.faults.empty()) return nullptr;
+  std::string error;
+  const auto plan = net::FaultPlan::parse(opt.faults, &error);
+  if (!plan) {
+    std::fprintf(stderr, "bad --faults: %s\n", error.c_str());
+    std::exit(2);
+  }
+  std::uint64_t seed = opt.seed;
+  if (opt.fault_seed_set) {
+    seed = opt.fault_seed;
+  } else if (const char* env = std::getenv("GFOR14_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (net::PartyId p : plan->senders()) {
+    if (p < net.n()) net.set_corrupt(p, true);
+  }
+  auto engine = std::make_shared<net::FaultEngine>(*plan, seed);
+  net.attach_faults(engine);
+  std::printf("fault plan: %zu specs, GFOR14_FAULT_SEED=%llu\n",
+              plan->specs.size(), static_cast<unsigned long long>(seed));
+  return engine;
+}
+
+void print_fault_outcome(const net::Network& net,
+                         const net::FaultEngine* engine) {
+  if (engine == nullptr) return;
+  std::printf("faults applied: %zu events over %zu rounds, %zu blame "
+              "records\n",
+              engine->events().size(), engine->rounds_seen(),
+              net.blame_count());
+  for (const auto& b : net.blames()) {
+    if (b.accuser == net::kPublicBlame)
+      std::printf("  blame: public -> P%u (%s, round %zu)\n",
+                  static_cast<unsigned>(b.accused), b.reason.c_str(), b.round);
+    else
+      std::printf("  blame: P%u -> P%u (%s, round %zu)\n",
+                  static_cast<unsigned>(b.accuser),
+                  static_cast<unsigned>(b.accused), b.reason.c_str(), b.round);
+  }
+}
+
 std::vector<Fld> default_inputs(std::size_t n) {
   std::vector<Fld> x(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -132,6 +198,7 @@ std::vector<Fld> default_inputs(std::size_t n) {
 
 int run_channel(const Options& opt) {
   net::Network net(opt.n, opt.seed);
+  const auto faults = attach_faults(net, opt);
   auto vss = vss::make_vss(opt.scheme, net);
   anonchan::AnonChan chan(net, *vss,
                           anonchan::Params::practical(opt.n, opt.kappa));
@@ -161,11 +228,13 @@ int run_channel(const Options& opt) {
     if (out.delivered(inputs[i])) ++delivered;
   std::printf("inputs delivered: %zu/%zu\n", delivered, opt.n);
   print_costs(out.costs);
+  print_fault_outcome(net, faults.get());
   return 0;
 }
 
 int run_publish(const Options& opt) {
   net::Network net(opt.n, opt.seed);
+  const auto faults = attach_faults(net, opt);
   auto vss = vss::make_vss(opt.scheme, net);
   anonchan::AnonBroadcast chan(net, *vss,
                                anonchan::Params::practical(opt.n, opt.kappa));
@@ -176,11 +245,13 @@ int run_publish(const Options& opt) {
     std::printf(" %llx", static_cast<unsigned long long>(y.to_u64()));
   std::printf("\n");
   print_costs(out.costs);
+  print_fault_outcome(net, faults.get());
   return 0;
 }
 
 int run_pseudosig(const Options& opt) {
   net::Network net(opt.n, opt.seed);
+  const auto faults = attach_faults(net, opt);
   pseudosig::BroadcastSimulator sim(
       net, opt.scheme, anonchan::Params::practical(opt.n, 2),
       pseudosig::PsParams{4, 2, 3});
@@ -194,6 +265,7 @@ int run_pseudosig(const Options& opt) {
               result.agreement ? "yes" : "NO",
               result.validity ? "yes" : "NO", result.costs.rounds,
               sim.main_phase_broadcasts());
+  print_fault_outcome(net, faults.get());
   return 0;
 }
 

@@ -67,6 +67,11 @@ ManyOutput AnonChan::run_many_to(
   for (const auto& inputs : sessions) GFOR14_EXPECTS(inputs.size() == n);
   const auto cost_before = net_.cost_snapshot();
 
+  // The round bill of a run is fixed by the protocol structure (sessions are
+  // batched into the same rounds), so a fault-wedged execution can only mean
+  // a bug or an out-of-model fault — fail fast instead of spinning.
+  net::RoundBudgetGuard budget(net_, expected_rounds() + 2);
+
   // Root span for the whole invocation; the phase spans below tile every
   // network round between cost_before and the final cost snapshot, so their
   // deltas sum exactly to result.costs (asserted in common_trace_test).
@@ -142,8 +147,11 @@ ManyOutput AnonChan::run_many_to(
 
   ManyOutput result;
   result.pass.assign(n, true);
-  for (net::PartyId i = 0; i < n; ++i)
-    if (!share_result.qualified[i]) result.pass[i] = false;
+  for (net::PartyId i = 0; i < n; ++i) {
+    if (share_result.qualified[i]) continue;
+    result.pass[i] = false;
+    net_.blame(net::kPublicBlame, i, "anonchan.commit.unqualified");
+  }
   auto& pass = result.pass;
 
   // --- Step 2: joint random challenge (one element, shared by sessions) ---
@@ -199,13 +207,21 @@ ManyOutput AnonChan::run_many_to(
       if (bits[ref.copy]) {
         std::span<const Fld> enc(opened_a.data() + ref.offset, params_.d);
         auto decoded = decode_index_list(enc, params_.ell);
-        if (!decoded) pass[ref.dealer] = false;
+        if (!decoded && pass[ref.dealer]) {
+          pass[ref.dealer] = false;
+          net_.blame(net::kPublicBlame, ref.dealer,
+                     "anonchan.open.bad_index_list");
+        }
         idx_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
       } else {
         std::vector<Fld> enc(opened_a.begin() + ref.offset,
                              opened_a.begin() + ref.offset + params_.ell);
         auto decoded = Permutation::from_field(enc);
-        if (!decoded) pass[ref.dealer] = false;
+        if (!decoded && pass[ref.dealer]) {
+          pass[ref.dealer] = false;
+          net_.blame(net::kPublicBlame, ref.dealer,
+                     "anonchan.open.bad_permutation");
+        }
         pi_open[ref.session][ref.dealer][ref.copy] = std::move(decoded);
       }
     }
@@ -237,6 +253,9 @@ ManyOutput AnonChan::run_many_to(
       const auto& ref = b_refs[bi];
       for (std::size_t k = 0; k < b_sizes[bi]; ++k) {
         if (!opened_b[ref.offset + k].is_zero()) {
+          if (pass[ref.dealer])
+            net_.blame(net::kPublicBlame, ref.dealer,
+                       "anonchan.check.nonzero");
           pass[ref.dealer] = false;
           break;
         }
@@ -264,6 +283,9 @@ ManyOutput AnonChan::run_many_to(
         // replaced by the identity: the protocol stays total, and the random
         // relocation only protected against adversarially placed indices,
         // which a corrupt receiver cannot exploit against itself.
+        if (!decoded)
+          net_.blame(net::kPublicBlame, receivers[s],
+                     "anonchan.deliver.bad_g_permutation");
         g[s][gi] = decoded ? *decoded : Permutation::identity(params_.ell);
       }
     }

@@ -65,7 +65,6 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
 
   // Superposed sending: one broadcast round, every party announces its
   // pad-combination per slot (plus message, plus garbage when jamming).
-  std::vector<std::vector<Fld>> announcements(n);
   net.run_round([&](net::PartyId i, net::RoundLane& lane) {
     std::vector<Fld> ann(slots);
     for (std::size_t s = 0; s < slots; ++s) {
@@ -73,11 +72,24 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
       if (!inputs[i].is_zero() && slot_of[i] == s) ann[s] += inputs[i];
       if (jammers[i]) ann[s] += garbage[i][s];
     }
-    announcements[i] = ann;
     lane.broadcast(std::move(ann));
   });
 
-  // Everyone sums the announcements; pads cancel.
+  // Everyone sums the announcements as RECEIVED on the broadcast channel; a
+  // missing or malformed announcement counts as all-zeros (default-message
+  // convention) and earns the announcer a publicly visible blame record.
+  std::vector<std::vector<Fld>> received(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& queue = net.delivered().bcast[i];
+    if (!queue.empty() && queue.front().size() == slots) {
+      received[i] = queue.front();
+    } else {
+      received[i].assign(slots, Fld::zero());
+      net.blame(net::kPublicBlame, i, "dcnet.announcement.malformed");
+    }
+  }
+
+  // Sum per slot; pads cancel.
   DcNetOutput out;
   out.slots_used = slots;
   std::vector<std::size_t> senders_per_slot(slots, 0);
@@ -85,7 +97,7 @@ DcNetOutput run_dcnet(net::Network& net, std::size_t slots,
     if (!inputs[i].is_zero()) senders_per_slot[slot_of[i]] += 1;
   for (std::size_t s = 0; s < slots; ++s) {
     Fld sum = Fld::zero();
-    for (std::size_t i = 0; i < n; ++i) sum += announcements[i][s];
+    for (std::size_t i = 0; i < n; ++i) sum += received[i][s];
     if (senders_per_slot[s] > 1) out.collisions += 1;
     // A slot is delivered when exactly one sender used it and no jamming
     // garbled it; with jammers every slot is garbage (sum != the message

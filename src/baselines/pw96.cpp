@@ -23,6 +23,12 @@ Pw96Output run_pw96_elimination(net::Network& net,
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
   trace::Span span("baselines.pw96_elimination", net);
+  // Each attempt costs at most one DC-net (2 rounds) plus one investigation;
+  // a few extra attempts cover improbable slot collisions. A fault-wedged
+  // retry loop then dies with RoundLimitExceeded instead of spinning.
+  net::RoundBudgetGuard budget(
+      net, (pw96_elimination_worst_case_attempts(net.num_corrupt()) + 4) *
+               (kPw96RoundsPerInvestigation + 2));
   Pw96Output out;
 
   std::vector<bool> eliminated(n, false);
@@ -83,6 +89,11 @@ Pw96Output run_pw96(net::Network& net, const std::vector<Fld>& inputs,
   GFOR14_EXPECTS(inputs.size() == n);
   const auto before = net.cost_snapshot();
   trace::Span span("baselines.pw96", net);
+  // Worst case: every burnable pair disrupts once, then one clean attempt;
+  // see run_pw96_elimination for the per-attempt round bill.
+  net::RoundBudgetGuard budget(
+      net, (pw96_worst_case_attempts(n, net.num_corrupt()) + 4) *
+               (kPw96RoundsPerInvestigation + 2));
   Pw96Output out;
 
   // Burnable corrupt-honest pairs: the adversary spends them one disruption

@@ -57,7 +57,6 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
     for (std::size_t a = 0; a < size; ++a)
       slot_of[a] = static_cast<std::size_t>(
           net.rng_of(group_start + a).next_below(slots));
-    std::vector<std::vector<Fld>> anns(size);
     net.run_round([&](net::PartyId p, net::RoundLane& lane) {
       if (p < group_start || p >= group_start + size) return;
       const std::size_t a = p - group_start;
@@ -66,9 +65,22 @@ Vabh03Output run_vabh03(net::Network& net, const std::vector<Fld>& inputs,
         ann[s] = pads.combined(a, s);
         if (!inputs[p].is_zero() && slot_of[a] == s) ann[s] += inputs[p];
       }
-      anns[a] = ann;
       lane.broadcast(std::move(ann));
     });
+
+    // Parse the delivered broadcasts: a missing or malformed announcement
+    // defaults to all-zeros and blames the announcer.
+    std::vector<std::vector<Fld>> anns(size);
+    for (std::size_t a = 0; a < size; ++a) {
+      const auto& queue = net.delivered().bcast[group_start + a];
+      if (!queue.empty() && queue.front().size() == slots) {
+        anns[a] = queue.front();
+      } else {
+        anns[a].assign(slots, Fld::zero());
+        net.blame(net::kPublicBlame, group_start + a,
+                  "vabh03.announcement.malformed");
+      }
+    }
 
     // Sum announcements per slot; collisions destroy the colliding
     // messages (their XOR is garbage that does not match either input).

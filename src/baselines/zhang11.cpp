@@ -17,6 +17,9 @@ Zhang11Output run_zhang11(net::Network& net, vss::VssScheme& vss,
   trace::Span span("baselines.zhang11", net);
 
   Zhang11Costs costs{vss.share_rounds()};
+  // The round bill is fixed by the model; the padding loop below can only
+  // wedge on a bug, so fail fast at the modelled bill plus slack.
+  net::RoundBudgetGuard budget(net, costs.total() + 8);
 
   // Functional part: VSS-share every input (one parallel batched phase),
   // obliviously shuffle, privately reconstruct toward the receiver. The

@@ -15,7 +15,7 @@ void ShareCorruptingAdversary::on_round(Network& net) {
       std::vector<Payload> replaced;
       for (const auto& view : pending) {
         if (view.peer != to) continue;
-        Payload garbage(view.payload.size());
+        Payload garbage(view.payload().size());
         for (auto& x : garbage) x = Fld::random(net.adversary_rng());
         replaced.push_back(std::move(garbage));
       }
@@ -41,7 +41,7 @@ void RecordingAdversary::on_round(Network& net) {
     // The recorder owns its view of the transcript, so it copies the
     // payloads out of the pending queue (the only adversary that must).
     for (const auto& pv : net.pending_to_corrupt(p))
-      view.to_corrupt.emplace_back(pv.peer, p, pv.payload);
+      view.to_corrupt.emplace_back(pv.peer, p, pv.payload());
   }
   view.broadcasts = net.pending_broadcasts();
   views_.push_back(std::move(view));

@@ -1,9 +1,23 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "net/faultplan.hpp"
 
 namespace gfor14::net {
+
+const Payload& PendingView::payload() const {
+  // A stale stamp means the queue this view pointed into was rewritten
+  // (replace_pending / fault injection) or the round ended; reading through
+  // it would be use-after-free, so fail loudly instead.
+  GFOR14_EXPECTS(net_ != nullptr);
+  GFOR14_EXPECTS(stamp_ == net_->channel_stamp(from_, to_));
+  const auto& slot = net_->pending_.p2p[to_][from_];
+  GFOR14_EXPECTS(index_ < slot.size());
+  return slot[index_];
+}
 
 CostReport CostReport::operator-(const CostReport& o) const {
   // Counters are monotone at round boundaries, so a snapshot delta can
@@ -36,7 +50,9 @@ Network::Network(std::size_t n, std::uint64_t seed)
       threads_(default_threads()),
       corrupt_(n, false),
       adv_rng_(seed ^ 0xADE5A11ULL),
-      party_costs_(n) {
+      party_costs_(n),
+      channel_stamp_(n * n, 0),
+      blame_(n + 1) {
   GFOR14_EXPECTS(n >= 2);
   Rng root(seed);
   party_rng_.reserve(n);
@@ -111,11 +127,19 @@ void Network::for_each_party(const std::function<void(PartyId)>& fn) const {
 
 void Network::begin_round() {
   GFOR14_EXPECTS(!in_round_);
+  if (max_rounds_ != 0 && costs_.rounds >= max_rounds_) {
+    throw RoundLimitExceeded(
+        "round watchdog: " + std::to_string(costs_.rounds) +
+        " rounds elapsed, limit " + std::to_string(max_rounds_) +
+        " (protocol wedged or budget too tight)");
+  }
   in_round_ = true;
   in_adversary_turn_ = false;
   round_used_broadcast_ = false;
   round_start_costs_ = costs_;
   pending_.reset(n_);
+  // Fresh validity stamp for every channel: views from earlier rounds die.
+  std::fill(channel_stamp_.begin(), channel_stamp_.end(), ++stamp_counter_);
 }
 
 void Network::send(PartyId from, PartyId to, Payload payload) {
@@ -146,6 +170,17 @@ void Network::end_round() {
     in_adversary_turn_ = true;
     adversary_->on_round(*this);
     in_adversary_turn_ = false;
+  }
+  if (fault_engine_) {
+    // Wire faults hit whatever the rushing adversary left on the channels.
+    fault_engine_->apply(*this);
+    if (round_used_broadcast_) {
+      // Faults may have retracted every broadcast; the physical channel then
+      // went unused this round after all.
+      bool any = false;
+      for (const auto& q : pending_.bcast) any = any || !q.empty();
+      round_used_broadcast_ = any;
+    }
   }
   in_round_ = false;
   costs_.rounds += 1;
@@ -187,8 +222,9 @@ std::vector<PendingView> Network::pending_to_corrupt(PartyId to) const {
   GFOR14_EXPECTS(is_corrupt(to));
   std::vector<PendingView> out;
   for (PartyId from = 0; from < n_; ++from)
-    for (const auto& payload : pending_.p2p[to][from])
-      out.push_back({from, payload});
+    for (std::size_t k = 0; k < pending_.p2p[to][from].size(); ++k)
+      out.push_back(
+          PendingView(from, this, from, to, k, channel_stamp(from, to)));
   return out;
 }
 
@@ -202,15 +238,22 @@ std::vector<PendingView> Network::pending_from_corrupt(PartyId from) const {
   GFOR14_EXPECTS(is_corrupt(from));
   std::vector<PendingView> out;
   for (PartyId to = 0; to < n_; ++to)
-    for (const auto& payload : pending_.p2p[to][from])
-      out.push_back({to, payload});
+    for (std::size_t k = 0; k < pending_.p2p[to][from].size(); ++k)
+      out.push_back(
+          PendingView(to, this, from, to, k, channel_stamp(from, to)));
   return out;
 }
 
 void Network::replace_pending(PartyId from, PartyId to,
                               std::vector<Payload> payloads) {
-  GFOR14_EXPECTS(in_round_);
   GFOR14_EXPECTS(is_corrupt(from));
+  substitute_p2p(from, to, std::move(payloads));
+}
+
+void Network::substitute_p2p(PartyId from, PartyId to,
+                             std::vector<Payload> payloads) {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(from < n_ && to < n_);
   auto& slot = pending_.p2p[to][from];
   // Adjust accounting to reflect the substituted traffic symmetrically:
   // the replaced messages and elements come off the books, the substitutes
@@ -233,6 +276,51 @@ void Network::replace_pending(PartyId from, PartyId to,
     party_costs_[to].p2p_elements_received += p.size();
   }
   slot = std::move(payloads);
+  // Poison outstanding views of this queue (debug-checked use-after-free).
+  channel_stamp_[to * n_ + from] = ++stamp_counter_;
+}
+
+void Network::substitute_broadcast(PartyId from,
+                                   std::vector<Payload> payloads) {
+  GFOR14_EXPECTS(in_round_);
+  GFOR14_EXPECTS(from < n_);
+  auto& slot = pending_.bcast[from];
+  costs_.broadcast_invocations -= slot.size();
+  party_costs_[from].broadcast_invocations -= slot.size();
+  for (const auto& p : slot) {
+    costs_.broadcast_elements -= p.size();
+    party_costs_[from].broadcast_elements -= p.size();
+  }
+  costs_.broadcast_invocations += payloads.size();
+  party_costs_[from].broadcast_invocations += payloads.size();
+  for (const auto& p : payloads) {
+    costs_.broadcast_elements += p.size();
+    party_costs_[from].broadcast_elements += p.size();
+  }
+  slot = std::move(payloads);
+}
+
+void Network::blame(PartyId accuser, PartyId accused,
+                    std::string_view reason) {
+  GFOR14_EXPECTS(accuser < n_ || accuser == kPublicBlame);
+  const std::size_t bucket = accuser == kPublicBlame ? n_ : accuser;
+  blame_[bucket].push_back(
+      {accuser, accused, std::string(reason), costs_.rounds});
+  // Lazily created so clean executions leave no trace in the registry.
+  metrics::Registry::instance().counter("net.blame_records").add(1);
+}
+
+std::vector<BlameRecord> Network::blames() const {
+  std::vector<BlameRecord> out;
+  for (const auto& bucket : blame_)
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  return out;
+}
+
+std::size_t Network::blame_count() const {
+  std::size_t total = 0;
+  for (const auto& bucket : blame_) total += bucket.size();
+  return total;
 }
 
 }  // namespace gfor14::net

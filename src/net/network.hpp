@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -73,15 +75,36 @@ struct PartyCosts {
   std::size_t broadcast_elements = 0;
 };
 
-/// A pending message as observed by the rushing adversary: the peer party
-/// and a reference to the payload still queued for this round. The reference
-/// stays valid until the queue it points into is rewritten (replace_pending
-/// on the same (from, to) channel) or the round ends — adversaries that need
-/// the data past that point must copy it.
-struct PendingView {
+class Network;
+
+/// A pending message as observed by the rushing adversary. The view stays
+/// valid until the queue it points into is rewritten (replace_pending or a
+/// fault on the same (from, to) channel) or the round ends; payload() then
+/// throws ContractViolation instead of reading freed memory — adversaries
+/// that need the data past that point must copy it first.
+class PendingView {
+ public:
   /// Sender for pending_to_corrupt; receiver for pending_from_corrupt.
   PartyId peer;
-  const Payload& payload;
+
+  /// The queued payload; throws when the view has been invalidated.
+  const Payload& payload() const;
+
+ private:
+  friend class Network;
+  PendingView(PartyId peer_in, const Network* net, PartyId from, PartyId to,
+              std::size_t index, std::uint64_t stamp)
+      : peer(peer_in),
+        net_(net),
+        from_(from),
+        to_(to),
+        index_(index),
+        stamp_(stamp) {}
+
+  const Network* net_;
+  PartyId from_, to_;
+  std::size_t index_;
+  std::uint64_t stamp_;
 };
 
 /// Traffic delivered at the end of one round.
@@ -94,7 +117,29 @@ struct RoundTraffic {
   void reset(std::size_t n);
 };
 
-class Network;
+/// Thrown by begin_round() when the round watchdog limit is exceeded — a
+/// fault-wedged protocol fails with a diagnostic instead of looping forever.
+class RoundLimitExceeded : public ProtocolError {
+ public:
+  explicit RoundLimitExceeded(const std::string& what) : ProtocolError(what) {}
+};
+
+/// A party-local misbehaviour record under the default-message convention:
+/// `accuser` observed traffic from `accused` that was missing or malformed
+/// (or a publicly checkable fault, recorded with accuser == kPublicBlame)
+/// and substituted the canonical default. Blame records are diagnostics —
+/// disqualification stays a protocol-layer decision.
+struct BlameRecord {
+  PartyId accuser = 0;
+  PartyId accused = 0;
+  std::string reason;
+  std::size_t round = 0;  ///< costs().rounds when recorded
+};
+
+/// Accuser id for publicly attributed faults (visible to all parties).
+inline constexpr PartyId kPublicBlame = static_cast<PartyId>(-1);
+
+class FaultEngine;
 
 /// Per-party outgoing-traffic buffer for run_round. A handler running on a
 /// worker thread submits its messages here instead of calling Network::send
@@ -162,6 +207,30 @@ class Network {
   void attach_adversary(std::shared_ptr<Adversary> adv) { adversary_ = std::move(adv); }
   Adversary* adversary() const { return adversary_.get(); }
 
+  /// Attaches a fault-injection engine (net/faultplan.hpp): its plan is
+  /// applied every end_round() after the adversary turn, before delivery.
+  /// An engine with an empty plan is byte-identical to no engine at all.
+  void attach_faults(std::shared_ptr<FaultEngine> engine) {
+    fault_engine_ = std::move(engine);
+  }
+  FaultEngine* fault_engine() const { return fault_engine_.get(); }
+
+  /// Round watchdog: begin_round() throws RoundLimitExceeded once
+  /// costs().rounds reaches `limit`. 0 (the default) disables the check.
+  /// Protocols with a known round bill set a budget via RoundBudgetGuard.
+  void set_max_rounds(std::size_t limit) { max_rounds_ = limit; }
+  std::size_t max_rounds() const { return max_rounds_; }
+
+  /// Records a default-message substitution or publicly checkable fault.
+  /// Callable from party p's round handler only for accuser == p (the
+  /// records are bucketed per accuser, one writer each — the same slot
+  /// discipline as every other party-indexed state under DESIGN.md §8).
+  void blame(PartyId accuser, PartyId accused, std::string_view reason);
+  /// All blame records, flattened in ascending accuser order (kPublicBlame
+  /// last); deterministic at round boundaries for any thread count.
+  std::vector<BlameRecord> blames() const;
+  std::size_t blame_count() const;
+
   /// Lane count for run_round and for_each_party: 1 = serial (the default,
   /// or the GFOR14_THREADS process default at construction), > 1 runs party
   /// handlers on the shared worker pool. 0 selects hardware_threads().
@@ -220,12 +289,28 @@ class Network {
   void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
 
  private:
+  friend class PendingView;
+  friend class FaultEngine;
+
+  /// Rewrites a pending queue with symmetric cost accounting (the shared
+  /// core of replace_pending and fault injection; no corruption check) and
+  /// poisons outstanding PendingViews of that channel.
+  void substitute_p2p(PartyId from, PartyId to, std::vector<Payload> payloads);
+  /// Same for a party's pending broadcasts (fault injection only — the
+  /// adversary API deliberately cannot retract broadcasts).
+  void substitute_broadcast(PartyId from, std::vector<Payload> payloads);
+
+  std::uint64_t channel_stamp(PartyId from, PartyId to) const {
+    return channel_stamp_[to * n_ + from];
+  }
+
   std::size_t n_;
   std::size_t threads_;
   std::vector<bool> corrupt_;
   std::vector<Rng> party_rng_;
   Rng adv_rng_;
   std::shared_ptr<Adversary> adversary_;
+  std::shared_ptr<FaultEngine> fault_engine_;
 
   bool in_round_ = false;
   bool in_adversary_turn_ = false;
@@ -236,6 +321,38 @@ class Network {
   CostReport round_start_costs_;
   std::vector<PartyCosts> party_costs_;
   RoundHook round_hook_;
+  std::size_t max_rounds_ = 0;  ///< 0 = watchdog off
+
+  /// Per-channel validity stamps for PendingView poisoning: every channel
+  /// gets a fresh stamp each begin_round(), and substitute_p2p bumps the
+  /// rewritten channel's stamp, invalidating views of that queue only.
+  std::vector<std::uint64_t> channel_stamp_;
+  std::uint64_t stamp_counter_ = 0;
+
+  /// Blame records bucketed per accuser (index n_ holds kPublicBlame).
+  std::vector<std::vector<BlameRecord>> blame_;
+};
+
+/// RAII round budget: on construction sets the watchdog limit to
+/// costs().rounds + budget (tightening only — an enclosing tighter limit is
+/// kept); restores the previous limit on destruction. Protocols whose round
+/// bill is known wrap their execution in one of these so a fault-wedged run
+/// dies with RoundLimitExceeded instead of spinning.
+class RoundBudgetGuard {
+ public:
+  RoundBudgetGuard(Network& net, std::size_t budget)
+      : net_(net), previous_(net.max_rounds()) {
+    const std::size_t limit = net.costs().rounds + budget;
+    if (previous_ == 0 || limit < previous_) net.set_max_rounds(limit);
+  }
+  ~RoundBudgetGuard() { net_.set_max_rounds(previous_); }
+
+  RoundBudgetGuard(const RoundBudgetGuard&) = delete;
+  RoundBudgetGuard& operator=(const RoundBudgetGuard&) = delete;
+
+ private:
+  Network& net_;
+  std::size_t previous_;
 };
 
 }  // namespace gfor14::net

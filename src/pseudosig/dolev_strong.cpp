@@ -132,7 +132,12 @@ DsResult dolev_strong_broadcast(net::Network& net,
       for (net::PartyId from = 0; from < n; ++from) {
         for (const auto& payload : net.delivered().p2p[p][from]) {
           auto chain = Chain::deserialize(payload, n);
-          if (!chain) continue;
+          if (!chain) {
+            // Default-message convention: an undecodable chain is treated as
+            // no message at all (never an abort), and the relayer is blamed.
+            net.blame(p, from, "ds.chain_malformed");
+            continue;
+          }
           if (accepted[p].contains(chain->value.to_u64())) continue;
           if (!chain_valid(*chain, round, sender, p, slot, schemes))
             continue;

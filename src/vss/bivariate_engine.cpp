@@ -132,16 +132,23 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
       }
     }
   });
-  // Parse: wrong-size or missing payloads leave the default zero slices.
-  // Party i only writes recv[i].
+  // Parse: wrong-size or missing payloads leave the default zero slices
+  // (the paper's default-message convention) and earn the dealer a blame
+  // record. Party i only writes recv[i] and its own blame bucket.
   net_.for_each_party([&](net::PartyId i) {
     for (net::PartyId d : ctx.dealers) {
       if (i == d) continue;
       const auto& msgs = net_.delivered().p2p[i][d];
-      if (msgs.empty()) continue;
+      if (msgs.empty()) {
+        net_.blame(i, d, "vss.slices.missing");
+        continue;
+      }
       const auto& payload = msgs.front();
       const std::size_t m = (*ctx.batches)[d].size();
-      if (payload.size() != m * (t + 1)) continue;
+      if (payload.size() != m * (t + 1)) {
+        net_.blame(i, d, "vss.slices.malformed");
+        continue;
+      }
       for (std::size_t k = 0; k < m; ++k) {
         std::vector<Fld> coeffs(payload.begin() + k * (t + 1),
                                 payload.begin() + (k + 1) * (t + 1));
@@ -504,6 +511,13 @@ ShareResult BivariateEngine::share_all(
     sharings_[d].resize(base[d] + batches[d].size());  // zero polys until
                                                        // interpolated
   }
+  // Finalize faults found on the worker lanes (one byte per dealer slot, so
+  // concurrent writers never share a byte): 1 = too few content parties,
+  // 2 = a content share off the interpolated polynomial. Either one means
+  // the sharing is unusable; the dealer is disqualified below and every
+  // affected share polynomial stays the default zero — degradation instead
+  // of an abort, per the paper's convention.
+  std::vector<std::uint8_t> finalize_fault(n, 0);
   net_.for_each_party([&](net::PartyId d) {
     const std::size_t m = batches[d].size();
     if (m == 0 || !result.qualified[d]) return;
@@ -518,7 +532,10 @@ ShareResult BivariateEngine::share_all(
       content.push_back(p);
       xs.push_back(eval_point<64>(p));
     }
-    GFOR14_ENSURES(content.size() >= t + 1);
+    if (content.size() < t + 1) {
+      finalize_fault[d] = 1;
+      return;
+    }
     std::vector<Fld> denoms(t + 1, Fld::one());
     for (std::size_t i = 0; i <= t; ++i)
       for (std::size_t jj = 0; jj <= t; ++jj)
@@ -543,12 +560,25 @@ ShareResult BivariateEngine::share_all(
         const Fld y = ctx.recv[content[i]][d][k].eval(Fld::zero());
         if (!y.is_zero()) g = g + y * basis[i];
       }
-      for (std::size_t i = t + 1; i < content.size(); ++i)
-        GFOR14_ENSURES(g.eval(xs[i]) ==
-                       ctx.recv[content[i]][d][k].eval(Fld::zero()));
+      bool consistent = true;
+      for (std::size_t i = t + 1; i < content.size() && consistent; ++i)
+        consistent = g.eval(xs[i]) ==
+                     ctx.recv[content[i]][d][k].eval(Fld::zero());
+      if (!consistent) {
+        finalize_fault[d] = 2;
+        continue;  // this sharing stays the default zero polynomial
+      }
       sharings_[d][base[d] + k].share_poly = std::move(g);
     }
   });
+  for (net::PartyId d : ctx.dealers) {
+    if (finalize_fault[d] == 0) continue;
+    result.qualified[d] = false;
+    qualified_[d] = false;
+    net_.blame(net::kPublicBlame, d,
+               finalize_fault[d] == 1 ? "vss.finalize.too_few_content_parties"
+                                      : "vss.finalize.inconsistent_shares");
+  }
   return result;
 }
 
@@ -642,7 +672,15 @@ std::vector<Fld> BivariateEngine::decode_received(
     xs.push_back(eval_point<64>(i));
   }
   const std::size_t navail = present.size();
-  GFOR14_EXPECTS(navail >= t + 1);
+  if (navail < t + 1) {
+    // Fewer shares than the degree bound: no interpolation is possible, so
+    // every value degrades to the canonical default (zero) instead of
+    // aborting the honest viewer; the absent senders earn blame records.
+    for (net::PartyId i = 0; i < n; ++i)
+      if (!per_sender[i])
+        net_.blame(net::kPublicBlame, i, "vss.recon.missing_share");
+    return out;
+  }
   const std::size_t max_errors = navail > t ? (navail - t - 1) / 2 : 0;
   // Precompute, once per call, the Lagrange evaluation rows of the head
   // interpolation at zero and at every tail point: head(x_i) and head(0)

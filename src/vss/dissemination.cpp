@@ -66,10 +66,14 @@ DisseminationResult disseminate(net::Network& net, net::PartyId dealer,
       continue;
     }
     const auto& msgs = net.delivered().p2p[i][dealer];
-    if (!msgs.empty() && msgs.front().size() == codewords)
+    if (!msgs.empty() && msgs.front().size() == codewords) {
       held[i] = msgs.front();
-    else
+    } else {
+      // Default-message convention: a missing or malformed symbol vector
+      // becomes all-zeros (correctable below as dealer-attributed errors).
       held[i].assign(codewords, Fld::zero());
+      net.blame(i, dealer, "dissemination.symbols.malformed");
+    }
   }
 
   // Round 2: everyone echoes its symbols (corrupt parties may garble).
@@ -107,6 +111,9 @@ DisseminationResult disseminate(net::Network& net, net::PartyId dealer,
       }
       auto poly = berlekamp_welch(xs, ys, degree, t);
       if (!poly) {
+        // More than t corrupted symbols: out of the code's correction
+        // radius, so receiver r's output stays undefined (nullopt).
+        net.blame(r, dealer, "dissemination.decode.failed");
         ok = false;
         break;
       }

@@ -118,26 +118,47 @@ bool IcpSession::distribute(const std::vector<Fld>& values, DealerMode mode) {
 
 bool IcpSession::reveal(std::size_t k, Fld forge_delta) {
   GFOR14_EXPECTS(k < count_);
-  IcpReveal r = icp_reveal(int_auth_, k);
+  // A malformed distribution left INT's auth state default-empty; INT then
+  // reveals the canonical default instead of aborting (the session is
+  // already faulted, so R rejects anyway).
+  IcpReveal r = int_auth_.values.size() == count_ ? icp_reveal(int_auth_, k)
+                                                  : IcpReveal{};
   r.value += forge_delta;
   net_.begin_round();
   net_.send(int_, rcpt_, {r.value, r.tag});
   net_.end_round();
   const auto& msgs = net_.delivered().p2p[rcpt_][int_];
-  if (msgs.empty() || msgs.front().size() != 2) return false;
+  if (msgs.empty() || msgs.front().size() != 2) {
+    net_.blame(rcpt_, int_, "icp.reveal.malformed");
+    return false;
+  }
+  if (rcpt_key_.b.size() != count_) {
+    // R never received a usable key: it cannot verify, so it rejects.
+    net_.blame(rcpt_, dealer_, "icp.reveal.no_key");
+    return false;
+  }
   return icp_verify(rcpt_key_, k, {msgs.front()[0], msgs.front()[1]});
 }
 
 bool IcpSession::reveal_combined(const std::vector<Fld>& coeffs,
                                  Fld forge_delta) {
   GFOR14_EXPECTS(coeffs.size() == count_);
-  IcpReveal r = icp_reveal_combined(int_auth_, coeffs);
+  IcpReveal r = int_auth_.values.size() == count_
+                    ? icp_reveal_combined(int_auth_, coeffs)
+                    : IcpReveal{};
   r.value += forge_delta;
   net_.begin_round();
   net_.send(int_, rcpt_, {r.value, r.tag});
   net_.end_round();
   const auto& msgs = net_.delivered().p2p[rcpt_][int_];
-  if (msgs.empty() || msgs.front().size() != 2) return false;
+  if (msgs.empty() || msgs.front().size() != 2) {
+    net_.blame(rcpt_, int_, "icp.reveal.malformed");
+    return false;
+  }
+  if (rcpt_key_.b.size() != count_) {
+    net_.blame(rcpt_, dealer_, "icp.reveal.no_key");
+    return false;
+  }
   return icp_verify_combined(rcpt_key_, coeffs,
                              {msgs.front()[0], msgs.front()[1]});
 }

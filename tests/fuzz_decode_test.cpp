@@ -8,7 +8,9 @@
 #include "anonchan/cut_and_choose.hpp"
 #include "math/permutation.hpp"
 #include "net/adversary.hpp"
+#include "net/faultplan.hpp"
 #include "pseudosig/pseudosig.hpp"
+#include "vss/icp_protocol.hpp"
 #include "vss/schemes.hpp"
 
 namespace gfor14 {
@@ -130,6 +132,138 @@ TEST(FuzzProtocol, VssSurvivesChaosTraffic) {
         {vss::LinComb::of({0, 0}), vss::LinComb::of({0, 1})});
     EXPECT_EQ(recon[0], Fld::from_u64(42));
     EXPECT_EQ(recon[1], Fld::from_u64(43));
+  }
+}
+
+// --- wire-level byte/length mutations via the fault engine -----------------
+//
+// The ChaosAdversary above replaces whole payloads; the FaultEngine probes
+// the finer-grained failure shapes — truncated, extended, element- and
+// bit-corrupted traffic — against each parse path that consumes wire data.
+
+net::FaultPlan mutation_plan(Rng& rng, const std::vector<net::PartyId>& from,
+                             std::size_t n, std::size_t rounds,
+                             std::size_t count) {
+  net::FaultPlan::RandomSpec spec;
+  spec.targets = from;
+  spec.n = n;
+  spec.rounds = rounds;
+  spec.count = count;
+  spec.allow_crash = false;  // keep the mutated traffic flowing
+  return net::FaultPlan::random(rng, spec);
+}
+
+TEST(FuzzProtocol, VssSliceParsePathSurvivesWireMutations) {
+  // Random truncation/extension/corruption of the corrupt dealers' sharing
+  // traffic hits round_distribute_slices and the finalize consistency scan;
+  // honest sharings must stay qualified and reconstruct exactly.
+  Rng rng(2014);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    net::Network net(5, 300 + seed);
+    net.set_corrupt(1, true);
+    net.set_corrupt(3, true);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    const auto plan = mutation_plan(rng, {1, 3}, 5,
+                                    vss->share_rounds() + 4, 10);
+    net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+    std::vector<std::vector<Fld>> batches(5);
+    batches[0] = {Fld::from_u64(42), Fld::from_u64(43)};
+    const auto result = vss->share_all(batches);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_TRUE(result.qualified[0]);
+    const auto recon = vss->reconstruct_public(
+        {vss::LinComb::of({0, 0}), vss::LinComb::of({0, 1})});
+    EXPECT_EQ(recon[0], Fld::from_u64(42));
+    EXPECT_EQ(recon[1], Fld::from_u64(43));
+    for (const auto& b : net.blames())
+      EXPECT_TRUE(b.accused == 1 || b.accused == 3)
+          << "blame names honest party " << b.accused << " (" << b.reason
+          << ")";
+  }
+}
+
+TEST(FuzzProtocol, IcpTagParsePathSurvivesWireMutations) {
+  // Mutated distribution traffic (tags to INT, keys to R) must never throw:
+  // the session either catches the dealer at consistency time or the reveal
+  // verdict comes back as a plain bool.
+  Rng rng(77);
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    net::Network net(4, 500 + seed);
+    net.set_corrupt(0, true);
+    const auto plan = mutation_plan(rng, {0}, 4, 3, 4);
+    net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+    vss::IcpSession session(net, 0, 1, 2);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    bool distributed = false;
+    EXPECT_NO_THROW(distributed = session.distribute(
+                        {Fld::from_u64(7), Fld::from_u64(8)}));
+    bool verdict = false;
+    EXPECT_NO_THROW(verdict = session.reveal(0));
+    // A reveal that verifies despite the faults is only acceptable when the
+    // distribution also went through unfaulted.
+    if (verdict) {
+      EXPECT_TRUE(distributed);
+    }
+  }
+}
+
+TEST(FuzzProtocol, IcpTruncatedRevealIsRejectedWithBlame) {
+  // Deterministic malformed-reveal probe: distribution and consistency run
+  // clean (engine rounds 0-2), then the intermediary's reveal payload is
+  // truncated to nothing at round 3. R must reject and blame INT.
+  net::Network net(4, 1234);
+  net.set_corrupt(1, true);
+  net::FaultPlan plan;
+  plan.truncate(3, 1, 2, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, 9));
+  vss::IcpSession session(net, 0, 1, 2);
+  ASSERT_TRUE(session.distribute({Fld::from_u64(5)}));
+  EXPECT_FALSE(session.reveal(0));
+  bool blamed = false;
+  for (const auto& b : net.blames())
+    blamed = blamed || (b.accused == 1 && b.reason == "icp.reveal.malformed");
+  EXPECT_TRUE(blamed);
+}
+
+TEST(FuzzProtocol, CutAndChooseOpeningSurvivesWireMutations) {
+  // The cut-and-choose openings travel on the broadcast channel; mutating
+  // every broadcast the corrupt party makes (index lists, permutations,
+  // opened shares) must leave honest deliveries intact and never pin blame
+  // on an honest party.
+  Rng rng(4242);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    net::Network net(5, 700 + seed);
+    net.set_corrupt(2, true);
+    auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+    anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 4));
+    net::FaultPlan plan;
+    for (std::size_t r = 0; r < chan.expected_rounds(); ++r) {
+      const std::size_t pick = rng.next_below(4);
+      if (pick == 0)
+        plan.truncate(r, 2, 0, 1 + rng.next_below(3),
+                      net::FaultChannel::kBroadcast);
+      else if (pick == 1)
+        plan.extend(r, 2, 0, 1 + rng.next_below(3),
+                    net::FaultChannel::kBroadcast);
+      else if (pick == 2)
+        plan.corrupt_element(r, 2, 0, 1 + rng.next_below(3),
+                             net::FaultChannel::kBroadcast);
+      else
+        plan.corrupt_bit(r, 2, 0, 1 + rng.next_below(4),
+                         net::FaultChannel::kBroadcast);
+    }
+    net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+    std::vector<Fld> inputs(5);
+    for (std::size_t i = 0; i < 5; ++i) inputs[i] = Fld::from_u64(900 + i);
+    const auto out = chan.run(4, inputs);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (i == 2) continue;
+      EXPECT_TRUE(out.pass[i]) << "honest party " << i << " disqualified";
+      EXPECT_TRUE(out.delivered(inputs[i])) << i;
+    }
+    for (const auto& b : net.blames())
+      EXPECT_EQ(b.accused, 2u) << b.reason;
   }
 }
 

@@ -272,9 +272,9 @@ TEST(Network, RushingAdversarySeesHonestTrafficBeforeDelivery) {
     auto pending = n.pending_to_corrupt(0);
     ASSERT_EQ(pending.size(), 1u);
     EXPECT_EQ(pending[0].peer, 1u);
-    EXPECT_EQ(pending[0].payload, pay({42}));
+    EXPECT_EQ(pending[0].payload(), pay({42}));
     saw = true;
-    n.send(0, 2, pay({pending[0].payload[0].to_u64() + 1}));
+    n.send(0, 2, pay({pending[0].payload()[0].to_u64() + 1}));
   });
   net.attach_adversary(adv);
   net.begin_round();
@@ -352,6 +352,102 @@ TEST(Network, PartyRngsAreIndependentAndDeterministic) {
   EXPECT_EQ(a.rng_of(0).next_u64(), b.rng_of(0).next_u64());
   Network c(3, 99);
   EXPECT_NE(c.rng_of(0).next_u64(), c.rng_of(1).next_u64());
+}
+
+// Regression for the PendingView dangling-reference hazard: the seed
+// implementation held `const Payload&` members, so replace_pending on the
+// viewed channel freed the memory under a live view and a subsequent read
+// was use-after-free (ASan-visible). Views now carry a channel stamp and
+// payload() fails loudly once the queue is rewritten.
+TEST(Network, PendingViewPoisonedByReplaceOnSameChannel) {
+  Network net(3, 1);
+  net.corrupt_first(1);
+  auto adv = std::make_shared<CallbackAdversary>([](Network& n) {
+    auto views = n.pending_to_corrupt(0);
+    ASSERT_EQ(views.size(), 1u);
+    EXPECT_EQ(views[0].payload(), pay({1, 2, 3}));  // valid before rewrite
+    // The adversary also owns corrupt party 0's outgoing channel 0 -> 1.
+    auto out = n.pending_from_corrupt(0);
+    ASSERT_EQ(out.size(), 1u);
+    n.replace_pending(0, 1, {pay({9})});
+    // The outgoing view pointed into the rewritten queue: poisoned. Reading
+    // through it previously returned freed memory; now it throws.
+    EXPECT_THROW(out[0].payload(), ContractViolation);
+    // The incoming view is on channel 1 -> 0, untouched: still valid.
+    EXPECT_EQ(views[0].payload(), pay({1, 2, 3}));
+  });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(1, 0, pay({1, 2, 3}));
+  net.send(0, 1, pay({4}));
+  net.end_round();
+}
+
+TEST(Network, PendingViewPoisonedByRoundEnd) {
+  Network net(2, 1);
+  net.corrupt_first(1);
+  std::vector<PendingView> stash;
+  auto adv = std::make_shared<CallbackAdversary>(
+      [&](Network& n) { stash = n.pending_to_corrupt(0); });
+  net.attach_adversary(adv);
+  net.begin_round();
+  net.send(1, 0, pay({7}));
+  net.end_round();
+  ASSERT_EQ(stash.size(), 1u);
+  EXPECT_THROW(stash[0].payload(), ContractViolation);
+}
+
+TEST(Network, RoundWatchdogThrowsAtLimit) {
+  Network net(2, 1);
+  net.set_max_rounds(3);
+  for (int i = 0; i < 3; ++i) {
+    net.begin_round();
+    net.end_round();
+  }
+  EXPECT_THROW(net.begin_round(), RoundLimitExceeded);
+  // Raising the limit unwedges the network.
+  net.set_max_rounds(5);
+  net.begin_round();
+  net.end_round();
+}
+
+TEST(Network, RoundBudgetGuardTightensAndRestores) {
+  Network net(2, 1);
+  net.begin_round();
+  net.end_round();  // 1 round on the books
+  {
+    RoundBudgetGuard outer(net, 10);
+    EXPECT_EQ(net.max_rounds(), 11u);
+    {
+      RoundBudgetGuard inner(net, 2);  // tighter: 1 + 2 = 3
+      EXPECT_EQ(net.max_rounds(), 3u);
+      {
+        RoundBudgetGuard loose(net, 100);  // looser: must NOT widen
+        EXPECT_EQ(net.max_rounds(), 3u);
+      }
+      EXPECT_EQ(net.max_rounds(), 3u);
+    }
+    EXPECT_EQ(net.max_rounds(), 11u);
+  }
+  EXPECT_EQ(net.max_rounds(), 0u);  // watchdog off again
+}
+
+TEST(Network, BlameRecordsBucketedAndOrdered) {
+  Network net(3, 1);
+  net.blame(2, 0, "late");
+  net.blame(0, 1, "malformed");
+  net.blame(kPublicBlame, 1, "bad broadcast");
+  net.blame(0, 2, "short payload");
+  const auto records = net.blames();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(net.blame_count(), 4u);
+  // Flattened ascending accuser, kPublicBlame last; insertion order within.
+  EXPECT_EQ(records[0].accuser, 0u);
+  EXPECT_EQ(records[0].reason, "malformed");
+  EXPECT_EQ(records[1].accuser, 0u);
+  EXPECT_EQ(records[1].accused, 2u);
+  EXPECT_EQ(records[2].accuser, 2u);
+  EXPECT_EQ(records[3].accuser, kPublicBlame);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // Dolev–Strong BA, and broadcast simulation without a physical channel.
 #include <gtest/gtest.h>
 
+#include "net/adversary.hpp"
+#include "net/faultplan.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
 
@@ -271,6 +273,94 @@ TEST(BroadcastSim, GgorSetupUsesTwoBroadcastRoundsTotal) {
   EXPECT_TRUE(result.agreement);
   EXPECT_TRUE(result.validity);
   EXPECT_EQ(sim.main_phase_broadcasts(), 0u);
+}
+
+// --- fault tolerance: silent / crashed corrupt parties ------------------------
+
+TEST(BroadcastSim, SetupSurvivesSilentAdversary) {
+  // The SilentAdversary drops every message a corrupt party sends for the
+  // WHOLE execution — setup and main phase. Under the default-message
+  // convention its contributions default to zero (an unusable key is simply
+  // skipped), and honest broadcasts still reach agreement and validity.
+  net::Network net(4, 8101);
+  net.set_corrupt(0, true);
+  net.attach_adversary(std::make_shared<net::SilentAdversary>());
+  BroadcastSimulator sim(net, vss::SchemeKind::kRB,
+                         anonchan::Params::practical(4, 3), PsParams{4, 1, 3});
+  ASSERT_NO_THROW(sim.setup());
+  auto result = sim.broadcast(1, Msg::from_u64(77));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  for (net::PartyId p = 1; p < 4; ++p)
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(77));
+}
+
+TEST(BroadcastSim, CrashDuringSetupStillSupportsHonestBroadcast) {
+  // A corrupt party that crashes in the middle of the pseudosignature setup
+  // (wire-level: its traffic vanishes from round 3 on, through the end of
+  // the Dolev-Strong phase) must not block the honest parties: its VSS
+  // contributions default, its zero keys are skipped, and an honest
+  // sender's broadcast still reaches agreement and validity.
+  net::Network net(4, 8102);
+  net.set_corrupt(0, true);
+  net::FaultPlan plan;
+  plan.crash(3, 0);
+  auto engine = std::make_shared<net::FaultEngine>(plan, 1);
+  net.attach_faults(engine);
+  BroadcastSimulator sim(net, vss::SchemeKind::kRB,
+                         anonchan::Params::practical(4, 3), PsParams{4, 1, 3});
+  ASSERT_NO_THROW(sim.setup());
+  auto result = sim.broadcast(1, Msg::from_u64(424));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  for (net::PartyId p = 1; p < 4; ++p)
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(424));
+  // The crash actually silenced traffic (visible in the engine log), and
+  // any blame the hardened receive paths did record names only party 0
+  // (missing shares inside the error-correction budget need no blame).
+  EXPECT_FALSE(engine->events().empty());
+  for (const auto& b : net.blames()) EXPECT_EQ(b.accused, 0u);
+}
+
+TEST(BroadcastSim, SenderCrashMidDolevStrongYieldsDefaultAgreement) {
+  // Clean setup; then the corrupt SENDER's wire goes dead from the very
+  // first Dolev-Strong round. Honest parties see no signed value, so they
+  // agree on the default — the Section 4 guarantee for a silent sender,
+  // induced here by wire-level faults instead of a behaviour switch.
+  net::Network net(4, 8103);
+  BroadcastSimulator sim(net, vss::SchemeKind::kRB,
+                         anonchan::Params::practical(4, 3), PsParams{4, 1, 3});
+  sim.setup();
+  net.set_corrupt(0, true);
+  net::FaultPlan plan;
+  plan.crash(0, 0);  // engine attached post-setup: round 0 = first DS round
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, 2));
+  auto result = sim.broadcast(0, Msg::from_u64(99));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_FALSE(result.validity);  // corrupt sender: validity not promised
+  for (net::PartyId p = 1; p < 4; ++p)
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(kDsDefault));
+}
+
+TEST(BroadcastSim, RelayCrashMidDolevStrongKeepsAgreement) {
+  // A corrupt RELAY that crashes after the sender's first round silences
+  // one relay chain; with t = 1 < n/2 the remaining honest relays carry the
+  // value through and agreement/validity survive.
+  net::Network net(4, 8104);
+  BroadcastSimulator sim(net, vss::SchemeKind::kRB,
+                         anonchan::Params::practical(4, 3), PsParams{4, 1, 3});
+  sim.setup();
+  net.set_corrupt(2, true);
+  net::FaultPlan plan;
+  plan.crash(1, 2);  // round 1 = the relay round of Dolev-Strong
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, 3));
+  auto result = sim.broadcast(1, Msg::from_u64(1001));
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  for (net::PartyId p = 0; p < 4; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(result.outputs[p], Msg::from_u64(1001));
+  }
 }
 
 TEST(BroadcastSim, SetupAllMatchesPerSignerSetups) {
