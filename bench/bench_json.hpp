@@ -9,6 +9,7 @@
 // delivery, see src/common/trace.hpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -16,6 +17,7 @@
 
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "common/provenance.hpp"
 #include "common/trace.hpp"
 
 namespace gfor14::benchjson {
@@ -23,6 +25,8 @@ namespace gfor14::benchjson {
 /// Builder for one BENCH_<experiment>.json document.
 class Artifact {
  public:
+  static constexpr std::size_t kSchema = 2;
+
   /// `experiment` names the file (BENCH_<experiment>.json); `claim` states
   /// the paper claim being reproduced, verbatim enough to grep for.
   Artifact(std::string experiment, std::string claim)
@@ -47,10 +51,16 @@ class Artifact {
     return *this;
   }
 
+  /// Schema 2 (EXPERIMENTS.md): adds "schema" and a "provenance" block
+  /// (git sha, compiler, field kernel, thread config) so any artifact can
+  /// be traced back to the build that produced it and regression-diffed
+  /// against a baseline with confidence (gfor14-audit bench-diff).
   json::Value doc() const {
     json::Value d = json::Value::object();
     d.set("experiment", experiment_);
+    d.set("schema", kSchema);
     d.set("claim", claim_);
+    d.set("provenance", provenance::collect());
     d.set("params", params_);
     d.set("rows", rows_);
     for (const auto& [k, v] : extras_) d.set(k, v);
@@ -66,6 +76,9 @@ class Artifact {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return false;
     }
+    // Benches that traced to a JSONL sink rely on this flush — span lines
+    // are buffered until an explicit flush point (see Tracer::flush()).
+    trace::Tracer::instance().flush();
     const std::string text = doc().dump(2);
     std::fwrite(text.data(), 1, text.size(), f);
     std::fputc('\n', f);

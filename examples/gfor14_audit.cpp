@@ -1,0 +1,135 @@
+// gfor14-audit — offline inspection of flight recordings and bench
+// artifacts (DESIGN.md §10).
+//
+//   gfor14-audit matrix     RECORDING        per-party communication matrix
+//   gfor14-audit timeline   RECORDING        per-round event timeline
+//   gfor14-audit blame      RECORDING        blame & fault attribution
+//   gfor14-audit info       RECORDING        header: provenance + config
+//   gfor14-audit diff       RECORDING_A RECORDING_B
+//                                            first divergence between two
+//                                            recordings (exit 3 if any)
+//   gfor14-audit bench-diff BASELINE.json CANDIDATE.json [--threshold PCT]
+//                                            numeric regression diff between
+//                                            two BENCH_*.json artifacts
+//                                            (exit 3 on regressions)
+//
+// Exit codes: 0 clean, 1 unreadable input, 2 usage, 3 divergence or
+// regression found. Recordings come from `gfor14_cli ... --record PATH` or
+// the test harnesses; bench artifacts from the bench/ binaries.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "audit/bench_diff.hpp"
+#include "audit/replay.hpp"
+#include "audit/report.hpp"
+#include "common/json.hpp"
+#include "net/recorder.hpp"
+
+using namespace gfor14;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gfor14-audit <matrix|timeline|blame|info> RECORDING\n"
+      "       gfor14-audit diff RECORDING_A RECORDING_B\n"
+      "       gfor14-audit bench-diff BASELINE.json CANDIDATE.json"
+      " [--threshold PCT]\n");
+  return 2;
+}
+
+std::optional<net::Recording> load_recording(const std::string& path) {
+  std::string error;
+  auto rec = net::Recording::load(path, &error);
+  if (!rec)
+    std::fprintf(stderr, "cannot load recording '%s': %s\n", path.c_str(),
+                 error.c_str());
+  return rec;
+}
+
+std::optional<json::Value> load_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto v = json::Value::parse(buf.str());
+  if (!v) std::fprintf(stderr, "'%s' is not valid JSON\n", path.c_str());
+  return v;
+}
+
+int run_render(const std::string& view, const std::string& path) {
+  const auto rec = load_recording(path);
+  if (!rec) return 1;
+  if (view == "matrix") {
+    std::printf("%s", audit::render_matrix(*rec).c_str());
+  } else if (view == "timeline") {
+    std::printf("%s", audit::render_timeline(*rec).c_str());
+  } else if (view == "blame") {
+    std::printf("%s", audit::render_attribution(*rec).c_str());
+  } else {  // info
+    std::printf("format: %s v%zu, n=%zu, %zu rounds, payloads=%s\n",
+                net::Recording::kFormat, net::Recording::kVersion, rec->n,
+                rec->rounds.size(), rec->payloads ? "full" : "headers-only");
+    std::printf("final digest: %s\n",
+                net::hex_u64(rec->final_digest).c_str());
+    std::printf("provenance: %s\n", rec->provenance.dump(2).c_str());
+    std::printf("config: %s\n", rec->config.dump(2).c_str());
+  }
+  return 0;
+}
+
+int run_diff(const std::string& a_path, const std::string& b_path) {
+  const auto a = load_recording(a_path);
+  const auto b = load_recording(b_path);
+  if (!a || !b) return 1;
+  if (const auto d = audit::first_divergence(*a, *b)) {
+    std::printf("DIVERGED: %s\n", d->format().c_str());
+    return 3;
+  }
+  std::printf("identical: %zu rounds, final digest %s\n", a->rounds.size(),
+              net::hex_u64(a->final_digest).c_str());
+  return 0;
+}
+
+int run_bench_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  double threshold = 0.2;
+  for (int i = 4; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--threshold")
+      threshold = std::strtod(argv[i + 1], nullptr) / 100.0;
+    else
+      return usage();
+  }
+  if (threshold <= 0.0) return usage();
+  const auto base = load_json(argv[2]);
+  const auto cand = load_json(argv[3]);
+  if (!base || !cand) return 1;
+  const auto result = audit::bench_diff(*base, *cand, threshold);
+  std::printf("%s", result.format().c_str());
+  return result.has_regression() ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "matrix" || cmd == "timeline" || cmd == "blame" ||
+      cmd == "info") {
+    if (argc != 3) return usage();
+    return run_render(cmd, argv[2]);
+  }
+  if (cmd == "diff") {
+    if (argc != 4) return usage();
+    return run_diff(argv[2], argv[3]);
+  }
+  if (cmd == "bench-diff") return run_bench_diff(argc, argv);
+  return usage();
+}

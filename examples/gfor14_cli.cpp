@@ -5,12 +5,24 @@
 //   gfor14_cli publish   [--n N] [--scheme ...] [--kappa K] [--seed S]
 //   gfor14_cli pseudosig [--n N] [--scheme ...] [--seed S]
 //   gfor14_cli compare   [--n N] [--seed S]
+//   gfor14_cli replay    RECORDING [--threads N|hw]
 //
 // Observability (any command):
 //   --trace PATH    stream one JSON line per closed protocol phase to PATH
 //                   ("-" prints the finished span trees to stdout instead)
 //   --metrics PATH  write the process-wide metrics registry as JSON to PATH
 //                   on exit ("-" prints to stdout)
+//   --chrome-trace PATH  write the finished span trees as a Chrome
+//                   trace-event JSON file (load in chrome://tracing or
+//                   Perfetto); implies tracing is enabled
+//   --record PATH   flight-record every delivered message (full payloads)
+//                   plus tamper/fault/blame logs into a replayable
+//                   recording file (channel, publish, pseudosig)
+//
+// `replay` re-executes a recording's configuration with a verifier attached
+// and reports the first divergence, or certifies byte identity. The
+// recorded transcript is lane-count independent, so --threads may differ
+// from the recording run.
 //   --threads N|hw  run party round handlers on N worker lanes ("hw" = one
 //                   per hardware thread); output is byte-identical to the
 //                   serial default for the same seed. Overrides the
@@ -34,12 +46,15 @@
 
 #include "anonchan/anon_broadcast.hpp"
 #include "anonchan/attacks.hpp"
+#include "audit/replay.hpp"
 #include "baselines/pw96.hpp"
 #include "baselines/zhang11.hpp"
+#include "common/chrome_trace.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "net/faultplan.hpp"
+#include "net/recorder.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
 
@@ -61,6 +76,9 @@ struct Options {
   std::string faults;        // fault plan spec, "" = no fault injection
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
+  std::string record_path;        // flight-record into this file, "" = off
+  std::string chrome_trace_path;  // Chrome trace-event export, "" = off
+  std::shared_ptr<net::Recording> replay_reference;  // set by `replay`
 };
 
 int usage() {
@@ -71,7 +89,9 @@ int usage() {
                "|zero|fixed]\n"
                "  [--seed S] [--trace PATH|-] [--metrics PATH|-]"
                " [--threads N|hw]\n"
-               "  [--faults SPEC] [--fault-seed S]\n");
+               "  [--faults SPEC] [--fault-seed S] [--record PATH]"
+               " [--chrome-trace PATH]\n"
+               "   or: gfor14_cli replay RECORDING [--threads N|hw]\n");
   return 2;
 }
 
@@ -110,6 +130,10 @@ bool parse(int argc, char** argv, Options& opt) {
       } else if (key == "--fault-seed") {
         opt.fault_seed = std::stoull(value);
         opt.fault_seed_set = true;
+      } else if (key == "--record") {
+        opt.record_path = value;
+      } else if (key == "--chrome-trace") {
+        opt.chrome_trace_path = value;
       } else {
         return false;
       }
@@ -171,6 +195,89 @@ std::shared_ptr<net::FaultEngine> attach_faults(net::Network& net,
   return engine;
 }
 
+const char* scheme_str(vss::SchemeKind kind) {
+  switch (kind) {
+    case vss::SchemeKind::kRB: return "rb";
+    case vss::SchemeKind::kBGW: return "bgw";
+    case vss::SchemeKind::kGGOR13: return "ggor";
+  }
+  return "rb";
+}
+
+/// The fault seed attach_faults() would use — recorded so a replay is
+/// immune to a different GFOR14_FAULT_SEED in the replaying environment.
+std::uint64_t effective_fault_seed(const Options& opt) {
+  if (opt.fault_seed_set) return opt.fault_seed;
+  if (const char* env = std::getenv("GFOR14_FAULT_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return opt.seed;
+}
+
+/// Everything needed to re-execute this run, embedded in the recording.
+json::Value record_config(const Options& opt) {
+  json::Value c = json::Value::object();
+  c.set("command", opt.command);
+  c.set("n", opt.n);
+  c.set("kappa", opt.kappa);
+  c.set("receiver", opt.receiver);
+  c.set("scheme", scheme_str(opt.scheme));
+  c.set("attack", opt.attack);
+  c.set("seed", net::hex_u64(opt.seed));
+  c.set("faults", opt.faults);
+  c.set("fault_seed", net::hex_u64(effective_fault_seed(opt)));
+  return c;
+}
+
+/// Attaches the flight recorder and/or replay verifier requested by the
+/// options; finish() saves the recording / reports the replay verdict and
+/// yields the process exit code contribution.
+class FlightScope {
+ public:
+  FlightScope(net::Network& net, const Options& opt) : opt_(opt) {
+    if (!opt.record_path.empty()) {
+      recorder_ = std::make_shared<net::Recorder>(net::Recorder::Options{},
+                                                  record_config(opt));
+      net.attach_observer(recorder_);
+    }
+    if (opt.replay_reference) {
+      verifier_ =
+          std::make_shared<audit::ReplayVerifier>(*opt.replay_reference);
+      net.attach_observer(verifier_);
+    }
+  }
+
+  int finish() {
+    int rc = 0;
+    if (recorder_) {
+      if (recorder_->recording().save(opt_.record_path)) {
+        std::printf("recording: %s (%zu rounds, final digest %s)\n",
+                    opt_.record_path.c_str(),
+                    recorder_->recording().rounds.size(),
+                    net::hex_u64(recorder_->recording().final_digest).c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write recording '%s'\n",
+                     opt_.record_path.c_str());
+        rc = 1;
+      }
+    }
+    if (verifier_) {
+      if (const auto& d = verifier_->finish()) {
+        std::printf("replay DIVERGED: %s\n", d->format().c_str());
+        rc = 1;
+      } else {
+        std::printf("replay verified: %zu rounds byte-identical\n",
+                    verifier_->rounds_checked());
+      }
+    }
+    return rc;
+  }
+
+ private:
+  const Options& opt_;
+  std::shared_ptr<net::Recorder> recorder_;
+  std::shared_ptr<audit::ReplayVerifier> verifier_;
+};
+
 void print_fault_outcome(const net::Network& net,
                          const net::FaultEngine* engine) {
   if (engine == nullptr) return;
@@ -199,6 +306,7 @@ std::vector<Fld> default_inputs(std::size_t n) {
 int run_channel(const Options& opt) {
   net::Network net(opt.n, opt.seed);
   const auto faults = attach_faults(net, opt);
+  FlightScope flight(net, opt);
   auto vss = vss::make_vss(opt.scheme, net);
   anonchan::AnonChan chan(net, *vss,
                           anonchan::Params::practical(opt.n, opt.kappa));
@@ -229,12 +337,13 @@ int run_channel(const Options& opt) {
   std::printf("inputs delivered: %zu/%zu\n", delivered, opt.n);
   print_costs(out.costs);
   print_fault_outcome(net, faults.get());
-  return 0;
+  return flight.finish();
 }
 
 int run_publish(const Options& opt) {
   net::Network net(opt.n, opt.seed);
   const auto faults = attach_faults(net, opt);
+  FlightScope flight(net, opt);
   auto vss = vss::make_vss(opt.scheme, net);
   anonchan::AnonBroadcast chan(net, *vss,
                                anonchan::Params::practical(opt.n, opt.kappa));
@@ -246,12 +355,13 @@ int run_publish(const Options& opt) {
   std::printf("\n");
   print_costs(out.costs);
   print_fault_outcome(net, faults.get());
-  return 0;
+  return flight.finish();
 }
 
 int run_pseudosig(const Options& opt) {
   net::Network net(opt.n, opt.seed);
   const auto faults = attach_faults(net, opt);
+  FlightScope flight(net, opt);
   pseudosig::BroadcastSimulator sim(
       net, opt.scheme, anonchan::Params::practical(opt.n, 2),
       pseudosig::PsParams{4, 2, 3});
@@ -266,10 +376,14 @@ int run_pseudosig(const Options& opt) {
               result.validity ? "yes" : "NO", result.costs.rounds,
               sim.main_phase_broadcasts());
   print_fault_outcome(net, faults.get());
-  return 0;
+  return flight.finish();
 }
 
 int run_compare(const Options& opt) {
+  if (!opt.record_path.empty())
+    std::fprintf(stderr,
+                 "warning: --record is ignored by 'compare' (it runs "
+                 "several networks)\n");
   const auto inputs = default_inputs(opt.n);
   std::printf("%-24s %8s %10s\n", "protocol", "rounds", "bc-rounds");
   for (auto kind : {vss::SchemeKind::kBGW, vss::SchemeKind::kRB,
@@ -306,18 +420,29 @@ int run_compare(const Options& opt) {
 class ObservabilityScope {
  public:
   explicit ObservabilityScope(const Options& opt) : opt_(opt) {
-    if (opt_.trace_path.empty()) return;
+    if (opt_.trace_path.empty() && opt_.chrome_trace_path.empty()) return;
     auto& tracer = trace::Tracer::instance();
     tracer.set_enabled(true);
-    if (opt_.trace_path != "-" &&
+    if (!opt_.trace_path.empty() && opt_.trace_path != "-" &&
         !tracer.set_sink_path(opt_.trace_path))
       std::fprintf(stderr, "warning: cannot open trace sink '%s'\n",
                    opt_.trace_path.c_str());
   }
   ~ObservabilityScope() {
+    // Span lines are buffered in the sink stream; flushing here (not per
+    // line) is the sink contract — see Tracer::flush().
+    trace::Tracer::instance().flush();
     if (opt_.trace_path == "-") {
       for (const auto& root : trace::Tracer::instance().roots())
         std::printf("%s\n", root->to_json().dump(2).c_str());
+    }
+    if (!opt_.chrome_trace_path.empty()) {
+      if (trace::write_chrome_trace(opt_.chrome_trace_path))
+        std::printf("chrome trace: %s (load in chrome://tracing)\n",
+                    opt_.chrome_trace_path.c_str());
+      else
+        std::fprintf(stderr, "warning: cannot write chrome trace '%s'\n",
+                     opt_.chrome_trace_path.c_str());
     }
     if (!opt_.metrics_path.empty()) {
       auto& reg = metrics::Registry::instance();
@@ -333,9 +458,96 @@ class ObservabilityScope {
   const Options& opt_;
 };
 
+/// Reconstructs the Options a recording was made with from its config
+/// block (record_config above). The fault seed is pinned explicitly so the
+/// replaying environment's GFOR14_FAULT_SEED cannot skew the re-execution.
+bool options_from_config(const json::Value& c, Options& opt,
+                         std::string* error) {
+  const auto str = [&](const char* key) -> const std::string* {
+    const json::Value* v = c.find(key);
+    return v && v->is_string() ? &v->as_string() : nullptr;
+  };
+  const json::Value* num;
+  if (const auto* s = str("command")) opt.command = *s;
+  else { *error = "config.command"; return false; }
+  if ((num = c.find("n")) && num->is_number()) opt.n = num->as_u64();
+  else { *error = "config.n"; return false; }
+  if ((num = c.find("kappa")) && num->is_number()) opt.kappa = num->as_u64();
+  if ((num = c.find("receiver")) && num->is_number())
+    opt.receiver = num->as_u64();
+  if (const auto* s = str("scheme")) {
+    if (*s == "rb") opt.scheme = vss::SchemeKind::kRB;
+    else if (*s == "bgw") opt.scheme = vss::SchemeKind::kBGW;
+    else if (*s == "ggor") opt.scheme = vss::SchemeKind::kGGOR13;
+    else { *error = "config.scheme"; return false; }
+  }
+  if (const auto* s = str("attack")) opt.attack = *s;
+  if (const auto* s = str("seed")) {
+    const auto v = net::parse_hex_u64(*s);
+    if (!v) { *error = "config.seed"; return false; }
+    opt.seed = *v;
+  } else { *error = "config.seed"; return false; }
+  if (const auto* s = str("faults")) opt.faults = *s;
+  if (const auto* s = str("fault_seed")) {
+    const auto v = net::parse_hex_u64(*s);
+    if (!v) { *error = "config.fault_seed"; return false; }
+    opt.fault_seed = *v;
+    opt.fault_seed_set = true;
+  }
+  return true;
+}
+
+int run_replay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string path = argv[2];
+  std::string error;
+  auto rec = net::Recording::load(path, &error);
+  if (!rec) {
+    std::fprintf(stderr, "cannot load recording '%s': %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  Options opt;
+  if (!options_from_config(rec->config, opt, &error)) {
+    std::fprintf(stderr, "recording '%s' has no replayable %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--threads") {
+      opt.threads =
+          value == "hw" ? hardware_threads() : std::stoul(value);
+      if (opt.threads == 0) return usage();
+      set_default_threads(opt.threads);
+    } else {
+      return usage();
+    }
+  }
+  std::printf("replaying %s: command '%s', n=%zu, seed %s, %zu rounds\n",
+              path.c_str(), opt.command.c_str(), opt.n,
+              net::hex_u64(opt.seed).c_str(), rec->rounds.size());
+  opt.replay_reference = std::make_shared<net::Recording>(std::move(*rec));
+  if (opt.command == "channel") return run_channel(opt);
+  if (opt.command == "publish") return run_publish(opt);
+  if (opt.command == "pseudosig") return run_pseudosig(opt);
+  std::fprintf(stderr, "recording command '%s' is not replayable\n",
+               opt.command.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
+    try {
+      return run_replay(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   Options opt;
   if (!parse(argc, argv, opt)) return usage();
   ObservabilityScope observability(opt);

@@ -1,0 +1,108 @@
+#include "audit/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gfor14::audit {
+
+namespace {
+
+/// Walks matched numeric leaves of two row values, dotted-key style;
+/// anything present on one side only (or changing type) becomes a note.
+void diff_value(const json::Value& base, const json::Value& cand,
+                std::size_t row, const std::string& key,
+                BenchDiffResult& out) {
+  if (base.is_number() && cand.is_number()) {
+    ++out.fields_compared;
+    const double b = base.as_double();
+    const double c = cand.as_double();
+    if (b == c) return;
+    const double rel = b == 0.0 ? (c > 0 ? 1e9 : -1e9)
+                                : (c - b) / std::fabs(b);
+    if (std::fabs(rel) > out.threshold)
+      out.deltas.push_back({row, key, b, c, rel});
+    return;
+  }
+  if (base.is_object() && cand.is_object()) {
+    for (const auto& [k, bv] : base.members()) {
+      const std::string sub = key.empty() ? k : key + "." + k;
+      if (const json::Value* cv = cand.find(k))
+        diff_value(bv, *cv, row, sub, out);
+      else if (bv.is_number() || bv.is_object())
+        out.notes.push_back("row " + std::to_string(row) + ": field '" + sub +
+                            "' missing from candidate");
+    }
+    for (const auto& [k, cv] : cand.members())
+      if (!base.find(k) && (cv.is_number() || cv.is_object()))
+        out.notes.push_back("row " + std::to_string(row) + ": field '" +
+                            (key.empty() ? k : key + "." + k) +
+                            "' missing from baseline");
+    return;
+  }
+  if (base.is_number() != cand.is_number() ||
+      base.is_object() != cand.is_object())
+    out.notes.push_back("row " + std::to_string(row) + ": field '" + key +
+                        "' changed type");
+  // Matched strings/bools/nulls are labels, not measurements; a changed
+  // label means the rows describe different configurations.
+  if (base.is_string() && cand.is_string() &&
+      base.as_string() != cand.as_string())
+    out.notes.push_back("row " + std::to_string(row) + ": label '" + key +
+                        "' differs: baseline \"" + base.as_string() +
+                        "\", candidate \"" + cand.as_string() + "\"");
+}
+
+std::string get_experiment(const json::Value& doc) {
+  const json::Value* e = doc.find("experiment");
+  return e && e->is_string() ? e->as_string() : std::string("?");
+}
+
+}  // namespace
+
+BenchDiffResult bench_diff(const json::Value& baseline,
+                           const json::Value& candidate, double threshold) {
+  BenchDiffResult out;
+  out.threshold = threshold;
+  out.experiment = get_experiment(baseline);
+
+  if (get_experiment(baseline) != get_experiment(candidate))
+    out.notes.push_back("experiment differs: baseline '" +
+                        get_experiment(baseline) + "', candidate '" +
+                        get_experiment(candidate) + "'");
+
+  const json::Value* brows = baseline.find("rows");
+  const json::Value* crows = candidate.find("rows");
+  if (!brows || !brows->is_array() || !crows || !crows->is_array()) {
+    out.notes.push_back("artifact missing 'rows' array");
+    return out;
+  }
+  const std::size_t common = std::min(brows->size(), crows->size());
+  if (brows->size() != crows->size())
+    out.notes.push_back("row count differs: baseline " +
+                        std::to_string(brows->size()) + ", candidate " +
+                        std::to_string(crows->size()));
+  for (std::size_t i = 0; i < common; ++i)
+    diff_value(brows->at(i), crows->at(i), i, "", out);
+  return out;
+}
+
+std::string BenchDiffResult::format() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "bench-diff %s: %zu fields compared, threshold %.0f%%\n",
+                experiment.c_str(), fields_compared, threshold * 100.0);
+  std::string s = buf;
+  for (const auto& n : notes) s += "  note: " + n + "\n";
+  for (const auto& d : deltas) {
+    std::snprintf(buf, sizeof buf, "  %s row %zu %s: %g -> %g (%+.1f%%)\n",
+                  d.regression() ? "REGRESSION " : "improvement",
+                  d.row, d.key.c_str(), d.baseline, d.candidate,
+                  d.rel * 100.0);
+    s += buf;
+  }
+  if (clean()) s += "  identical within threshold\n";
+  return s;
+}
+
+}  // namespace gfor14::audit

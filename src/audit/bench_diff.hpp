@@ -1,0 +1,54 @@
+// Regression diff between two BENCH_*.json artifacts (bench/bench_json.hpp).
+//
+// Rows are matched positionally (artifacts from the same bench binary sweep
+// the same configurations in the same order); every numeric field shared by
+// a matched row pair is compared by relative change. Changes beyond the
+// threshold are flagged — increases as regressions, decreases as
+// improvements (artifact rows measure costs: wall time, elements, rounds —
+// so "up is worse" is the right default reading). Structural mismatches
+// (different experiment, missing rows or fields, non-numeric type changes)
+// become notes rather than silent skips: a diff that could not compare
+// everything says so.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace gfor14::audit {
+
+/// One numeric field whose relative change exceeded the threshold.
+struct BenchDelta {
+  std::size_t row = 0;  ///< row index in both artifacts
+  std::string key;      ///< dotted for nested fields ("phases.commit.ms")
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel = 0.0;  ///< (candidate - baseline) / |baseline|
+  bool regression() const { return rel > 0; }
+};
+
+struct BenchDiffResult {
+  std::string experiment;
+  double threshold = 0.2;
+  std::size_t fields_compared = 0;
+  std::vector<BenchDelta> deltas;   ///< changes beyond threshold
+  std::vector<std::string> notes;   ///< structural mismatches
+  bool clean() const { return deltas.empty() && notes.empty(); }
+  bool has_regression() const {
+    for (const auto& d : deltas)
+      if (d.regression()) return true;
+    return false;
+  }
+  std::string format() const;
+};
+
+/// Diffs two parsed artifacts. `threshold` is the relative change above
+/// which a field is flagged (0.2 = 20%). Fields equal to zero in the
+/// baseline are flagged whenever the candidate is nonzero.
+BenchDiffResult bench_diff(const json::Value& baseline,
+                           const json::Value& candidate,
+                           double threshold = 0.2);
+
+}  // namespace gfor14::audit

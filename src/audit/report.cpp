@@ -1,0 +1,143 @@
+#include "audit/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace gfor14::audit {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string party_str(net::PartyId p) {
+  if (p == net::kPublicBlame) return "public";
+  return "P" + std::to_string(p);
+}
+
+}  // namespace
+
+std::string render_matrix(const net::Recording& rec) {
+  const std::size_t n = rec.n;
+  std::vector<std::vector<std::size_t>> p2p(n, std::vector<std::size_t>(n, 0));
+  std::vector<std::size_t> bcast(n, 0);
+  for (const auto& round : rec.rounds)
+    for (const auto& m : round.messages) {
+      if (m.from >= n || (!m.broadcast && m.to >= n)) continue;
+      if (m.broadcast)
+        bcast[m.from] += m.elements;
+      else
+        p2p[m.from][m.to] += m.elements;
+    }
+
+  std::string out = "communication matrix (field elements sent, " +
+                    std::to_string(rec.rounds.size()) + " recorded rounds)\n";
+  out += fmt("%-8s", "from\\to");
+  for (std::size_t to = 0; to < n; ++to)
+    out += fmt(" %9s", party_str(static_cast<net::PartyId>(to)).c_str());
+  out += fmt(" %9s %9s\n", "bcast", "total");
+  std::size_t grand = 0;
+  for (std::size_t from = 0; from < n; ++from) {
+    out += fmt("%-8s", party_str(static_cast<net::PartyId>(from)).c_str());
+    std::size_t row_total = bcast[from];
+    for (std::size_t to = 0; to < n; ++to) {
+      out += fmt(" %9zu", p2p[from][to]);
+      row_total += p2p[from][to];
+    }
+    out += fmt(" %9zu %9zu\n", bcast[from], row_total);
+    grand += row_total;
+  }
+  out += fmt("%-8s", "recv");
+  for (std::size_t to = 0; to < n; ++to) {
+    std::size_t col = 0;
+    for (std::size_t from = 0; from < n; ++from) col += p2p[from][to];
+    out += fmt(" %9zu", col);
+  }
+  out += fmt(" %9s %9zu\n", "", grand);
+  return out;
+}
+
+std::string render_timeline(const net::Recording& rec) {
+  std::string out = "round timeline (" + std::to_string(rec.rounds.size()) +
+                    " recorded rounds)\n";
+  out += fmt("%-6s %6s %9s %6s %7s %7s %7s\n", "round", "msgs", "elements",
+             "bcast", "tamper", "faults", "blames");
+  for (const auto& round : rec.rounds) {
+    std::size_t elements = 0, bcasts = 0;
+    for (const auto& m : round.messages) {
+      elements += m.elements;
+      if (m.broadcast) ++bcasts;
+    }
+    out += fmt("%-6zu %6zu %9zu %6zu %7zu %7zu %7zu\n", round.index,
+               round.messages.size(), elements, bcasts, round.tampers.size(),
+               round.faults.size(), round.blames.size());
+    for (const auto& f : round.faults)
+      out += fmt("       fault: %s from=%s hit=%zu delta=%zu\n",
+                 net::fault_kind_name(f.spec.kind),
+                 party_str(f.spec.from).c_str(), f.messages_hit,
+                 f.elements_delta);
+    for (const auto& t : round.tampers)
+      out += fmt("       tamper: %s %s%s\n",
+                 t.broadcast ? "bcast" : "p2p", party_str(t.from).c_str(),
+                 t.broadcast ? "" : ("->" + party_str(t.to)).c_str());
+    for (const auto& b : round.blames)
+      out += fmt("       blame: %s accuses %s: %s\n",
+                 party_str(b.accuser).c_str(), party_str(b.accused).c_str(),
+                 b.reason.c_str());
+  }
+  return out;
+}
+
+std::string render_attribution(const net::Recording& rec) {
+  // Accused -> records; std::map orders kPublicBlame (PartyId(-1)) last,
+  // so iterate it twice to surface public verdicts first.
+  std::map<net::PartyId, std::vector<const net::BlameRecord*>> by_accused;
+  std::size_t total_blames = 0;
+  for (const auto& round : rec.rounds)
+    for (const auto& b : round.blames) {
+      by_accused[b.accused].push_back(&b);
+      ++total_blames;
+    }
+
+  std::string out =
+      "blame attribution (" + std::to_string(total_blames) + " records)\n";
+  if (by_accused.empty()) out += "  (no blame records)\n";
+  for (const bool public_pass : {true, false})
+    for (const auto& [accused, records] : by_accused) {
+      const bool any_public = [&] {
+        for (const auto* b : records)
+          if (b->accuser == net::kPublicBlame) return true;
+        return false;
+      }();
+      if (any_public != public_pass) continue;
+      out += "  accused " + party_str(accused) + " (" +
+             std::to_string(records.size()) + "):\n";
+      for (const auto* b : records)
+        out += fmt("    round %zu, accuser %s: %s\n", b->round,
+                   party_str(b->accuser).c_str(), b->reason.c_str());
+    }
+
+  std::size_t total_faults = 0;
+  for (const auto& round : rec.rounds) total_faults += round.faults.size();
+  out += "fault events (" + std::to_string(total_faults) + ")\n";
+  if (total_faults == 0) out += "  (no fault events)\n";
+  for (const auto& round : rec.rounds)
+    for (const auto& f : round.faults)
+      out += fmt("  round %zu: %s from=%s to=%s hit=%zu delta=%zu\n", f.round,
+                 net::fault_kind_name(f.spec.kind),
+                 party_str(f.spec.from).c_str(),
+                 f.spec.to == net::kAllReceivers ? "*"
+                                                 : party_str(f.spec.to).c_str(),
+                 f.messages_hit, f.elements_delta);
+  return out;
+}
+
+}  // namespace gfor14::audit

@@ -1,0 +1,65 @@
+#include "common/chrome_trace.hpp"
+
+#include <fstream>
+
+namespace gfor14::trace {
+
+namespace {
+
+void emit_span(const SpanNode& node, double start_us, json::Value& events) {
+  json::Value e = json::Value::object();
+  e.set("name", node.name);
+  e.set("ph", "X");
+  e.set("ts", start_us);
+  e.set("dur", node.wall_us);
+  e.set("pid", 1);
+  e.set("tid", 1);
+  json::Value args = json::Value::object();
+  args.set("costs", cost_to_json(node.costs));
+  if (!node.metrics.empty()) {
+    json::Value m = json::Value::object();
+    for (const auto& [k, v] : node.metrics) m.set(k, v);
+    args.set("metrics", std::move(m));
+  }
+  e.set("args", std::move(args));
+  events.push_back(std::move(e));
+
+  double child_start = start_us;
+  for (const auto& child : node.children) {
+    emit_span(*child, child_start, events);
+    child_start += child->wall_us;
+  }
+}
+
+}  // namespace
+
+json::Value chrome_trace_document(const std::vector<const SpanNode*>& roots) {
+  json::Value doc = json::Value::object();
+  json::Value events = json::Value::array();
+  double cursor = 0.0;
+  for (const SpanNode* root : roots) {
+    if (root == nullptr) continue;
+    emit_span(*root, cursor, events);
+    cursor += root->wall_us;
+  }
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+json::Value chrome_trace_document() {
+  std::vector<const SpanNode*> roots;
+  for (const auto& r : Tracer::instance().roots()) roots.push_back(r.get());
+  return chrome_trace_document(roots);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const json::Value doc = chrome_trace_document();
+  if (doc.find("traceEvents")->size() == 0) return false;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << doc.dump(2) << '\n';
+  return out.good();
+}
+
+}  // namespace gfor14::trace

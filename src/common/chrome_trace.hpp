@@ -1,0 +1,31 @@
+// Chrome trace-event exporter for the span tracer (DESIGN.md §10).
+//
+// Converts finished trace::SpanNode trees into the Trace Event Format that
+// chrome://tracing, Perfetto and speedscope load: one complete ("ph":"X")
+// event per span, with the span's CostReport and numeric annotations as
+// event args. SpanNodes record durations but not absolute start times, so
+// the exporter reconstructs a synthetic timeline: roots are laid out
+// back-to-back in completion order and children back-to-back from their
+// parent's start — begin offsets are approximate, durations and nesting are
+// exact, which is what the flame view is for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/trace.hpp"
+
+namespace gfor14::trace {
+
+/// {"traceEvents": [...], "displayTimeUnit": "ms"} for the given trees.
+json::Value chrome_trace_document(const std::vector<const SpanNode*>& roots);
+
+/// All of the process tracer's finished roots (Tracer::roots()).
+json::Value chrome_trace_document();
+
+/// Writes chrome_trace_document() to `path`; false when the file cannot be
+/// written or no trace trees have finished.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace gfor14::trace

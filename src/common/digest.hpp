@@ -1,0 +1,46 @@
+// Running 64-bit transcript digest for the flight recorder (DESIGN.md §10).
+//
+// The recorder needs a cheap, incremental, platform-independent fingerprint
+// of channel traffic so that header-only recordings can still certify byte
+// identity and full-fidelity recordings can be spot-checked without
+// re-reading every payload. FNV-1a over the little-endian byte expansion of
+// each absorbed word is enough: this is an integrity check against
+// *accidental* divergence (a nondeterminism bug, a corrupted recording
+// file), not a cryptographic commitment — the simulator's adversary is a
+// C++ object with direct queue access, so collision resistance buys
+// nothing here. The definition below (offset basis, prime, absorption
+// order) is frozen as part of the recording format: changing any of it is a
+// format version bump.
+#pragma once
+
+#include <cstdint>
+
+namespace gfor14 {
+
+/// Incremental FNV-1a/64 accumulator. Words are absorbed as 8 little-endian
+/// bytes each, so the digest of a sequence is well defined across platforms
+/// and independent of how callers chunk their input.
+class Digest64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr Digest64() = default;
+  explicit constexpr Digest64(std::uint64_t state) : state_(state) {}
+
+  constexpr void absorb_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xFF;
+      state_ *= kPrime;
+    }
+  }
+
+  constexpr std::uint64_t value() const { return state_; }
+
+  constexpr bool operator==(const Digest64&) const = default;
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace gfor14

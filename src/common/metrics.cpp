@@ -1,8 +1,24 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 
 namespace gfor14::metrics {
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_.empty()) return 0.0;
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
 
 Registry& Registry::instance() {
   static Registry registry;
@@ -53,6 +69,8 @@ json::Value Registry::to_json() const {
     o.set("stddev", s.stddev());
     o.set("min", s.min());
     o.set("max", s.max());
+    o.set("p50", h.quantile(0.5));
+    o.set("p95", h.quantile(0.95));
     histograms.set(name, std::move(o));
   }
   root.set("histograms", std::move(histograms));

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/json.hpp"
 #include "common/stats.hpp"
@@ -51,25 +53,50 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Distribution metric backed by the Welford Summary of stats.hpp.
+/// Distribution metric backed by the Welford Summary of stats.hpp, plus a
+/// bounded decimating sample for quantile estimates: every stride-th
+/// observation is kept; when the buffer fills, every second kept value is
+/// dropped and the stride doubles. The sample therefore never exceeds
+/// kMaxSamples values, stays an unbiased systematic subsample of the
+/// stream, and is deterministic for a given observation order (no RNG).
 class Histogram {
  public:
+  static constexpr std::size_t kMaxSamples = 2048;
+
   void observe(double v) {
     std::lock_guard<std::mutex> lock(mu_);
     summary_.add(v);
+    if (seen_++ % stride_ == 0) {
+      sample_.push_back(v);
+      if (sample_.size() >= kMaxSamples) {
+        for (std::size_t i = 1, j = 2; j < sample_.size(); ++i, j += 2)
+          sample_[i] = sample_[j];
+        sample_.resize((sample_.size() + 1) / 2);
+        stride_ *= 2;
+      }
+    }
   }
   Summary summary() const {
     std::lock_guard<std::mutex> lock(mu_);
     return summary_;
   }
+  /// Empirical q-quantile (q in [0, 1]) of the kept sample, by linear
+  /// interpolation between order statistics; 0 before any observation.
+  double quantile(double q) const;
   void reset() {
     std::lock_guard<std::mutex> lock(mu_);
     summary_ = Summary{};
+    sample_.clear();
+    seen_ = 0;
+    stride_ = 1;
   }
 
  private:
   mutable std::mutex mu_;
   Summary summary_;
+  std::vector<double> sample_;
+  std::size_t seen_ = 0;
+  std::size_t stride_ = 1;
 };
 
 class Registry {

@@ -1,0 +1,39 @@
+#include "common/provenance.hpp"
+
+#include "common/thread_pool.hpp"
+#include "ff/kernel.hpp"
+
+#ifndef GFOR14_GIT_SHA
+#define GFOR14_GIT_SHA "unknown"
+#endif
+#ifndef GFOR14_BUILD_TYPE
+#define GFOR14_BUILD_TYPE "unknown"
+#endif
+
+namespace gfor14::provenance {
+
+const char* git_sha() { return GFOR14_GIT_SHA; }
+
+const char* compiler() {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+json::Value collect() {
+  json::Value o = json::Value::object();
+  o.set("git_sha", git_sha());
+  o.set("compiler", compiler());
+  o.set("build_type", GFOR14_BUILD_TYPE);
+  o.set("field", "GF(2^64)");
+  o.set("ff_kernel", ff::active_kernel_name());
+  o.set("hardware_threads", hardware_threads());
+  o.set("default_threads", default_threads());
+  return o;
+}
+
+}  // namespace gfor14::provenance

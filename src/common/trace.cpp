@@ -81,6 +81,7 @@ Tracer::ThreadState& Tracer::state() {
 
 bool Tracer::set_sink_path(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_->out.flush();
   if (path.empty()) {
     sink_.reset();
     return true;
@@ -95,6 +96,11 @@ bool Tracer::set_sink_path(const std::string& path) {
 void Tracer::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   roots_.clear();
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_->out.flush();
 }
 
 void Span::open(std::string_view name, const net::Network* net) {
@@ -155,8 +161,11 @@ Span::~Span() {
         for (const auto& [k, v] : node_->metrics) m.set(k, v);
         line.set("metrics", std::move(m));
       }
+      // Buffered: lines hit the stream here and the disk on Tracer::flush()
+      // (or sink close). A per-line flush() would serialize worker-lane
+      // spans on disk I/O for no durability gain — the flush points below
+      // are what the "no truncated last line" contract rests on.
       tr.sink_->out << line.dump() << '\n';
-      tr.sink_->out.flush();
     }
   }
 

@@ -67,9 +67,16 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  /// JSONL sink: one line per closed span. Empty path closes the sink.
-  /// Returns false when the file cannot be opened.
+  /// JSONL sink: one line per closed span. Empty path closes the sink
+  /// (flushing it first). Returns false when the file cannot be opened.
   bool set_sink_path(const std::string& path);
+
+  /// Flushes the JSONL sink to disk. Span close buffers its line in the
+  /// sink's stream; callers that hand the file to another process or exit
+  /// without running static destructors (the CLI's observability scope, the
+  /// bench artifact writer) call this so a trace artifact can never end in
+  /// a truncated line. No-op without a sink.
+  void flush();
 
   /// Drops all finished trace trees (open spans are unaffected).
   void reset();

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
@@ -92,7 +93,17 @@ void Network::set_threads(std::size_t threads) {
   threads_ = threads == 0 ? hardware_threads() : threads;
 }
 
+void Network::detach_observer(const RoundObserver* obs) {
+  observers_.erase(
+      std::remove_if(observers_.begin(), observers_.end(),
+                     [obs](const std::shared_ptr<RoundObserver>& o) {
+                       return o.get() == obs;
+                     }),
+      observers_.end());
+}
+
 void Network::run_round(const PartyHandler& handler) {
+  const auto wall_start = std::chrono::steady_clock::now();
   begin_round();
   // Handlers only touch their own lane, their own party slots and their own
   // forked rng_of(p) stream, so they can run on any number of workers; the
@@ -115,6 +126,13 @@ void Network::run_round(const PartyHandler& handler) {
     }
   }
   end_round();
+  // Per-round latency distribution: --metrics reports p50/p95 of this, not
+  // just the aggregate counters.
+  static metrics::Histogram* const kRoundWall =
+      &metrics::Registry::instance().histogram("net.round_wall_us");
+  kRoundWall->observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count());
 }
 
 void Network::for_each_party(const std::function<void(PartyId)>& fn) const {
@@ -210,6 +228,9 @@ void Network::end_round() {
   kBroadcastElements->add(round_delta.broadcast_elements);
 
   if (round_hook_) round_hook_(*this, round_delta);
+  // Observers last: they see the fully settled round (delivered traffic,
+  // costs, metrics, blame/tamper/fault logs) on the orchestrating thread.
+  for (const auto& obs : observers_) obs->on_round_end(*this, round_delta);
 }
 
 const PartyCosts& Network::party_costs(PartyId p) const {
@@ -278,6 +299,10 @@ void Network::substitute_p2p(PartyId from, PartyId to,
   slot = std::move(payloads);
   // Poison outstanding views of this queue (debug-checked use-after-free).
   channel_stamp_[to * n_ + from] = ++stamp_counter_;
+  // Rewrites during the adversary turn are adversarial tampering; rewrites
+  // by the fault engine (after the turn) are logged as FaultEvents instead.
+  if (in_adversary_turn_)
+    tamper_log_.push_back({costs_.rounds, from, to, false});
 }
 
 void Network::substitute_broadcast(PartyId from,
@@ -298,6 +323,8 @@ void Network::substitute_broadcast(PartyId from,
     party_costs_[from].broadcast_elements += p.size();
   }
   slot = std::move(payloads);
+  if (in_adversary_turn_)
+    tamper_log_.push_back({costs_.rounds, from, 0, true});
 }
 
 void Network::blame(PartyId accuser, PartyId accused,

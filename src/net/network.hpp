@@ -139,7 +139,32 @@ struct BlameRecord {
 /// Accuser id for publicly attributed faults (visible to all parties).
 inline constexpr PartyId kPublicBlame = static_cast<PartyId>(-1);
 
+/// One adversarial rewrite of a pending queue during the rushing
+/// adversary's turn (replace_pending). Recorded so the flight recorder can
+/// attribute transcript changes to the adversary rather than to wire
+/// faults; purely observational — the log has no effect on execution.
+struct TamperRecord {
+  std::size_t round = 0;  ///< costs().rounds when the rewrite happened
+  PartyId from = 0;
+  PartyId to = 0;          ///< meaningless when broadcast
+  bool broadcast = false;
+};
+
 class FaultEngine;
+class Network;
+
+/// Passive end-of-round observer: called by end_round() after delivery,
+/// cost accounting, metrics and the round hook, on the orchestrating
+/// thread, in attachment order. Observers read delivered(), blames(),
+/// tamper_log() and the fault engine's event log; they must not mutate the
+/// network. The flight recorder (net/recorder.hpp) and the replay verifier
+/// (audit/replay.hpp) attach through this.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void on_round_end(const Network& net,
+                            const CostReport& round_delta) = 0;
+};
 
 /// Per-party outgoing-traffic buffer for run_round. A handler running on a
 /// worker thread submits its messages here instead of calling Network::send
@@ -206,6 +231,19 @@ class Network {
 
   void attach_adversary(std::shared_ptr<Adversary> adv) { adversary_ = std::move(adv); }
   Adversary* adversary() const { return adversary_.get(); }
+
+  /// Attaches a passive end-of-round observer (see RoundObserver). Any
+  /// number may be attached; they run in attachment order.
+  void attach_observer(std::shared_ptr<RoundObserver> obs) {
+    observers_.push_back(std::move(obs));
+  }
+  /// Detaches a previously attached observer; unknown pointers are ignored.
+  void detach_observer(const RoundObserver* obs);
+
+  /// Chronological log of adversarial pending-queue rewrites (see
+  /// TamperRecord). Grows over the network's lifetime; stable at round
+  /// boundaries.
+  const std::vector<TamperRecord>& tamper_log() const { return tamper_log_; }
 
   /// Attaches a fault-injection engine (net/faultplan.hpp): its plan is
   /// applied every end_round() after the adversary turn, before delivery.
@@ -321,6 +359,8 @@ class Network {
   CostReport round_start_costs_;
   std::vector<PartyCosts> party_costs_;
   RoundHook round_hook_;
+  std::vector<std::shared_ptr<RoundObserver>> observers_;
+  std::vector<TamperRecord> tamper_log_;
   std::size_t max_rounds_ = 0;  ///< 0 = watchdog off
 
   /// Per-channel validity stamps for PendingView poisoning: every channel

@@ -1,0 +1,410 @@
+// Flight recorder + replay verifier + audit toolchain (DESIGN.md §10).
+//
+// Covers the full recording lifecycle: digest determinism, the versioned
+// JSON format round-trip (in-memory and through a file), replay
+// verification of a faulty adversarial run at 1 and 4 worker lanes, the
+// first-divergence report for a deliberately perturbed recording (exact
+// round/channel/byte coordinates), header-only recordings certifying
+// identity through digests alone, the Chrome trace-event exporter, the
+// BENCH_*.json regression diff, and the gfor14-audit report renderers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "audit/bench_diff.hpp"
+#include "audit/replay.hpp"
+#include "audit/report.hpp"
+#include "common/chrome_trace.hpp"
+#include "common/digest.hpp"
+#include "common/trace.hpp"
+#include "net/adversary.hpp"
+#include "net/faultplan.hpp"
+#include "net/recorder.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14 {
+namespace {
+
+// --- digest + hex encoding -------------------------------------------------
+
+TEST(Digest64, MatchesFnv1aReferenceValues) {
+  // Empty digest is the FNV-1a/64 offset basis.
+  EXPECT_EQ(Digest64().value(), 0xcbf29ce484222325ULL);
+  // Absorbing is order-sensitive and deterministic.
+  Digest64 a, b, c;
+  a.absorb_u64(1);
+  a.absorb_u64(2);
+  b.absorb_u64(1);
+  b.absorb_u64(2);
+  c.absorb_u64(2);
+  c.absorb_u64(1);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(RecorderFormat, HexU64RoundTripsAndRejectsJunk) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+    const std::string s = net::hex_u64(v);
+    EXPECT_EQ(s.size(), 16u);
+    const auto back = net::parse_hex_u64(s);
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_FALSE(net::parse_hex_u64("").has_value());
+  EXPECT_FALSE(net::parse_hex_u64("xyz").has_value());
+  EXPECT_FALSE(net::parse_hex_u64("0123456789abcdef0").has_value());
+  EXPECT_FALSE(net::parse_hex_u64("ABCD").has_value());  // lowercase only
+}
+
+// --- recording a run -------------------------------------------------------
+
+/// Records the RB anonymous channel at n = 5 under a fault plan and a
+/// rushing share-corrupting adversary — the richest configuration the
+/// recorder has to capture (payloads + tampers + faults + blames).
+net::Recording record_run(std::uint64_t seed, std::size_t threads,
+                          bool payloads = true) {
+  net::Network net(5, seed);
+  net.set_threads(threads);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  net::FaultPlan plan;
+  plan.corrupt_element(2, 0, net::kAllReceivers, 2).drop(4, 0, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+  auto recorder = std::make_shared<net::Recorder>(
+      net::Recorder::Options{payloads});
+  net.attach_observer(recorder);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
+  std::vector<Fld> inputs;
+  for (std::size_t i = 0; i < 5; ++i)
+    inputs.push_back(i + 1 < 5 ? Fld::from_u64(100 + i) : Fld::zero());
+  chan.run(4, inputs);
+  return recorder->take();
+}
+
+/// Re-executes record_run's configuration with a ReplayVerifier attached.
+std::optional<audit::Divergence> replay_run(const net::Recording& reference,
+                                            std::uint64_t seed,
+                                            std::size_t threads) {
+  net::Network net(5, seed);
+  net.set_threads(threads);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  net::FaultPlan plan;
+  plan.corrupt_element(2, 0, net::kAllReceivers, 2).drop(4, 0, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+  auto verifier = std::make_shared<audit::ReplayVerifier>(reference);
+  net.attach_observer(verifier);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
+  std::vector<Fld> inputs;
+  for (std::size_t i = 0; i < 5; ++i)
+    inputs.push_back(i + 1 < 5 ? Fld::from_u64(100 + i) : Fld::zero());
+  chan.run(4, inputs);
+  return verifier->finish();
+}
+
+TEST(Recorder, CapturesMessagesTampersAndFaults) {
+  const net::Recording rec = record_run(2014, 1);
+  ASSERT_FALSE(rec.rounds.empty());
+  EXPECT_EQ(rec.n, 5u);
+  EXPECT_TRUE(rec.payloads);
+  EXPECT_NE(rec.final_digest, Digest64().value());
+  std::size_t messages = 0, tampers = 0, faults = 0;
+  for (const auto& r : rec.rounds) {
+    messages += r.messages.size();
+    tampers += r.tampers.size();
+    faults += r.faults.size();
+  }
+  EXPECT_GT(messages, 0u);
+  EXPECT_GT(tampers, 0u) << "rushing adversary rewrites were not recorded";
+  EXPECT_GT(faults, 0u) << "fault events were not recorded";
+  // Full fidelity: non-empty payloads are stored, lengths agree.
+  for (const auto& r : rec.rounds)
+    for (const auto& m : r.messages) EXPECT_EQ(m.payload.size(), m.elements);
+}
+
+TEST(Recorder, JsonRoundTripIsLossless) {
+  const net::Recording rec = record_run(777, 1);
+  std::string error;
+  const auto back = net::Recording::from_json(rec.to_json(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->n, rec.n);
+  EXPECT_EQ(back->final_digest, rec.final_digest);
+  EXPECT_EQ(back->rounds.size(), rec.rounds.size());
+  EXPECT_FALSE(audit::first_divergence(rec, *back).has_value());
+}
+
+TEST(Recorder, SaveLoadRoundTripsThroughAFile) {
+  const net::Recording rec = record_run(31337, 1);
+  const std::string path = ::testing::TempDir() + "gfor14_recording_test.json";
+  ASSERT_TRUE(rec.save(path));
+  std::string error;
+  const auto back = net::Recording::load(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_FALSE(audit::first_divergence(rec, *back).has_value());
+}
+
+TEST(Recorder, LoadRejectsNonRecordingJson) {
+  const std::string path = ::testing::TempDir() + "gfor14_not_a_recording.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"format\": \"something.else\", \"version\": 1}", f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(net::Recording::load(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+// --- replay verification ---------------------------------------------------
+
+TEST(ReplayVerifier, FaultyAdversarialRunVerifiesAtOneAndFourLanes) {
+  const net::Recording rec = record_run(90210, 1);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto divergence = replay_run(rec, 90210, threads);
+    EXPECT_FALSE(divergence.has_value())
+        << (divergence ? divergence->format() : "");
+  }
+}
+
+TEST(ReplayVerifier, DifferentSeedDiverges) {
+  const net::Recording rec = record_run(1, 1);
+  const auto divergence = replay_run(rec, 2, 1);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->round, 0u);
+}
+
+TEST(ReplayVerifier, PerturbedPayloadYieldsExactCoordinates) {
+  net::Recording rec = record_run(555, 1);
+  // Find the first message with a payload and flip byte 5 of element 3
+  // (falling back to element 0 for short payloads).
+  net::RecordedMessage* victim = nullptr;
+  std::size_t victim_round = 0;
+  for (auto& r : rec.rounds) {
+    for (auto& m : r.messages)
+      if (!m.payload.empty()) {
+        victim = &m;
+        victim_round = r.index;
+        break;
+      }
+    if (victim) break;
+  }
+  ASSERT_NE(victim, nullptr);
+  const std::size_t elem = victim->payload.size() > 3 ? 3 : 0;
+  victim->payload[elem] =
+      Fld::from_u64(victim->payload[elem].to_u64() ^ (1ULL << 40));
+  const auto divergence = replay_run(rec, 555, 1);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->round, victim_round);
+  EXPECT_EQ(divergence->broadcast, victim->broadcast);
+  EXPECT_EQ(divergence->from, victim->from);
+  EXPECT_EQ(divergence->to, victim->to);
+  EXPECT_EQ(divergence->seq, victim->seq);
+  EXPECT_EQ(divergence->byte_offset, elem * 8 + 5);
+  // The report names the exact coordinates.
+  const std::string text = divergence->format();
+  EXPECT_NE(text.find("round " + std::to_string(victim_round)),
+            std::string::npos);
+  EXPECT_NE(text.find("byte offset " + std::to_string(elem * 8 + 5)),
+            std::string::npos);
+}
+
+TEST(ReplayVerifier, TruncatedRecordingIsReportedByFinish) {
+  net::Recording rec = record_run(123, 1);
+  ASSERT_GT(rec.rounds.size(), 1u);
+  rec.rounds.push_back(rec.rounds.back());  // recording claims an extra round
+  // A live run that never reaches the extra round leaves the reference
+  // unexhausted; finish() must turn that into a divergence.
+  audit::ReplayVerifier verifier(rec);
+  const auto divergence = verifier.finish();
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_NE(divergence->description.find("rounds"), std::string::npos);
+}
+
+TEST(ReplayVerifier, HeaderOnlyRecordingCertifiesIdentityViaDigests) {
+  const net::Recording full = record_run(606, 1, /*payloads=*/true);
+  net::Recording headers = record_run(606, 1, /*payloads=*/false);
+  EXPECT_FALSE(headers.payloads);
+  for (const auto& r : headers.rounds)
+    for (const auto& m : r.messages) EXPECT_TRUE(m.payload.empty());
+  // Same run, same digests — including the final transcript digest.
+  EXPECT_EQ(full.final_digest, headers.final_digest);
+  // Perturbing a digest in a header-only recording is caught, with the
+  // digest as witness (no byte offset available).
+  auto bad = headers;
+  bool flipped = false;
+  for (auto& r : bad.rounds) {
+    for (auto& m : r.messages)
+      if (m.elements > 0) {
+        m.digest ^= 1;
+        flipped = true;
+        break;
+      }
+    if (flipped) break;
+  }
+  ASSERT_TRUE(flipped);
+  const auto d = audit::first_divergence(headers, bad);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->byte_offset, audit::Divergence::kUnknownOffset);
+  EXPECT_NE(d->description.find("digest"), std::string::npos);
+}
+
+TEST(ReplayVerifier, RecordingsFromDifferentLaneCountsAreIdentical) {
+  const net::Recording serial = record_run(4242, 1);
+  const net::Recording parallel = record_run(4242, 4);
+  const auto d = audit::first_divergence(serial, parallel);
+  EXPECT_FALSE(d.has_value()) << (d ? d->format() : "");
+}
+
+// --- report renderers ------------------------------------------------------
+
+TEST(AuditReports, RenderersCoverTheRecordedActivity) {
+  const net::Recording rec = record_run(2020, 1);
+  const std::string matrix = audit::render_matrix(rec);
+  EXPECT_NE(matrix.find("communication matrix"), std::string::npos);
+  EXPECT_NE(matrix.find("P0"), std::string::npos);
+  EXPECT_NE(matrix.find("P4"), std::string::npos);
+  const std::string timeline = audit::render_timeline(rec);
+  EXPECT_NE(timeline.find("round timeline"), std::string::npos);
+  EXPECT_NE(timeline.find("fault:"), std::string::npos);
+  EXPECT_NE(timeline.find("tamper:"), std::string::npos);
+  const std::string attribution = audit::render_attribution(rec);
+  EXPECT_NE(attribution.find("blame attribution"), std::string::npos);
+  EXPECT_NE(attribution.find("fault events"), std::string::npos);
+}
+
+// --- Chrome trace export ---------------------------------------------------
+
+TEST(ChromeTrace, ExportsValidTraceEventJson) {
+  auto& tracer = trace::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  tracer.reset();
+  {
+    trace::Span outer("outer");
+    { trace::Span inner("inner"); }
+    { trace::Span inner2("inner2"); }
+  }
+  const json::Value doc = trace::chrome_trace_document();
+  tracer.reset();
+  tracer.set_enabled(was_enabled);
+
+  // Survives a dump/parse cycle and has the trace-event shape.
+  const auto reparsed = json::Value::parse(doc.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  const json::Value* events = reparsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 3u);
+  double outer_ts = 0, outer_end = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (e.find("name")->as_string() == "outer") {
+      outer_ts = e.find("ts")->as_double();
+      outer_end = outer_ts + e.find("dur")->as_double();
+    }
+  }
+  // Children nest inside the parent on the synthetic timeline.
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    if (e.find("name")->as_string() == "outer") continue;
+    EXPECT_GE(e.find("ts")->as_double(), outer_ts);
+    EXPECT_LE(e.find("ts")->as_double() + e.find("dur")->as_double(),
+              outer_end);
+  }
+}
+
+TEST(ChromeTrace, WriteFailsCleanlyWithoutSpans) {
+  auto& tracer = trace::Tracer::instance();
+  tracer.reset();
+  const std::string path = ::testing::TempDir() + "gfor14_chrome_empty.json";
+  EXPECT_FALSE(trace::write_chrome_trace(path));
+}
+
+// --- bench-diff ------------------------------------------------------------
+
+json::Value make_artifact(double wall0, double wall1) {
+  json::Value rows = json::Value::array();
+  json::Value r0 = json::Value::object();
+  r0.set("n", 5);
+  r0.set("wall_ms", wall0);
+  rows.push_back(std::move(r0));
+  json::Value r1 = json::Value::object();
+  r1.set("n", 7);
+  r1.set("wall_ms", wall1);
+  rows.push_back(std::move(r1));
+  json::Value doc = json::Value::object();
+  doc.set("experiment", "demo");
+  doc.set("rows", std::move(rows));
+  return doc;
+}
+
+TEST(BenchDiff, IdenticalArtifactsPassClean) {
+  const json::Value a = make_artifact(100.0, 250.0);
+  const auto result = audit::bench_diff(a, a, 0.2);
+  EXPECT_TRUE(result.clean()) << result.format();
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_EQ(result.fields_compared, 4u);
+}
+
+TEST(BenchDiff, FlagsATwentyPercentRegression) {
+  const json::Value base = make_artifact(100.0, 250.0);
+  const json::Value cand = make_artifact(100.0, 310.0);  // +24%
+  const auto result = audit::bench_diff(base, cand, 0.2);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.has_regression());
+  EXPECT_EQ(result.deltas[0].row, 1u);
+  EXPECT_EQ(result.deltas[0].key, "wall_ms");
+  EXPECT_NEAR(result.deltas[0].rel, 0.24, 1e-9);
+  EXPECT_NE(result.format().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiff, ImprovementIsFlaggedButNotARegression) {
+  const json::Value base = make_artifact(100.0, 250.0);
+  const json::Value cand = make_artifact(100.0, 150.0);  // -40%
+  const auto result = audit::bench_diff(base, cand, 0.2);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_FALSE(result.has_regression());
+}
+
+TEST(BenchDiff, StructuralMismatchesBecomeNotes) {
+  json::Value base = make_artifact(100.0, 250.0);
+  json::Value cand = make_artifact(100.0, 250.0);
+  cand.set("experiment", "other");
+  json::Value extra = json::Value::object();
+  extra.set("n", 9);
+  extra.set("wall_ms", 400.0);
+  // rows is returned by find as const; rebuild with an extra row instead.
+  json::Value rows = json::Value::array();
+  for (const auto& r : cand.find("rows")->items()) rows.push_back(r);
+  rows.push_back(std::move(extra));
+  cand.set("rows", std::move(rows));
+  const auto result = audit::bench_diff(base, cand, 0.2);
+  EXPECT_FALSE(result.clean());
+  ASSERT_GE(result.notes.size(), 2u);  // experiment + row count
+  EXPECT_FALSE(result.has_regression());
+}
+
+TEST(BenchDiff, SubThresholdChangesStayQuiet) {
+  const json::Value base = make_artifact(100.0, 250.0);
+  const json::Value cand = make_artifact(110.0, 260.0);  // +10%, +4%
+  const auto result = audit::bench_diff(base, cand, 0.2);
+  EXPECT_TRUE(result.clean()) << result.format();
+}
+
+}  // namespace
+}  // namespace gfor14

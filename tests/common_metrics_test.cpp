@@ -1,0 +1,112 @@
+// Histogram quantile estimation and registry export (common/metrics.hpp).
+//
+// The Histogram keeps a bounded decimating sample next to its Welford
+// summary so the JSON export can report p50/p95 without unbounded memory.
+// These tests pin the quantile math on known distributions, the export
+// schema, the decimation bound, thread safety of observe() from worker
+// lanes, and the net.round_wall_us histogram the network feeds from
+// run_round.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "net/network.hpp"
+
+namespace gfor14 {
+namespace {
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  metrics::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  // All 1000 observations fit in the sample buffer: quantiles are exact
+  // (up to interpolation) order statistics of 1..1000.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_NEAR(h.quantile(0.5), 500.5, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 1.5);
+  EXPECT_EQ(h.summary().count(), 1000u);
+}
+
+TEST(Histogram, QuantileBeforeAnyObservationIsZero) {
+  metrics::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, DecimationBoundsMemoryButKeepsAccuracy) {
+  // 100k observations decimate several times; the systematic subsample
+  // still estimates quantiles of the uniform stream closely.
+  metrics::Histogram h;
+  const std::size_t kN = 100000;
+  for (std::size_t i = 1; i <= kN; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.summary().count(), kN);
+  EXPECT_NEAR(h.quantile(0.5), 50000.0, 2500.0);
+  EXPECT_NEAR(h.quantile(0.95), 95000.0, 2500.0);
+}
+
+TEST(Histogram, ResetClearsSampleState) {
+  metrics::Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1000.0);
+  h.reset();
+  EXPECT_EQ(h.summary().count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+}
+
+TEST(Histogram, RegistryJsonExportCarriesQuantiles) {
+  auto& h = metrics::Registry::instance().histogram("test.export_hist");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const json::Value doc = metrics::Registry::instance().to_json();
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* entry = hists->find("test.export_hist");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(entry->find("count")->as_double(), 100.0);
+  ASSERT_NE(entry->find("p50"), nullptr);
+  ASSERT_NE(entry->find("p95"), nullptr);
+  EXPECT_NEAR(entry->find("p50")->as_double(), 50.5, 1.0);
+  EXPECT_NEAR(entry->find("p95")->as_double(), 95.0, 1.5);
+  EXPECT_DOUBLE_EQ(entry->find("min")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(entry->find("max")->as_double(), 100.0);
+  h.reset();
+}
+
+TEST(Histogram, ConcurrentObserveFromWorkerLanes) {
+  // observe() serializes under the histogram mutex; hammer it from the
+  // same pool the round engine uses and check nothing is lost.
+  metrics::Histogram h;
+  constexpr std::size_t kPerLane = 5000;
+  constexpr std::size_t kLanes = 8;
+  ThreadPool::instance().parallel_for(0, kLanes, kLanes, [&](std::size_t lane) {
+    for (std::size_t i = 0; i < kPerLane; ++i)
+      h.observe(static_cast<double>(lane * kPerLane + i));
+  });
+  EXPECT_EQ(h.summary().count(), kLanes * kPerLane);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LT(p50, static_cast<double>(kLanes * kPerLane));
+}
+
+TEST(Histogram, NetworkRunRoundFeedsRoundWallHistogram) {
+  auto& h = metrics::Registry::instance().histogram("net.round_wall_us");
+  const std::uint64_t before = h.summary().count();
+  net::Network net(4, 2014);
+  net.run_round([](net::PartyId p, net::RoundLane& lane) {
+    lane.send((p + 1) % 4, {Fld::from_u64(p)});
+  });
+  net.run_round([](net::PartyId p, net::RoundLane& lane) {
+    lane.broadcast({Fld::from_u64(p)});
+  });
+  EXPECT_EQ(h.summary().count(), before + 2);
+  // Wall times are nonnegative microseconds.
+  EXPECT_GE(h.summary().min(), 0.0);
+}
+
+}  // namespace
+}  // namespace gfor14

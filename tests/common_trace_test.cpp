@@ -204,6 +204,36 @@ TEST(Trace, JsonlSinkEmitsOneParsableLinePerSpan) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, FlushMakesBufferedSinkLinesVisibleWhileSinkStaysOpen) {
+  // Span lines are buffered in the sink stream and only hit the file at the
+  // explicit flush points (flush(), set_sink_path swap/teardown). A process
+  // that exits abnormally between flushes may lose buffered lines — which
+  // is why the CLI and the bench harness call flush() before reporting.
+  ScopedTracing tracing;
+  const std::string path = ::testing::TempDir() + "gfor14_trace_flush.jsonl";
+  ASSERT_TRUE(trace::Tracer::instance().set_sink_path(path));
+  { trace::Span span("flushed"); }
+  trace::Tracer::instance().flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto parsed = json::Value::parse(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->find("span")->as_string(), "flushed");
+
+  // The sink is still attached and usable after the flush.
+  { trace::Span span("after"); }
+  trace::Tracer::instance().set_sink_path("");
+  std::ifstream again(path);
+  std::vector<std::string> lines;
+  while (std::getline(again, line))
+    if (!line.empty()) lines.push_back(line);
+  EXPECT_EQ(lines.size(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(Trace, SpanToJsonCarriesCostsAndMetrics) {
   ScopedTracing tracing;
   {

@@ -28,10 +28,12 @@
 #include <vector>
 
 #include "anonchan/anonchan.hpp"
+#include "audit/replay.hpp"
 #include "baselines/dcnet.hpp"
 #include "common/metrics.hpp"
 #include "net/adversary.hpp"
 #include "net/faultplan.hpp"
+#include "net/recorder.hpp"
 #include "vss/schemes.hpp"
 
 namespace gfor14 {
@@ -42,54 +44,16 @@ void append_u64(std::string& s, std::uint64_t v) {
   s += ' ';
 }
 
-void append_payloads(std::string& s, const std::vector<net::Payload>& msgs) {
-  for (const auto& payload : msgs) {
-    s += '[';
-    for (Fld f : payload) append_u64(s, f.to_u64());
-    s += ']';
-  }
+// Transcript capture goes through the flight recorder (same construction
+// as parallel_engine_test.cpp): two executions are byte-identical iff
+// audit::first_divergence finds nothing between their recordings, and any
+// mismatch is reported with its exact (round, channel, byte) coordinates.
+::testing::AssertionResult identical(const net::Recording& a,
+                                     const net::Recording& b) {
+  if (const auto d = audit::first_divergence(a, b))
+    return ::testing::AssertionFailure() << d->format();
+  return ::testing::AssertionSuccess();
 }
-
-// Serializes every delivered round via the network's round hook (same
-// construction as parallel_engine_test.cpp): two executions are
-// transcript-identical iff the strings match.
-class TranscriptRecorder {
- public:
-  explicit TranscriptRecorder(net::Network& net) : net_(net) {
-    net_.set_round_hook(
-        [this](const net::Network& nw, const net::CostReport& delta) {
-          text_ += "R";
-          append_u64(text_, delta.rounds);
-          append_u64(text_, delta.broadcast_rounds);
-          append_u64(text_, delta.broadcast_invocations);
-          append_u64(text_, delta.p2p_messages);
-          append_u64(text_, delta.p2p_elements);
-          append_u64(text_, delta.broadcast_elements);
-          const auto& tr = nw.delivered();
-          for (std::size_t to = 0; to < nw.n(); ++to)
-            for (std::size_t from = 0; from < nw.n(); ++from) {
-              if (tr.p2p[to][from].empty()) continue;
-              text_ += "p";
-              append_u64(text_, to);
-              append_u64(text_, from);
-              append_payloads(text_, tr.p2p[to][from]);
-            }
-          for (std::size_t from = 0; from < nw.n(); ++from) {
-            if (tr.bcast[from].empty()) continue;
-            text_ += "b";
-            append_u64(text_, from);
-            append_payloads(text_, tr.bcast[from]);
-          }
-          text_ += '\n';
-        });
-  }
-  ~TranscriptRecorder() { net_.set_round_hook({}); }
-  const std::string& text() const { return text_; }
-
- private:
-  net::Network& net_;
-  std::string text_;
-};
 
 constexpr std::array<const char*, 6> kNetMetricNames = {
     "net.rounds",        "net.broadcast_rounds", "net.broadcast_invocations",
@@ -103,7 +67,7 @@ std::array<std::uint64_t, 6> net_metric_values() {
 }
 
 struct RunResult {
-  std::string transcript;
+  net::Recording recording;  ///< full-fidelity transcript of the run
   std::string output;
   net::CostReport costs;
   std::array<std::uint64_t, 6> net_metrics{};
@@ -158,7 +122,8 @@ RunResult execute_channel(std::uint64_t seed, std::size_t threads,
   }
   const auto metrics_before = net_metric_values();
   const auto costs_before = net.cost_snapshot();
-  TranscriptRecorder recorder(net);
+  auto recorder = std::make_shared<net::Recorder>();
+  net.attach_observer(recorder);
   auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
   anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
   std::vector<Fld> inputs;
@@ -167,7 +132,7 @@ RunResult execute_channel(std::uint64_t seed, std::size_t threads,
   RunResult r;
   r.output = serialize_anonchan(chan.run(4, inputs));
   r.output += " blames:" + serialize_blames(net);
-  r.transcript = recorder.text();
+  r.recording = recorder->take();
   r.costs = net.costs() - costs_before;
   const auto metrics_after = net_metric_values();
   for (std::size_t i = 0; i < r.net_metrics.size(); ++i)
@@ -314,13 +279,13 @@ TEST(FaultEngineTest, ReplayStaleSubstitutesEarlierTraffic) {
 TEST(FaultSoakTest, EmptyPlanIsByteIdenticalToNoEngine) {
   for (std::uint64_t seed : {2014ULL, 77ULL}) {
     const RunResult baseline = execute_channel(seed, 1, std::nullopt, 0);
-    ASSERT_FALSE(baseline.transcript.empty());
+    ASSERT_FALSE(baseline.recording.rounds.empty());
     for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
       const RunResult with_empty =
           execute_channel(seed, threads, net::FaultPlan{}, 42);
       SCOPED_TRACE("seed=" + std::to_string(seed) +
                    " threads=" + std::to_string(threads));
-      EXPECT_EQ(baseline.transcript, with_empty.transcript);
+      EXPECT_TRUE(identical(baseline.recording, with_empty.recording));
       EXPECT_EQ(baseline.output, with_empty.output);
       EXPECT_EQ(baseline.costs, with_empty.costs);
       EXPECT_EQ(baseline.net_metrics, with_empty.net_metrics);
@@ -338,7 +303,7 @@ TEST(FaultSoakTest, SameSeedReplayIsByteIdentical) {
       .crash(8, 0);
   const RunResult a = execute_channel(31337, 1, plan, 5150);
   const RunResult b = execute_channel(31337, 1, plan, 5150);
-  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_TRUE(identical(a.recording, b.recording));
   EXPECT_EQ(a.output, b.output);
   EXPECT_EQ(a.costs, b.costs);
   EXPECT_EQ(a.events, b.events);
@@ -346,7 +311,8 @@ TEST(FaultSoakTest, SameSeedReplayIsByteIdentical) {
   // The faulty run must differ from the clean baseline somewhere — the plan
   // is not a silent no-op.
   const RunResult clean = execute_channel(31337, 1, std::nullopt, 0);
-  EXPECT_NE(a.transcript, clean.transcript);
+  EXPECT_TRUE(
+      audit::first_divergence(a.recording, clean.recording).has_value());
 }
 
 TEST(FaultSoakTest, FaultyRunsAreThreadCountIndependent) {
@@ -356,7 +322,7 @@ TEST(FaultSoakTest, FaultyRunsAreThreadCountIndependent) {
       .crash(6, 0);
   const RunResult serial = execute_channel(90210, 1, plan, 8);
   const RunResult parallel = execute_channel(90210, 4, plan, 8);
-  EXPECT_EQ(serial.transcript, parallel.transcript);
+  EXPECT_TRUE(identical(serial.recording, parallel.recording));
   EXPECT_EQ(serial.output, parallel.output);
   EXPECT_EQ(serial.costs, parallel.costs);
   EXPECT_EQ(serial.events, parallel.events);

@@ -9,6 +9,12 @@
 // field element on every channel in every round), the protocol outputs, the
 // CostReport, and the net.* metrics counters are byte-identical. This is
 // the executable form of the determinism contract in DESIGN.md §8.
+//
+// Transcript capture and comparison go through the flight-recorder
+// subsystem (net/recorder.hpp + audit/replay.hpp): each run is recorded at
+// full fidelity and audit::first_divergence pins any mismatch to its exact
+// (round, channel, from, to, byte offset) — far better failure output than
+// the string diff this suite originally used.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "anonchan/anonchan.hpp"
+#include "audit/replay.hpp"
 #include "baselines/dcnet.hpp"
 #include "baselines/pw96.hpp"
 #include "baselines/vabh03.hpp"
@@ -24,6 +31,7 @@
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "net/adversary.hpp"
+#include "net/recorder.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "vss/schemes.hpp"
 
@@ -35,54 +43,15 @@ void append_u64(std::string& s, std::uint64_t v) {
   s += ' ';
 }
 
-void append_payloads(std::string& s, const std::vector<net::Payload>& msgs) {
-  for (const auto& payload : msgs) {
-    s += '[';
-    for (Fld f : payload) append_u64(s, f.to_u64());
-    s += ']';
-  }
+// Two executions are transcript-identical iff no divergence exists between
+// their flight recordings: every payload byte on every channel in every
+// round, the per-round cost deltas, and the tamper/fault/blame logs.
+::testing::AssertionResult identical(const net::Recording& a,
+                                     const net::Recording& b) {
+  if (const auto d = audit::first_divergence(a, b))
+    return ::testing::AssertionFailure() << d->format();
+  return ::testing::AssertionSuccess();
 }
-
-// Serializes every delivered round — all p2p channels and broadcasts plus
-// the round's cost delta — into a growing string via the network's round
-// hook. Two executions are transcript-identical iff the strings match.
-class TranscriptRecorder {
- public:
-  explicit TranscriptRecorder(net::Network& net) : net_(net) {
-    net_.set_round_hook(
-        [this](const net::Network& nw, const net::CostReport& delta) {
-          text_ += "R";
-          append_u64(text_, delta.rounds);
-          append_u64(text_, delta.broadcast_rounds);
-          append_u64(text_, delta.broadcast_invocations);
-          append_u64(text_, delta.p2p_messages);
-          append_u64(text_, delta.p2p_elements);
-          append_u64(text_, delta.broadcast_elements);
-          const auto& tr = nw.delivered();
-          for (std::size_t to = 0; to < nw.n(); ++to)
-            for (std::size_t from = 0; from < nw.n(); ++from) {
-              if (tr.p2p[to][from].empty()) continue;
-              text_ += "p";
-              append_u64(text_, to);
-              append_u64(text_, from);
-              append_payloads(text_, tr.p2p[to][from]);
-            }
-          for (std::size_t from = 0; from < nw.n(); ++from) {
-            if (tr.bcast[from].empty()) continue;
-            text_ += "b";
-            append_u64(text_, from);
-            append_payloads(text_, tr.bcast[from]);
-          }
-          text_ += '\n';
-        });
-  }
-  ~TranscriptRecorder() { net_.set_round_hook({}); }
-  const std::string& text() const { return text_; }
-
- private:
-  net::Network& net_;
-  std::string text_;
-};
 
 constexpr std::array<const char*, 6> kNetMetricNames = {
     "net.rounds",        "net.broadcast_rounds", "net.broadcast_invocations",
@@ -96,7 +65,7 @@ std::array<std::uint64_t, 6> net_metric_values() {
 }
 
 struct RunResult {
-  std::string transcript;
+  net::Recording recording;  ///< full-fidelity transcript of the run
   std::string output;  ///< scenario-specific serialization of the results
   net::CostReport costs;
   std::array<std::uint64_t, 6> net_metrics{};  ///< deltas for this run
@@ -115,10 +84,11 @@ RunResult execute(const Scenario& sc, std::uint64_t seed,
   net.set_threads(threads);
   const auto metrics_before = net_metric_values();
   const auto costs_before = net.cost_snapshot();
-  TranscriptRecorder recorder(net);
+  auto recorder = std::make_shared<net::Recorder>();
+  net.attach_observer(recorder);
   RunResult r;
   r.output = sc.run(net);
-  r.transcript = recorder.text();
+  r.recording = recorder->take();
   r.costs = net.costs() - costs_before;
   const auto metrics_after = net_metric_values();
   for (std::size_t i = 0; i < r.net_metrics.size(); ++i)
@@ -272,12 +242,12 @@ TEST(ParallelEngineTest, SerialAndParallelExecutionsAreByteIdentical) {
   for (const Scenario& sc : kScenarios) {
     for (std::uint64_t seed : kSeeds) {
       const RunResult serial = execute(sc, seed, 1);
-      ASSERT_FALSE(serial.transcript.empty()) << sc.name;
+      ASSERT_FALSE(serial.recording.rounds.empty()) << sc.name;
       for (std::size_t threads : thread_counts) {
         const RunResult parallel = execute(sc, seed, threads);
         SCOPED_TRACE(std::string(sc.name) + " seed=" + std::to_string(seed) +
                      " threads=" + std::to_string(threads));
-        EXPECT_EQ(serial.transcript, parallel.transcript);
+        EXPECT_TRUE(identical(serial.recording, parallel.recording));
         EXPECT_EQ(serial.output, parallel.output);
         EXPECT_EQ(serial.costs, parallel.costs);
         EXPECT_EQ(serial.net_metrics, parallel.net_metrics);
@@ -292,7 +262,7 @@ TEST(ParallelEngineTest, RepeatedParallelRunsAreStable) {
   const Scenario& sc = kScenarios[0];
   const RunResult a = execute(sc, 4242, 4);
   const RunResult b = execute(sc, 4242, 4);
-  EXPECT_EQ(a.transcript, b.transcript);
+  EXPECT_TRUE(identical(a.recording, b.recording));
   EXPECT_EQ(a.output, b.output);
   EXPECT_EQ(a.costs, b.costs);
 }
@@ -303,7 +273,7 @@ TEST(ParallelEngineTest, OversubscribedLanesStayDeterministic) {
   const Scenario& sc = kScenarios[0];
   const RunResult serial = execute(sc, 555, 1);
   const RunResult wide = execute(sc, 555, 64);
-  EXPECT_EQ(serial.transcript, wide.transcript);
+  EXPECT_TRUE(identical(serial.recording, wide.recording));
   EXPECT_EQ(serial.output, wide.output);
   EXPECT_EQ(serial.costs, wide.costs);
 }
