@@ -167,6 +167,62 @@ void span_ops_table(benchjson::Artifact& artifact) {
   row.set("batch_inverse_fused_ns", batch_inv_ns);
 }
 
+/// Bulk-data view of the kernel layer: MB/s moved through the raw multiply
+/// and the fused span kernels, per selectable clmul kernel. ns/op numbers
+/// compare ops; MB/s compares kernels against memory bandwidth — the
+/// ceiling the zero-copy roadmap item is chasing.
+void throughput_table(benchjson::Artifact& artifact) {
+  std::vector<ff::Kernel> kernels = {ff::Kernel::kBitloop, ff::Kernel::kTable};
+  if (ff::hardware_available()) {
+    for (ff::Kernel hw : {ff::Kernel::kPclmul, ff::Kernel::kPmull})
+      if (ff::set_kernel(hw)) kernels.push_back(hw);
+    ff::reset_kernel();
+  }
+
+  constexpr std::size_t kLen = 256;
+  Rng rng(8);
+  std::vector<Fld> a(kLen), b(kLen), y(kLen);
+  for (auto& x : a) x = Fld::random(rng);
+  for (auto& x : b) x = Fld::random(rng);
+  for (auto& x : y) x = Fld::random(rng);
+  const Fld c = Fld::random_nonzero(rng);
+
+  std::printf("=== kernel throughput (operand MB/s, span len %zu) ===\n",
+              kLen);
+  std::printf("%-8s %12s %12s %12s\n", "kernel", "clmul", "dot", "axpy");
+  for (ff::Kernel k : kernels) {
+    if (!ff::set_kernel(k)) continue;
+    const double mul_ns = time_field_mul<Fld>();
+    const double dot_ns = time_ns_per_op(20000, [&] {
+      Fld acc = ff::dot(std::span<const Fld>(a), std::span<const Fld>(b));
+      benchmark::DoNotOptimize(acc);
+    });
+    const double axpy_ns = time_ns_per_op(20000, [&] {
+      ff::axpy(c, std::span<const Fld>(a), std::span<Fld>(y));
+      benchmark::DoNotOptimize(y.data());
+    });
+    // MB/s = operand bytes per op * 1000 / (ns per op); each op reads two
+    // Fld streams (axpy's accumulator read-modify-write counts as one).
+    const double mul_mb_s = 2.0 * sizeof(Fld) * 1000.0 / mul_ns;
+    const double dot_mb_s = 2.0 * kLen * sizeof(Fld) * 1000.0 / dot_ns;
+    const double axpy_mb_s = 2.0 * kLen * sizeof(Fld) * 1000.0 / axpy_ns;
+    std::printf("%-8s %12.1f %12.1f %12.1f\n", ff::kernel_name(k), mul_mb_s,
+                dot_mb_s, axpy_mb_s);
+    json::Value& row = artifact.row();
+    row.set("case", "throughput");
+    row.set("kernel", std::string(ff::kernel_name(k)));
+    row.set("len", kLen);
+    row.set("clmul_mb_s", mul_mb_s);
+    row.set("dot_mb_s", dot_mb_s);
+    row.set("axpy_mb_s", axpy_mb_s);
+    row.set("clmul_ns", mul_ns);
+    row.set("dot_ns", dot_ns);
+    row.set("axpy_ns", axpy_ns);
+  }
+  ff::reset_kernel();
+  std::printf("\n");
+}
+
 template <typename F>
 void BM_FieldMul(benchmark::State& state) {
   Rng rng(1);
@@ -277,6 +333,7 @@ int main(int argc, char** argv) {
   artifact.param("hardware_available", ff::hardware_available());
   kernel_sweep(artifact);
   span_ops_table(artifact);
+  throughput_table(artifact);
   artifact.param("dispatched_kernel", std::string(ff::active_kernel_name()));
   artifact.set("metrics", benchjson::metrics_snapshot());
   artifact.write();

@@ -23,9 +23,17 @@
 namespace gfor14::benchjson {
 
 /// Builder for one BENCH_<experiment>.json document.
+///
+/// Schema 3 adds resource telemetry: rows may carry logical allocation
+/// accounting (nested "net"."alloc" objects) and throughput fields
+/// (*_per_sec, *_mb_s — recognized as higher-is-better by bench-diff), and
+/// artifacts may attach a top-level "telemetry" block
+/// (TelemetrySampler::deterministic_json(): per-sampled-round protocol
+/// counters). gfor14-audit bench-diff diffs schema-2 and schema-3 artifacts
+/// by key intersection, noting the skipped keys.
 class Artifact {
  public:
-  static constexpr std::size_t kSchema = 2;
+  static constexpr std::size_t kSchema = 3;
 
   /// `experiment` names the file (BENCH_<experiment>.json); `claim` states
   /// the paper claim being reproduced, verbatim enough to grep for.

@@ -13,6 +13,8 @@
 
 #include "anonchan/anonchan.hpp"
 #include "bench_json.hpp"
+#include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "vss/schemes.hpp"
 
@@ -26,6 +28,22 @@ std::vector<Fld> inputs_for(std::size_t n) {
   return x;
 }
 
+/// Schema-3 resource fields for one row measured inside its own metrics
+/// scope: element throughput plus the logical message-buffer accounting
+/// (nested so bench-diff sees the dotted keys "net.alloc.count" /
+/// "net.alloc.bytes" — the ones the blocking CI gate pins).
+void set_resource_fields(json::Value& row, metrics::Registry& scope,
+                         double ms, std::size_t elements) {
+  row.set("p2p_elements_per_sec",
+          ms > 0.0 ? static_cast<double>(elements) * 1000.0 / ms : 0.0);
+  json::Value alloc = json::Value::object();
+  alloc.set("count", scope.counter("net.alloc.count").value());
+  alloc.set("bytes", scope.counter("net.alloc.bytes").value());
+  json::Value netobj = json::Value::object();
+  netobj.set("alloc", std::move(alloc));
+  row.set("net", std::move(netobj));
+}
+
 void print_tables() {
   benchjson::Artifact artifact(
       "E8_scaling",
@@ -34,11 +52,26 @@ void print_tables() {
   artifact.param("scheme", "RB");
   artifact.param("params_profile", "practical");
   std::printf("=== E8: full-run scaling (practical profile, RB VSS) ===\n");
-  std::printf("%4s %6s %6s %8s %8s %10s %14s %12s\n", "n", "kappa", "d",
-              "ell", "rounds", "p2p msgs", "field elems", "wall ms");
+  std::printf("%4s %6s %6s %8s %8s %10s %14s %12s %12s\n", "n", "kappa", "d",
+              "ell", "rounds", "p2p msgs", "field elems", "wall ms",
+              "alloc MiB");
   for (std::size_t n : {4u, 5u, 6u}) {
     for (std::size_t kappa : {2u, 4u, 8u}) {
+      // Each row runs inside its own metrics scope, so the logical
+      // allocation counters below are exactly this configuration's.
+      auto scope = metrics::Registry::instance().scope(
+          "e8/single_n" + std::to_string(n) + "_k" + std::to_string(kappa));
+      metrics::RegistryAttachment attach(scope);
       net::Network net(n, 11);
+      std::shared_ptr<telemetry::TelemetrySampler> sampler;
+      if (n == 4 && kappa == 2) {
+        // Representative per-round series for the artifact's telemetry
+        // block: deterministic counters only, sampled every round.
+        sampler = std::make_shared<telemetry::TelemetrySampler>(
+            net.registry_shared(),
+            telemetry::TelemetrySampler::Options{1, 512});
+        net.attach_observer(sampler);
+      }
       auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
       const auto params = anonchan::Params::practical(n, kappa);
       anonchan::AnonChan chan(net, *vss, params);
@@ -47,9 +80,12 @@ void print_tables() {
       const auto t1 = std::chrono::steady_clock::now();
       const double ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
-      std::printf("%4zu %6zu %6zu %8zu %8zu %10zu %14zu %12.1f\n", n, kappa,
-                  params.d, params.ell, out.costs.rounds,
-                  out.costs.p2p_messages, out.costs.p2p_elements, ms);
+      std::printf("%4zu %6zu %6zu %8zu %8zu %10zu %14zu %12.1f %12.1f\n", n,
+                  kappa, params.d, params.ell, out.costs.rounds,
+                  out.costs.p2p_messages, out.costs.p2p_elements, ms,
+                  static_cast<double>(
+                      scope->counter("net.alloc.bytes").value()) /
+                      (1024.0 * 1024.0));
       json::Value& row = artifact.row();
       row.set("case", "single_run");
       row.set("n", n);
@@ -60,6 +96,8 @@ void print_tables() {
       row.set("p2p_messages", out.costs.p2p_messages);
       row.set("p2p_elements", out.costs.p2p_elements);
       row.set("wall_ms", ms);
+      set_resource_fields(row, *scope, ms, out.costs.p2p_elements);
+      if (sampler) artifact.set("telemetry", sampler->deterministic_json());
     }
   }
 
@@ -67,6 +105,9 @@ void print_tables() {
   std::printf("%10s %8s %14s %12s\n", "sessions", "rounds", "field elems",
               "wall ms");
   for (std::size_t sessions : {1u, 2u, 4u, 8u}) {
+    auto scope = metrics::Registry::instance().scope(
+        "e8/multi_s" + std::to_string(sessions));
+    metrics::RegistryAttachment attach(scope);
     net::Network net(4, 12);
     auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
     anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(4, 2));
@@ -84,6 +125,7 @@ void print_tables() {
     row.set("rounds", out.costs.rounds);
     row.set("p2p_elements", out.costs.p2p_elements);
     row.set("wall_ms", ms);
+    set_resource_fields(row, *scope, ms, out.costs.p2p_elements);
   }
   std::printf("expected shape: rounds CONSTANT in the session count —\n"
               "the property the pseudosignature setup relies on.\n\n");
@@ -106,6 +148,9 @@ void print_tables() {
       lanes.push_back(hw);
     double serial_ms = 0.0;
     for (std::size_t threads : lanes) {
+      auto scope = metrics::Registry::instance().scope(
+          "e8/threads_n" + std::to_string(n) + "_t" + std::to_string(threads));
+      metrics::RegistryAttachment attach(scope);
       net::Network net(n, 13);
       net.set_threads(threads);
       auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
@@ -127,9 +172,60 @@ void print_tables() {
       row.set("p2p_elements", out.costs.p2p_elements);
       row.set("wall_ms", ms);
       row.set("speedup_vs_serial", speedup);
+      set_resource_fields(row, *scope, ms, out.costs.p2p_elements);
     }
   }
   std::printf("\n");
+
+  // --- telemetry overhead (acceptance budget: <5% on n=8, interval 1) ---
+  // Best-of-3 with and without a sampler attached; the sampler's only hot
+  // cost is one counter-map flatten per round barrier.
+  {
+    const std::size_t n = 8;
+    double plain_ms = 1e300, telemetry_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      {
+        net::Network net(n, 14);
+        auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+        anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(n, 2));
+        const auto t0 = std::chrono::steady_clock::now();
+        chan.run(0, inputs_for(n));
+        const auto t1 = std::chrono::steady_clock::now();
+        plain_ms = std::min(
+            plain_ms,
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      {
+        auto scope = metrics::Registry::instance().scope(
+            "e8/overhead_rep" + std::to_string(rep));
+        metrics::RegistryAttachment attach(scope);
+        net::Network net(n, 14);
+        auto sampler = std::make_shared<telemetry::TelemetrySampler>(
+            net.registry_shared(),
+            telemetry::TelemetrySampler::Options{1, 512});
+        net.attach_observer(sampler);
+        auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+        anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(n, 2));
+        const auto t0 = std::chrono::steady_clock::now();
+        chan.run(0, inputs_for(n));
+        const auto t1 = std::chrono::steady_clock::now();
+        telemetry_ms = std::min(
+            telemetry_ms,
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    }
+    const double overhead_pct =
+        plain_ms > 0.0 ? (telemetry_ms - plain_ms) / plain_ms * 100.0 : 0.0;
+    std::printf("--- telemetry overhead (n=8, kappa=2, interval 1) ---\n"
+                "plain %.1f ms, telemetry %.1f ms: %+.1f%% (budget <5%%)\n\n",
+                plain_ms, telemetry_ms, overhead_pct);
+    json::Value& row = artifact.row();
+    row.set("case", "telemetry_overhead");
+    row.set("n", n);
+    row.set("wall_ms_plain", plain_ms);
+    row.set("wall_ms_telemetry", telemetry_ms);
+    row.set("overhead_pct", overhead_pct);
+  }
   // Phase breakdown of the largest single run in the sweep: shows where
   // wall-clock and traffic go as n and kappa grow.
   artifact.set("phases", benchjson::traced_phases([] {

@@ -9,13 +9,20 @@
 //                                            first divergence between two
 //                                            recordings (exit 3 if any)
 //   gfor14-audit bench-diff BASELINE.json CANDIDATE.json [--threshold PCT]
+//                           [--gate KEY=PCT,...]
 //                                            numeric regression diff between
 //                                            two BENCH_*.json artifacts
-//                                            (exit 3 on regressions)
+//                                            (exit 3 on regressions; with
+//                                            --gate, only gated keys block)
+//   gfor14-audit top        TELEMETRY.json   resource view over a telemetry
+//                                            document (counters with rates,
+//                                            RSS, round wall, alloc domains)
 //
 // Exit codes: 0 clean, 1 unreadable input, 2 usage, 3 divergence or
 // regression found. Recordings come from `gfor14_cli ... --record PATH` or
-// the test harnesses; bench artifacts from the bench/ binaries.
+// the test harnesses; bench artifacts from the bench/ binaries; telemetry
+// documents from `gfor14_cli ... --telemetry PATH` or the `telemetry` block
+// of a schema-3 bench artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,7 +45,8 @@ int usage() {
       "usage: gfor14-audit <matrix|timeline|blame|info> RECORDING\n"
       "       gfor14-audit diff RECORDING_A RECORDING_B\n"
       "       gfor14-audit bench-diff BASELINE.json CANDIDATE.json"
-      " [--threshold PCT]\n");
+      " [--threshold PCT] [--gate KEY=PCT,...]\n"
+      "       gfor14-audit top TELEMETRY.json\n");
   return 2;
 }
 
@@ -98,22 +106,66 @@ int run_diff(const std::string& a_path, const std::string& b_path) {
   return 0;
 }
 
+/// "p2p_elements_per_sec=15,net.alloc.bytes=25" -> GateSpecs (thresholds in
+/// percent). Nullopt on malformed input.
+std::optional<std::vector<audit::GateSpec>> parse_gates(
+    const std::string& spec) {
+  std::vector<audit::GateSpec> gates;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.rfind('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    char* end = nullptr;
+    const double pct = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1 || *end != '\0' || pct <= 0.0)
+      return std::nullopt;
+    gates.push_back({item.substr(0, eq), pct / 100.0});
+    pos = comma + 1;
+  }
+  if (gates.empty()) return std::nullopt;
+  return gates;
+}
+
 int run_bench_diff(int argc, char** argv) {
   if (argc < 4) return usage();
   double threshold = 0.2;
+  std::vector<audit::GateSpec> gates;
   for (int i = 4; i + 1 < argc; i += 2) {
-    if (std::string(argv[i]) == "--threshold")
+    if (std::string(argv[i]) == "--threshold") {
       threshold = std::strtod(argv[i + 1], nullptr) / 100.0;
-    else
+    } else if (std::string(argv[i]) == "--gate") {
+      auto parsed = parse_gates(argv[i + 1]);
+      if (!parsed) return usage();
+      gates.insert(gates.end(), parsed->begin(), parsed->end());
+    } else {
       return usage();
+    }
   }
   if (threshold <= 0.0) return usage();
   const auto base = load_json(argv[2]);
   const auto cand = load_json(argv[3]);
   if (!base || !cand) return 1;
-  const auto result = audit::bench_diff(*base, *cand, threshold);
+  const auto result = audit::bench_diff(*base, *cand, threshold, gates);
   std::printf("%s", result.format().c_str());
   return result.has_regression() ? 3 : 0;
+}
+
+int run_top(const std::string& path) {
+  const auto doc = load_json(path);
+  if (!doc) return 1;
+  // Accept both a standalone telemetry document and a whole schema-3 bench
+  // artifact (render its embedded top-level telemetry block).
+  if (!doc->find("snapshots")) {
+    if (const json::Value* t = doc->find("telemetry"))
+      return std::printf("%s", audit::render_top(*t).c_str()), 0;
+    std::fprintf(stderr, "'%s' has no telemetry block\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s", audit::render_top(*doc).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -131,5 +183,9 @@ int main(int argc, char** argv) {
     return run_diff(argv[2], argv[3]);
   }
   if (cmd == "bench-diff") return run_bench_diff(argc, argv);
+  if (cmd == "top") {
+    if (argc != 3) return usage();
+    return run_top(argv[2]);
+  }
   return usage();
 }

@@ -5,7 +5,7 @@
 //   gfor14_cli publish   [--n N] [--scheme ...] [--kappa K] [--seed S]
 //   gfor14_cli pseudosig [--n N] [--scheme ...] [--seed S]
 //   gfor14_cli compare   [--n N] [--seed S]
-//   gfor14_cli replay    RECORDING [--threads N|hw]
+//   gfor14_cli replay    RECORDING [--threads N|hw] [telemetry flags]
 //
 // Observability (any command):
 //   --trace PATH    stream one JSON line per closed protocol phase to PATH
@@ -18,6 +18,19 @@
 //   --record PATH   flight-record every delivered message (full payloads)
 //                   plus tamper/fault/blame logs into a replayable
 //                   recording file (channel, publish, pseudosig)
+//
+// Telemetry (channel, publish, pseudosig; also accepted by replay):
+//   --telemetry PATH  attach a TelemetrySampler to the run's network and
+//                   write its time-series document (deterministic protocol
+//                   counters per sampled round + environment block) to PATH
+//                   on completion ("-" prints to stdout)
+//   --prom PATH     write a point-in-time Prometheus text exposition of the
+//                   run's metrics scope to PATH on completion
+//   --sample-every N  sample every N-th round barrier (default 1; the ring
+//                   decimates and doubles the stride on long runs)
+//   --top           print the `gfor14-audit top` resource view (counter
+//                   totals and rates, RSS, round-wall p50/p95, allocation
+//                   domains) when the run completes
 //
 // `replay` re-executes a recording's configuration with a verifier attached
 // and reports the first divergence, or certifies byte identity. The
@@ -47,10 +60,12 @@
 #include "anonchan/anon_broadcast.hpp"
 #include "anonchan/attacks.hpp"
 #include "audit/replay.hpp"
+#include "audit/report.hpp"
 #include "baselines/pw96.hpp"
 #include "baselines/zhang11.hpp"
 #include "common/chrome_trace.hpp"
 #include "common/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "net/faultplan.hpp"
@@ -78,6 +93,10 @@ struct Options {
   bool fault_seed_set = false;
   std::string record_path;        // flight-record into this file, "" = off
   std::string chrome_trace_path;  // Chrome trace-event export, "" = off
+  std::string telemetry_path;     // "-" = stdout, "" = off
+  std::string prom_path;          // Prometheus text exposition, "" = off
+  std::size_t sample_every = 1;   // telemetry sampling interval (rounds)
+  bool top = false;               // print the resource view on completion
   std::shared_ptr<net::Recording> replay_reference;  // set by `replay`
 };
 
@@ -91,16 +110,25 @@ int usage() {
                " [--threads N|hw]\n"
                "  [--faults SPEC] [--fault-seed S] [--record PATH]"
                " [--chrome-trace PATH]\n"
-               "   or: gfor14_cli replay RECORDING [--threads N|hw]\n");
+               "  [--telemetry PATH|-] [--prom PATH] [--sample-every N]"
+               " [--top]\n"
+               "   or: gfor14_cli replay RECORDING [--threads N|hw]\n"
+               "        [--telemetry PATH|-] [--prom PATH] [--sample-every N]"
+               " [--top]\n");
   return 2;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--top") {  // the only valueless flag
+      opt.top = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
     try {
       if (key == "--n") {
         opt.n = std::stoul(value);
@@ -134,6 +162,13 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.record_path = value;
       } else if (key == "--chrome-trace") {
         opt.chrome_trace_path = value;
+      } else if (key == "--telemetry") {
+        opt.telemetry_path = value;
+      } else if (key == "--prom") {
+        opt.prom_path = value;
+      } else if (key == "--sample-every") {
+        opt.sample_every = std::stoul(value);
+        if (opt.sample_every == 0) return false;
       } else {
         return false;
       }
@@ -228,9 +263,10 @@ json::Value record_config(const Options& opt) {
   return c;
 }
 
-/// Attaches the flight recorder and/or replay verifier requested by the
-/// options; finish() saves the recording / reports the replay verdict and
-/// yields the process exit code contribution.
+/// Attaches the flight recorder, replay verifier and/or telemetry sampler
+/// requested by the options; finish() saves the recording / reports the
+/// replay verdict / flushes telemetry and yields the process exit code
+/// contribution.
 class FlightScope {
  public:
   FlightScope(net::Network& net, const Options& opt) : opt_(opt) {
@@ -243,6 +279,12 @@ class FlightScope {
       verifier_ =
           std::make_shared<audit::ReplayVerifier>(*opt.replay_reference);
       net.attach_observer(verifier_);
+    }
+    if (!opt.telemetry_path.empty() || !opt.prom_path.empty() || opt.top) {
+      sampler_ = std::make_shared<telemetry::TelemetrySampler>(
+          net.registry_shared(),
+          telemetry::TelemetrySampler::Options{opt.sample_every, 512});
+      net.attach_observer(sampler_);
     }
   }
 
@@ -269,6 +311,32 @@ class FlightScope {
                     verifier_->rounds_checked());
       }
     }
+    if (sampler_) {
+      if (opt_.telemetry_path == "-") {
+        std::printf("%s\n", sampler_->to_json().dump(2).c_str());
+      } else if (!opt_.telemetry_path.empty()) {
+        if (sampler_->write_json(opt_.telemetry_path)) {
+          std::printf("telemetry: %s (%zu snapshots, stride %zu)\n",
+                      opt_.telemetry_path.c_str(),
+                      sampler_->snapshots().size(), sampler_->stride());
+        } else {
+          std::fprintf(stderr, "error: cannot write telemetry '%s'\n",
+                       opt_.telemetry_path.c_str());
+          rc = 1;
+        }
+      }
+      if (!opt_.prom_path.empty()) {
+        if (sampler_->write_prometheus(opt_.prom_path)) {
+          std::printf("prometheus: %s\n", opt_.prom_path.c_str());
+        } else {
+          std::fprintf(stderr, "error: cannot write prometheus '%s'\n",
+                       opt_.prom_path.c_str());
+          rc = 1;
+        }
+      }
+      if (opt_.top)
+        std::printf("%s", audit::render_top(sampler_->to_json()).c_str());
+    }
     return rc;
   }
 
@@ -276,6 +344,7 @@ class FlightScope {
   const Options& opt_;
   std::shared_ptr<net::Recorder> recorder_;
   std::shared_ptr<audit::ReplayVerifier> verifier_;
+  std::shared_ptr<telemetry::TelemetrySampler> sampler_;
 };
 
 void print_fault_outcome(const net::Network& net,
@@ -513,14 +582,26 @@ int run_replay(int argc, char** argv) {
                  path.c_str(), error.c_str());
     return 1;
   }
-  for (int i = 3; i + 1 < argc; i += 2) {
+  for (int i = 3; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--top") {
+      opt.top = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const std::string value = argv[++i];
     if (key == "--threads") {
       opt.threads =
           value == "hw" ? hardware_threads() : std::stoul(value);
       if (opt.threads == 0) return usage();
       set_default_threads(opt.threads);
+    } else if (key == "--telemetry") {
+      opt.telemetry_path = value;
+    } else if (key == "--prom") {
+      opt.prom_path = value;
+    } else if (key == "--sample-every") {
+      opt.sample_every = std::stoul(value);
+      if (opt.sample_every == 0) return usage();
     } else {
       return usage();
     }

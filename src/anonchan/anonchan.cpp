@@ -78,8 +78,8 @@ ManyOutput AnonChan::run_many_to(
   trace::Span run_span("anonchan.run", net_);
   run_span.metric("n", static_cast<double>(n));
   run_span.metric("sessions", static_cast<double>(S));
-  metrics::Registry::instance().counter("anonchan.runs").add(1);
-  metrics::Registry::instance().counter("anonchan.sessions").add(S);
+  net_.registry().counter("anonchan.runs").add(1);
+  net_.registry().counter("anonchan.sessions").add(S);
 
   // --- Step 1: commitments (all sessions in one parallel sharing phase) ---
   // layouts[s][i]: session s slabs of dealer i, with bases shifted past the
@@ -334,7 +334,7 @@ ManyOutput AnonChan::run_many_to(
   for (bool p : result.pass)
     if (p) ++passed;
   run_span.metric("passed", static_cast<double>(passed));
-  metrics::Registry::instance()
+  net_.registry()
       .histogram("anonchan.run_rounds")
       .observe(static_cast<double>(result.costs.rounds));
   return result;

@@ -8,11 +8,42 @@ namespace gfor14::audit {
 
 namespace {
 
+struct DiffCtx {
+  BenchDiffResult& out;
+  const std::vector<GateSpec>& gates;
+  /// Schema versions differ: one-sided fields are expected, collect them
+  /// into a single skipped-keys note instead of one note each.
+  bool tolerate_missing = false;
+  std::vector<std::string> skipped;
+};
+
+void note_missing(DiffCtx& ctx, std::size_t row, const std::string& key,
+                  const char* side) {
+  if (ctx.tolerate_missing) {
+    if (std::find(ctx.skipped.begin(), ctx.skipped.end(), key) ==
+        ctx.skipped.end())
+      ctx.skipped.push_back(key);
+    return;
+  }
+  ctx.out.notes.push_back("row " + std::to_string(row) + ": field '" + key +
+                          "' missing from " + side);
+}
+
+const GateSpec* match_gate(const DiffCtx& ctx, const std::string& key) {
+  for (const auto& g : ctx.gates)
+    if (key == g.key ||
+        (key.size() > g.key.size() + 1 &&
+         key.compare(key.size() - g.key.size(), g.key.size(), g.key) == 0 &&
+         key[key.size() - g.key.size() - 1] == '.'))
+      return &g;
+  return nullptr;
+}
+
 /// Walks matched numeric leaves of two row values, dotted-key style;
 /// anything present on one side only (or changing type) becomes a note.
 void diff_value(const json::Value& base, const json::Value& cand,
-                std::size_t row, const std::string& key,
-                BenchDiffResult& out) {
+                std::size_t row, const std::string& key, DiffCtx& ctx) {
+  BenchDiffResult& out = ctx.out;
   if (base.is_number() && cand.is_number()) {
     ++out.fields_compared;
     const double b = base.as_double();
@@ -20,24 +51,24 @@ void diff_value(const json::Value& base, const json::Value& cand,
     if (b == c) return;
     const double rel = b == 0.0 ? (c > 0 ? 1e9 : -1e9)
                                 : (c - b) / std::fabs(b);
-    if (std::fabs(rel) > out.threshold)
-      out.deltas.push_back({row, key, b, c, rel});
+    const GateSpec* gate = match_gate(ctx, key);
+    const double threshold = gate ? gate->threshold : out.threshold;
+    if (std::fabs(rel) > threshold)
+      out.deltas.push_back(
+          {row, key, b, c, rel, higher_is_better(key), gate != nullptr});
     return;
   }
   if (base.is_object() && cand.is_object()) {
     for (const auto& [k, bv] : base.members()) {
       const std::string sub = key.empty() ? k : key + "." + k;
       if (const json::Value* cv = cand.find(k))
-        diff_value(bv, *cv, row, sub, out);
+        diff_value(bv, *cv, row, sub, ctx);
       else if (bv.is_number() || bv.is_object())
-        out.notes.push_back("row " + std::to_string(row) + ": field '" + sub +
-                            "' missing from candidate");
+        note_missing(ctx, row, sub, "candidate");
     }
     for (const auto& [k, cv] : cand.members())
       if (!base.find(k) && (cv.is_number() || cv.is_object()))
-        out.notes.push_back("row " + std::to_string(row) + ": field '" +
-                            (key.empty() ? k : key + "." + k) +
-                            "' missing from baseline");
+        note_missing(ctx, row, key.empty() ? k : key + "." + k, "baseline");
     return;
   }
   if (base.is_number() != cand.is_number() ||
@@ -58,18 +89,38 @@ std::string get_experiment(const json::Value& doc) {
   return e && e->is_string() ? e->as_string() : std::string("?");
 }
 
+double get_schema(const json::Value& doc) {
+  const json::Value* s = doc.find("schema");
+  return s && s->is_number() ? s->as_double() : 0.0;
+}
+
 }  // namespace
 
+bool higher_is_better(const std::string& key) {
+  const std::size_t dot = key.rfind('.');
+  const std::string leaf = dot == std::string::npos ? key : key.substr(dot + 1);
+  for (const char* marker : {"per_sec", "_mb_s", "speedup", "throughput"})
+    if (leaf.find(marker) != std::string::npos) return true;
+  return false;
+}
+
 BenchDiffResult bench_diff(const json::Value& baseline,
-                           const json::Value& candidate, double threshold) {
+                           const json::Value& candidate, double threshold,
+                           const std::vector<GateSpec>& gates) {
   BenchDiffResult out;
   out.threshold = threshold;
+  out.gates_active = gates.size();
   out.experiment = get_experiment(baseline);
 
   if (get_experiment(baseline) != get_experiment(candidate))
     out.notes.push_back("experiment differs: baseline '" +
                         get_experiment(baseline) + "', candidate '" +
                         get_experiment(candidate) + "'");
+
+  DiffCtx ctx{out, gates, false, {}};
+  const double bschema = get_schema(baseline);
+  const double cschema = get_schema(candidate);
+  ctx.tolerate_missing = bschema != cschema;
 
   const json::Value* brows = baseline.find("rows");
   const json::Value* crows = candidate.find("rows");
@@ -83,21 +134,44 @@ BenchDiffResult bench_diff(const json::Value& baseline,
                         std::to_string(brows->size()) + ", candidate " +
                         std::to_string(crows->size()));
   for (std::size_t i = 0; i < common; ++i)
-    diff_value(brows->at(i), crows->at(i), i, "", out);
+    diff_value(brows->at(i), crows->at(i), i, "", ctx);
+
+  if (ctx.tolerate_missing) {
+    std::string note = "schema versions differ (baseline " +
+                       std::to_string(static_cast<int>(bschema)) +
+                       ", candidate " +
+                       std::to_string(static_cast<int>(cschema)) +
+                       "); diffed key intersection";
+    if (!ctx.skipped.empty()) {
+      note += "; skipped keys:";
+      for (const auto& k : ctx.skipped) note += " " + k;
+    }
+    out.notes.push_back(std::move(note));
+  }
   return out;
 }
 
 std::string BenchDiffResult::format() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof buf,
-                "bench-diff %s: %zu fields compared, threshold %.0f%%\n",
+                "bench-diff %s: %zu fields compared, threshold %.0f%%",
                 experiment.c_str(), fields_compared, threshold * 100.0);
   std::string s = buf;
+  if (gates_active > 0) {
+    std::snprintf(buf, sizeof buf, ", %zu gate%s (blocking)", gates_active,
+                  gates_active == 1 ? "" : "s");
+    s += buf;
+  }
+  s += "\n";
   for (const auto& n : notes) s += "  note: " + n + "\n";
   for (const auto& d : deltas) {
+    const bool blocking = gates_active == 0 || d.gated;
+    const char* label = !d.regression()       ? "improvement"
+                        : d.gated             ? "GATE REGRESSION"
+                        : blocking            ? "REGRESSION "
+                                              : "regression (info)";
     std::snprintf(buf, sizeof buf, "  %s row %zu %s: %g -> %g (%+.1f%%)\n",
-                  d.regression() ? "REGRESSION " : "improvement",
-                  d.row, d.key.c_str(), d.baseline, d.candidate,
+                  label, d.row, d.key.c_str(), d.baseline, d.candidate,
                   d.rel * 100.0);
     s += buf;
   }

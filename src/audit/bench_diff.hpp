@@ -3,12 +3,24 @@
 // Rows are matched positionally (artifacts from the same bench binary sweep
 // the same configurations in the same order); every numeric field shared by
 // a matched row pair is compared by relative change. Changes beyond the
-// threshold are flagged — increases as regressions, decreases as
-// improvements (artifact rows measure costs: wall time, elements, rounds —
-// so "up is worse" is the right default reading). Structural mismatches
+// threshold are flagged. Most artifact fields measure costs (wall time,
+// elements, rounds), where "up is worse"; throughput-style fields
+// (*_per_sec, *_mb_s, *speedup*, *throughput*) are recognized as
+// higher-is-better and flag on decreases instead. Structural mismatches
 // (different experiment, missing rows or fields, non-numeric type changes)
 // become notes rather than silent skips: a diff that could not compare
-// everything says so.
+// everything says so. When the two artifacts carry different schema
+// versions, fields present on only one side are expected — they collapse
+// into a single note listing the skipped keys and the diff covers the
+// intersection.
+//
+// Gates turn the diff into a blocking CI check: a gate names a key (full
+// dotted path or dotted suffix, e.g. "p2p_elements_per_sec") and a tighter
+// per-key threshold. With gates active, has_regression() — and therefore
+// the gfor14-audit exit code — considers only gated fields, so a blocking
+// job can pin the deterministic keys (element throughput, logical alloc
+// bytes) without going flaky on wall-clock noise in the other fields, which
+// stay visible as informational lines.
 #pragma once
 
 #include <cstddef>
@@ -19,36 +31,55 @@
 
 namespace gfor14::audit {
 
-/// One numeric field whose relative change exceeded the threshold.
+/// A blocking per-key threshold. `key` matches a compared field when it
+/// equals the full dotted key or a dotted suffix of it ("p2p_elements_per_sec"
+/// matches "telemetry.p2p_elements_per_sec").
+struct GateSpec {
+  std::string key;
+  double threshold = 0.15;  ///< relative change (0.15 = 15%)
+};
+
+/// One numeric field whose relative change exceeded its threshold.
 struct BenchDelta {
   std::size_t row = 0;  ///< row index in both artifacts
   std::string key;      ///< dotted for nested fields ("phases.commit.ms")
   double baseline = 0.0;
   double candidate = 0.0;
   double rel = 0.0;  ///< (candidate - baseline) / |baseline|
-  bool regression() const { return rel > 0; }
+  bool higher_is_better = false;
+  bool gated = false;  ///< matched a GateSpec (compared at its threshold)
+  bool regression() const { return higher_is_better ? rel < 0 : rel > 0; }
 };
 
 struct BenchDiffResult {
   std::string experiment;
   double threshold = 0.2;
   std::size_t fields_compared = 0;
+  std::size_t gates_active = 0;     ///< number of GateSpecs supplied
   std::vector<BenchDelta> deltas;   ///< changes beyond threshold
   std::vector<std::string> notes;   ///< structural mismatches
   bool clean() const { return deltas.empty() && notes.empty(); }
+  /// With gates active only gated regressions block; otherwise any does.
   bool has_regression() const {
     for (const auto& d : deltas)
-      if (d.regression()) return true;
+      if (d.regression() && (gates_active == 0 || d.gated)) return true;
     return false;
   }
   std::string format() const;
 };
 
+/// True when the field name reads as a throughput (higher is better):
+/// last dotted segment contains "per_sec", "_mb_s", "speedup" or
+/// "throughput".
+bool higher_is_better(const std::string& key);
+
 /// Diffs two parsed artifacts. `threshold` is the relative change above
-/// which a field is flagged (0.2 = 20%). Fields equal to zero in the
-/// baseline are flagged whenever the candidate is nonzero.
+/// which a field is flagged (0.2 = 20%); a matching gate's threshold takes
+/// precedence for that field. Fields equal to zero in the baseline are
+/// flagged whenever the candidate is nonzero.
 BenchDiffResult bench_diff(const json::Value& baseline,
                            const json::Value& candidate,
-                           double threshold = 0.2);
+                           double threshold = 0.2,
+                           const std::vector<GateSpec>& gates = {});
 
 }  // namespace gfor14::audit

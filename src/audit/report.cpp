@@ -140,4 +140,100 @@ std::string render_attribution(const net::Recording& rec) {
   return out;
 }
 
+namespace {
+
+std::string human_bytes(double b) {
+  if (b >= 1024.0 * 1024.0) return fmt("%.1f MiB", b / (1024.0 * 1024.0));
+  if (b >= 1024.0) return fmt("%.1f KiB", b / 1024.0);
+  return fmt("%.0f B", b);
+}
+
+}  // namespace
+
+std::string render_top(const json::Value& doc) {
+  const json::Value* snaps = doc.find("snapshots");
+  const std::size_t count = snaps ? snaps->size() : 0;
+  const double interval =
+      doc.find("interval") ? doc.find("interval")->as_double() : 0.0;
+  const double stride =
+      doc.find("stride") ? doc.find("stride")->as_double() : interval;
+  const double rounds =
+      doc.find("rounds") ? doc.find("rounds")->as_double() : 0.0;
+
+  std::string out =
+      fmt("telemetry: %zu snapshots, %.0f rounds observed "
+          "(interval %.0f, effective stride %.0f)\n",
+          count, rounds, interval, stride);
+  if (count == 0) {
+    out += "  (no snapshots)\n";
+    return out;
+  }
+
+  // Totals come from the last snapshot; rates from the delta between the
+  // last two (per round, so they are comparable across sampling intervals).
+  const json::Value& last = snaps->at(count - 1);
+  const json::Value* prev = count >= 2 ? &snaps->at(count - 2) : nullptr;
+  const double last_round =
+      last.find("round") ? last.find("round")->as_double() : 0.0;
+  const double prev_round =
+      prev && prev->find("round") ? prev->find("round")->as_double() : 0.0;
+  const double dr = last_round - prev_round;
+
+  out += fmt("%-36s %14s %14s\n", "counter", "total",
+             prev ? "per-round*" : "per-round");
+  const json::Value* counters = last.find("counters");
+  const json::Value* prev_counters = prev ? prev->find("counters") : nullptr;
+  if (counters)
+    for (const auto& [name, v] : counters->members()) {
+      double rate = 0.0;
+      if (dr > 0) {
+        const json::Value* pv =
+            prev_counters ? prev_counters->find(name) : nullptr;
+        rate = (v.as_double() - (pv ? pv->as_double() : 0.0)) / dr;
+      } else if (last_round > 0) {
+        rate = v.as_double() / last_round;
+      }
+      out += fmt("%-36s %14.0f %14.1f\n", name.c_str(), v.as_double(), rate);
+    }
+  out += prev ? "  (*rate over the last sampling interval)\n"
+              : "  (rate averaged over the whole run)\n";
+
+  const json::Value* env = doc.find("environment");
+  if (env == nullptr) return out;
+  out += "environment\n";
+  if (const json::Value* rss = env->find("rss_bytes"))
+    if (rss->size() > 0)
+      out += "  rss              " +
+             human_bytes(rss->at(rss->size() - 1).as_double()) + "\n";
+  if (const json::Value* peak = env->find("peak_rss_bytes"))
+    out += "  peak rss         " + human_bytes(peak->as_double()) + "\n";
+  if (const json::Value* wall = env->find("wall_us"))
+    if (wall->size() > 0)
+      out += fmt("  wall             %.1f ms\n",
+                 wall->at(wall->size() - 1).as_double() / 1000.0);
+  if (const json::Value* rw = env->find("round_wall")) {
+    const auto field = [&](const char* key) {
+      const json::Value* v = rw->find(key);
+      return v ? v->as_double() : 0.0;
+    };
+    out += fmt("  round wall       p50 %.1f us, p95 %.1f us (%.0f rounds)\n",
+               field("p50_us"), field("p95_us"), field("count"));
+  }
+  if (const json::Value* domains = env->find("alloc_domains")) {
+    out += fmt("  %-16s %10s %10s %12s %12s\n", "alloc domain", "allocs",
+               "frees", "live", "peak");
+    for (const auto& [name, stats] : domains->members()) {
+      const auto field = [&](const char* key) {
+        const json::Value* v = stats.find(key);
+        return v ? v->as_double() : 0.0;
+      };
+      out += fmt("  %-16s %10.0f %10.0f %12s %12s\n", name.c_str(),
+                 field("allocs"), field("deallocs"),
+                 human_bytes(field("bytes_live")).c_str(),
+                 human_bytes(field("bytes_peak")).c_str());
+    }
+  }
+  return out;
+}
+
 }  // namespace gfor14::audit

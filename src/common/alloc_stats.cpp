@@ -1,0 +1,83 @@
+#include "common/alloc_stats.hpp"
+
+#include <array>
+#include <fstream>
+#include <string>
+
+namespace gfor14::alloc {
+
+namespace {
+std::array<DomainStats, static_cast<std::size_t>(Domain::kCount)>& ledger() {
+  static std::array<DomainStats, static_cast<std::size_t>(Domain::kCount)>
+      stats;
+  return stats;
+}
+
+/// Reads one "Vm...: <kB> kB" line from /proc/self/status; 0 when absent.
+std::uint64_t proc_status_kb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  const std::string prefix = std::string(key) + ":";
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    std::size_t pos = prefix.size();
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    std::uint64_t kb = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9')
+      kb = kb * 10 + static_cast<std::uint64_t>(line[pos++] - '0');
+    return kb;
+  }
+  return 0;
+}
+}  // namespace
+
+const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::kNetQueue:
+      return "net_queue";
+    case Domain::kVss:
+      return "vss";
+    case Domain::kRecorder:
+      return "recorder";
+    case Domain::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+DomainStats& domain_stats(Domain d) {
+  return ledger()[static_cast<std::size_t>(d)];
+}
+
+void reset_domains() {
+  for (auto& s : ledger()) s.reset();
+}
+
+json::Value domains_json() {
+  json::Value out = json::Value::object();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Domain::kCount); ++i) {
+    const Domain d = static_cast<Domain>(i);
+    const DomainStats& s = domain_stats(d);
+    json::Value o = json::Value::object();
+    o.set("allocs", static_cast<double>(
+                        s.allocs.load(std::memory_order_relaxed)));
+    o.set("deallocs", static_cast<double>(
+                          s.deallocs.load(std::memory_order_relaxed)));
+    o.set("bytes_allocated",
+          static_cast<double>(
+              s.bytes_allocated.load(std::memory_order_relaxed)));
+    o.set("bytes_live",
+          static_cast<double>(s.bytes_live.load(std::memory_order_relaxed)));
+    o.set("bytes_peak",
+          static_cast<double>(s.bytes_peak.load(std::memory_order_relaxed)));
+    out.set(domain_name(d), std::move(o));
+  }
+  return out;
+}
+
+std::uint64_t rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM") * 1024; }
+
+}  // namespace gfor14::alloc

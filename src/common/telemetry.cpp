@@ -1,0 +1,235 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/alloc_stats.hpp"
+
+namespace gfor14::telemetry {
+
+namespace {
+
+/// Flattens the deterministic counters of `reg` and its child scopes into
+/// `out`, name-sorted per scope, children after own counters with a
+/// "childname/" prefix. Scope traversal is name-ordered (scope_names is
+/// sorted), so the flattened order is canonical.
+void flatten_counters(metrics::Registry& reg, const std::string& prefix,
+                      std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  for (auto& [name, value] : reg.counters_snapshot())
+    if (deterministic_counter(name)) out.emplace_back(prefix + name, value);
+  for (const auto& child : reg.scope_names())
+    flatten_counters(*reg.scope(child), prefix + child + "/", out);
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = "gfor14_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// One registry level of the metrics document; scope == "" for the root.
+void expose_level(const json::Value& doc, const std::string& scope,
+                  std::string& out, std::vector<std::string>& typed) {
+  const std::string label =
+      scope.empty() ? std::string() : "{scope=\"" + scope + "\"}";
+  const auto type_line = [&](const std::string& metric, const char* type) {
+    // Emit each # TYPE header once, before the metric's first sample.
+    if (std::find(typed.begin(), typed.end(), metric) != typed.end()) return;
+    typed.push_back(metric);
+    out += "# TYPE " + metric + " " + type + "\n";
+  };
+  if (const json::Value* counters = doc.find("counters")) {
+    for (const auto& [name, v] : counters->members()) {
+      const std::string metric = sanitize(name);
+      type_line(metric, "counter");
+      out += metric + label + " " + fmt_double(v.as_double()) + "\n";
+    }
+  }
+  if (const json::Value* gauges = doc.find("gauges")) {
+    for (const auto& [name, v] : gauges->members()) {
+      const std::string metric = sanitize(name);
+      type_line(metric, "gauge");
+      out += metric + label + " " + fmt_double(v.as_double()) + "\n";
+    }
+  }
+  if (const json::Value* hists = doc.find("histograms")) {
+    for (const auto& [name, h] : hists->members()) {
+      const std::string metric = sanitize(name);
+      type_line(metric, "summary");
+      const auto field = [&](const char* key) {
+        const json::Value* v = h.find(key);
+        return v ? v->as_double() : 0.0;
+      };
+      const std::string scope_attr =
+          scope.empty() ? std::string() : ",scope=\"" + scope + "\"";
+      out += metric + "{quantile=\"0.5\"" + scope_attr + "} " +
+             fmt_double(field("p50")) + "\n";
+      out += metric + "{quantile=\"0.95\"" + scope_attr + "} " +
+             fmt_double(field("p95")) + "\n";
+      out += metric + "_sum" + label + " " +
+             fmt_double(field("mean") * field("count")) + "\n";
+      out += metric + "_count" + label + " " + fmt_double(field("count")) +
+             "\n";
+    }
+  }
+  if (const json::Value* scopes = doc.find("scopes")) {
+    for (const auto& [child, sub] : scopes->members()) {
+      const std::string path = scope.empty() ? child : scope + "/" + child;
+      expose_level(sub, path, out, typed);
+    }
+  }
+}
+
+}  // namespace
+
+bool deterministic_counter(const std::string& name) {
+  static constexpr const char* kPrefixes[] = {"net.", "vss.", "anonchan.",
+                                              "pseudosig."};
+  for (const char* p : kPrefixes)
+    if (name.rfind(p, 0) == 0) return true;
+  return false;
+}
+
+TelemetrySampler::TelemetrySampler(std::shared_ptr<metrics::Registry> scope)
+    : TelemetrySampler(std::move(scope), Options{}) {}
+
+TelemetrySampler::TelemetrySampler(std::shared_ptr<metrics::Registry> scope,
+                                   Options opt)
+    : scope_(std::move(scope)),
+      opt_(opt),
+      stride_(opt.every == 0 ? 1 : opt.every),
+      start_(std::chrono::steady_clock::now()) {
+  GFOR14_EXPECTS(scope_ != nullptr);
+  if (opt_.max_snapshots < 2) opt_.max_snapshots = 2;
+}
+
+void TelemetrySampler::on_round_end(const net::Network& /*net*/,
+                                    const net::CostReport& /*round_delta*/) {
+  ++rounds_seen_;
+  if (rounds_seen_ % stride_ != 0) return;
+  take_snapshot();
+}
+
+void TelemetrySampler::take_snapshot() {
+  Snapshot s;
+  s.round = rounds_seen_;
+  flatten_counters(*scope_, "", s.counters);
+  s.wall_us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  s.rss_bytes = alloc::rss_bytes();
+  ring_.push_back(std::move(s));
+  if (ring_.size() >= opt_.max_snapshots) {
+    // Same decimation as metrics::Histogram: keep every second snapshot and
+    // double the stride. Ring slot j holds round (j+1)*stride, so keeping the
+    // odd slots keeps the even multiples of the old stride — exactly the
+    // multiples of the doubled stride, so future samples stay aligned.
+    for (std::size_t i = 0, j = 1; j < ring_.size(); ++i, j += 2)
+      ring_[i] = std::move(ring_[j]);
+    ring_.resize(ring_.size() / 2);
+    stride_ *= 2;
+  }
+}
+
+json::Value TelemetrySampler::deterministic_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("interval", static_cast<double>(opt_.every == 0 ? 1 : opt_.every));
+  doc.set("stride", static_cast<double>(stride_));
+  doc.set("rounds", static_cast<double>(rounds_seen_));
+  json::Value snaps = json::Value::array();
+  for (const Snapshot& s : ring_) {
+    json::Value o = json::Value::object();
+    o.set("round", static_cast<double>(s.round));
+    json::Value counters = json::Value::object();
+    for (const auto& [name, value] : s.counters)
+      counters.set(name, static_cast<double>(value));
+    o.set("counters", std::move(counters));
+    snaps.push_back(std::move(o));
+  }
+  doc.set("snapshots", std::move(snaps));
+  return doc;
+}
+
+json::Value TelemetrySampler::to_json() const {
+  json::Value doc = deterministic_json();
+  json::Value env = json::Value::object();
+  json::Value wall = json::Value::array();
+  json::Value rss = json::Value::array();
+  for (const Snapshot& s : ring_) {
+    wall.push_back(json::Value(s.wall_us));
+    rss.push_back(json::Value(static_cast<double>(s.rss_bytes)));
+  }
+  env.set("wall_us", std::move(wall));
+  env.set("rss_bytes", std::move(rss));
+  env.set("peak_rss_bytes", static_cast<double>(alloc::peak_rss_bytes()));
+  {
+    // Round-wall distribution of the watched scope (observations forward to
+    // parents, so a session scope sees its own rounds only).
+    metrics::Histogram& h = scope_->histogram("net.round_wall_us");
+    json::Value o = json::Value::object();
+    o.set("count", h.summary().count());
+    o.set("p50_us", h.quantile(0.5));
+    o.set("p95_us", h.quantile(0.95));
+    env.set("round_wall", std::move(o));
+  }
+  env.set("alloc_domains", alloc::domains_json());
+  doc.set("environment", std::move(env));
+  return doc;
+}
+
+bool TelemetrySampler::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << to_json().dump(2) << "\n";
+  return out.good();
+}
+
+std::string TelemetrySampler::prometheus() const {
+  std::vector<std::pair<std::string, double>> extra;
+  extra.emplace_back("process.rss_bytes",
+                     static_cast<double>(alloc::rss_bytes()));
+  extra.emplace_back("process.peak_rss_bytes",
+                     static_cast<double>(alloc::peak_rss_bytes()));
+  const json::Value domains = alloc::domains_json();
+  for (const auto& [domain, stats] : domains.members())
+    for (const auto& [key, v] : stats.members())
+      extra.emplace_back("alloc." + domain + "." + key, v.as_double());
+  return prometheus_text(scope_->to_json(), extra);
+}
+
+bool TelemetrySampler::write_prometheus(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << prometheus();
+  return out.good();
+}
+
+std::string prometheus_text(
+    const json::Value& metrics_doc,
+    const std::vector<std::pair<std::string, double>>& extra_gauges) {
+  std::string out;
+  std::vector<std::string> typed;
+  expose_level(metrics_doc, "", out, typed);
+  for (const auto& [name, value] : extra_gauges) {
+    const std::string metric = sanitize(name);
+    if (std::find(typed.begin(), typed.end(), metric) == typed.end()) {
+      typed.push_back(metric);
+      out += "# TYPE " + metric + " gauge\n";
+    }
+    out += metric + " " + fmt_double(value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gfor14::telemetry

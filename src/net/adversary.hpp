@@ -39,7 +39,7 @@ class RecordingAdversary : public Adversary {
     /// (from, to, payload) for each message addressed to a corrupt party.
     std::vector<std::tuple<PartyId, PartyId, Payload>> to_corrupt;
     /// broadcasts[from] for all parties.
-    std::vector<std::vector<Payload>> broadcasts;
+    std::vector<PayloadQueue> broadcasts;
   };
 
   void on_round(Network& net) override;

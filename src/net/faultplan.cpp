@@ -219,8 +219,8 @@ void FaultEngine::apply(Network& net) {
                  s.round == round;
         });
     if (event.messages_hit > 0 || activation)
-      note({FaultKind::kCrash, round, party, 0, FaultChannel::kP2p, 0}, round,
-           event);
+      note(net, {FaultKind::kCrash, round, party, 0, FaultChannel::kP2p, 0},
+           round, event);
   }
 
   // 2. Scripted payload faults for this round, in plan order.
@@ -245,7 +245,7 @@ void FaultEngine::apply_one(Network& net, const FaultSpec& spec,
     else
       net.substitute_p2p(spec.from, to, std::move(payloads));
   };
-  const auto queue_of = [&](PartyId to) -> std::vector<Payload>& {
+  const auto queue_of = [&](PartyId to) -> PayloadQueue& {
     return spec.channel == FaultChannel::kBroadcast
                ? net.pending_.bcast[spec.from]
                : net.pending_.p2p[to][spec.from];
@@ -288,7 +288,7 @@ void FaultEngine::apply_one(Network& net, const FaultSpec& spec,
       }
       default: {
         if (queue.empty()) break;
-        std::vector<Payload> mutated = queue;
+        std::vector<Payload> mutated(queue.begin(), queue.end());
         FaultEvent local;
         for (auto& payload : mutated) apply_payload_fault(spec, payload, local);
         if (local.messages_hit == 0) break;  // e.g. truncate of empty payloads
@@ -300,7 +300,7 @@ void FaultEngine::apply_one(Network& net, const FaultSpec& spec,
     }
   }
 
-  note(spec, round, event);
+  note(net, spec, round, event);
 }
 
 void FaultEngine::apply_payload_fault(const FaultSpec& spec, Payload& payload,
@@ -373,26 +373,27 @@ void FaultEngine::record_stale(Network& net) {
       auto it = std::find_if(stale_.begin(), stale_.end(),
                              [&](const auto& e) { return e.first == key; });
       if (it == stale_.end())
-        stale_.emplace_back(key, queue);
+        stale_.emplace_back(key,
+                            std::vector<Payload>(queue.begin(), queue.end()));
       else
-        it->second = queue;
+        it->second.assign(queue.begin(), queue.end());
     }
   }
 }
 
-void FaultEngine::note(const FaultSpec& spec, std::size_t round,
+void FaultEngine::note(Network& net, const FaultSpec& spec, std::size_t round,
                        FaultEvent event) {
   event.spec = spec;
   event.round = round;
   // Counters are created lazily on the first applied fault, so fault-free
   // executions (and empty plans) leave the metrics registry untouched.
-  metrics::Registry::instance()
+  // Attribution follows the network's scope: a per-session registry sees
+  // its own session's faults, the root sees everything after roll-up.
+  net.registry()
       .counter(std::string("net.fault.") + fault_kind_name(spec.kind))
       .add(1);
   if (event.messages_hit > 0)
-    metrics::Registry::instance()
-        .counter("net.fault.messages_hit")
-        .add(event.messages_hit);
+    net.registry().counter("net.fault.messages_hit").add(event.messages_hit);
   if (trace::Tracer::instance().enabled()) {
     trace::Span span(std::string("net.fault.") + fault_kind_name(spec.kind));
     span.metric("round", static_cast<double>(round));

@@ -178,7 +178,8 @@ class FaultEngine {
   void apply_payload_fault(const FaultSpec& spec, Payload& payload,
                            FaultEvent& event);
   void record_stale(Network& net);
-  void note(const FaultSpec& spec, std::size_t round, FaultEvent event);
+  void note(Network& net, const FaultSpec& spec, std::size_t round,
+            FaultEvent event);
 
   FaultPlan plan_;
   Rng rng_;

@@ -42,19 +42,30 @@ CostReport CostReport::operator-(const CostReport& o) const {
 }
 
 void RoundTraffic::reset(std::size_t n) {
-  p2p.assign(n, std::vector<std::vector<Payload>>(n));
-  bcast.assign(n, {});
+  p2p.assign(n, std::vector<PayloadQueue>(n));
+  bcast.assign(n, PayloadQueue{});
 }
 
 Network::Network(std::size_t n, std::uint64_t seed)
     : n_(n),
       threads_(default_threads()),
+      registry_(metrics::Registry::current_shared()),
       corrupt_(n, false),
       adv_rng_(seed ^ 0xADE5A11ULL),
       party_costs_(n),
       channel_stamp_(n * n, 0),
       blame_(n + 1) {
   GFOR14_EXPECTS(n >= 2);
+  meters_.rounds = &registry_->counter("net.rounds");
+  meters_.broadcast_rounds = &registry_->counter("net.broadcast_rounds");
+  meters_.broadcast_invocations =
+      &registry_->counter("net.broadcast_invocations");
+  meters_.p2p_messages = &registry_->counter("net.p2p_messages");
+  meters_.p2p_elements = &registry_->counter("net.p2p_elements");
+  meters_.broadcast_elements = &registry_->counter("net.broadcast_elements");
+  meters_.alloc_count = &registry_->counter("net.alloc.count");
+  meters_.alloc_bytes = &registry_->counter("net.alloc.bytes");
+  meters_.round_wall = &registry_->histogram("net.round_wall_us");
   Rng root(seed);
   party_rng_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) party_rng_.push_back(root.fork(i));
@@ -128,11 +139,9 @@ void Network::run_round(const PartyHandler& handler) {
   end_round();
   // Per-round latency distribution: --metrics reports p50/p95 of this, not
   // just the aggregate counters.
-  static metrics::Histogram* const kRoundWall =
-      &metrics::Registry::instance().histogram("net.round_wall_us");
-  kRoundWall->observe(std::chrono::duration<double, std::micro>(
-                          std::chrono::steady_clock::now() - wall_start)
-                          .count());
+  meters_.round_wall->observe(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - wall_start)
+                                  .count());
 }
 
 void Network::for_each_party(const std::function<void(PartyId)>& fn) const {
@@ -168,6 +177,12 @@ void Network::send(PartyId from, PartyId to, Payload payload) {
   party_costs_[from].p2p_messages_sent += 1;
   party_costs_[from].p2p_elements_sent += payload.size();
   party_costs_[to].p2p_elements_received += payload.size();
+  // Logical message-buffer accounting (ROADMAP item 3's success metric):
+  // one buffer per queued message, payload.size() field elements deep.
+  // Deterministic — a protocol sending N messages of B elements produces
+  // exactly count += N, bytes += N * B * sizeof(Fld).
+  meters_.alloc_count->add(1);
+  meters_.alloc_bytes->add(payload.size() * sizeof(Fld));
   pending_.p2p[to][from].push_back(std::move(payload));
 }
 
@@ -179,6 +194,10 @@ void Network::broadcast(PartyId from, Payload payload) {
   party_costs_[from].broadcast_invocations += 1;
   party_costs_[from].broadcast_elements += payload.size();
   round_used_broadcast_ = true;
+  // One buffer per broadcast invocation: the simulation stores a broadcast
+  // payload once, however many parties read it.
+  meters_.alloc_count->add(1);
+  meters_.alloc_bytes->add(payload.size() * sizeof(Fld));
   pending_.bcast[from].push_back(std::move(payload));
 }
 
@@ -207,25 +226,17 @@ void Network::end_round() {
   pending_.reset(n_);
 
   const CostReport round_delta = costs_ - round_start_costs_;
-  // Process-wide aggregates; one map-free pointer add per field per round.
-  static metrics::Counter* const kRounds =
-      &metrics::Registry::instance().counter("net.rounds");
-  static metrics::Counter* const kBroadcastRounds =
-      &metrics::Registry::instance().counter("net.broadcast_rounds");
-  static metrics::Counter* const kBroadcastInvocations =
-      &metrics::Registry::instance().counter("net.broadcast_invocations");
-  static metrics::Counter* const kP2pMessages =
-      &metrics::Registry::instance().counter("net.p2p_messages");
-  static metrics::Counter* const kP2pElements =
-      &metrics::Registry::instance().counter("net.p2p_elements");
-  static metrics::Counter* const kBroadcastElements =
-      &metrics::Registry::instance().counter("net.broadcast_elements");
-  kRounds->add(round_delta.rounds);
-  kBroadcastRounds->add(round_delta.broadcast_rounds);
-  kBroadcastInvocations->add(round_delta.broadcast_invocations);
-  kP2pMessages->add(round_delta.p2p_messages);
-  kP2pElements->add(round_delta.p2p_elements);
-  kBroadcastElements->add(round_delta.broadcast_elements);
+  // Scope aggregates; one map-free pointer add per field per round.
+  meters_.rounds->add(round_delta.rounds);
+  meters_.broadcast_rounds->add(round_delta.broadcast_rounds);
+  meters_.broadcast_invocations->add(round_delta.broadcast_invocations);
+  meters_.p2p_messages->add(round_delta.p2p_messages);
+  meters_.p2p_elements->add(round_delta.p2p_elements);
+  meters_.broadcast_elements->add(round_delta.broadcast_elements);
+  // Round barrier: push this scope's counter deltas into its parent, so
+  // parent totals (and anything the hook/observers — e.g. the telemetry
+  // sampler — read) are exact here regardless of lane count.
+  if (registry_->parent() != nullptr) registry_->roll_up();
 
   if (round_hook_) round_hook_(*this, round_delta);
   // Observers last: they see the fully settled round (delivered traffic,
@@ -249,7 +260,7 @@ std::vector<PendingView> Network::pending_to_corrupt(PartyId to) const {
   return out;
 }
 
-const std::vector<std::vector<Payload>>& Network::pending_broadcasts() const {
+const std::vector<PayloadQueue>& Network::pending_broadcasts() const {
   GFOR14_EXPECTS(in_round_);
   return pending_.bcast;
 }
@@ -295,8 +306,13 @@ void Network::substitute_p2p(PartyId from, PartyId to,
     costs_.p2p_elements += p.size();
     party_costs_[from].p2p_elements_sent += p.size();
     party_costs_[to].p2p_elements_received += p.size();
+    meters_.alloc_bytes->add(p.size() * sizeof(Fld));
   }
-  slot = std::move(payloads);
+  // The substituted payloads are freshly built buffers, so the allocation
+  // counters only ever grow — a drop frees memory but allocates none.
+  meters_.alloc_count->add(payloads.size());
+  slot.assign(std::make_move_iterator(payloads.begin()),
+              std::make_move_iterator(payloads.end()));
   // Poison outstanding views of this queue (debug-checked use-after-free).
   channel_stamp_[to * n_ + from] = ++stamp_counter_;
   // Rewrites during the adversary turn are adversarial tampering; rewrites
@@ -321,8 +337,11 @@ void Network::substitute_broadcast(PartyId from,
   for (const auto& p : payloads) {
     costs_.broadcast_elements += p.size();
     party_costs_[from].broadcast_elements += p.size();
+    meters_.alloc_bytes->add(p.size() * sizeof(Fld));
   }
-  slot = std::move(payloads);
+  meters_.alloc_count->add(payloads.size());
+  slot.assign(std::make_move_iterator(payloads.begin()),
+              std::make_move_iterator(payloads.end()));
   if (in_adversary_turn_)
     tamper_log_.push_back({costs_.rounds, from, 0, true});
 }
@@ -334,7 +353,7 @@ void Network::blame(PartyId accuser, PartyId accused,
   blame_[bucket].push_back(
       {accuser, accused, std::string(reason), costs_.rounds});
   // Lazily created so clean executions leave no trace in the registry.
-  metrics::Registry::instance().counter("net.blame_records").add(1);
+  registry_->counter("net.blame_records").add(1);
 }
 
 std::vector<BlameRecord> Network::blames() const {

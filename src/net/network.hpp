@@ -38,7 +38,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/alloc_stats.hpp"
 #include "common/expect.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "ff/gf2e.hpp"
 
@@ -46,6 +48,13 @@ namespace gfor14::net {
 
 using PartyId = std::size_t;
 using Payload = std::vector<Fld>;
+/// The per-channel pending/delivered queues run on the tracking allocator,
+/// so the alloc::kNetQueue ledger shows the physical container churn of the
+/// round engine (the zero-copy refactor's target). Elements stay plain
+/// Payloads — protocol code interoperates with them unchanged.
+using PayloadQueue =
+    std::vector<Payload,
+                alloc::TrackingAllocator<Payload, alloc::Domain::kNetQueue>>;
 
 /// Aggregate resource usage of an execution (see header comment).
 struct CostReport {
@@ -110,9 +119,9 @@ class PendingView {
 /// Traffic delivered at the end of one round.
 struct RoundTraffic {
   /// p2p[to][from] = ordered payloads sent from `from` to `to` this round.
-  std::vector<std::vector<std::vector<Payload>>> p2p;
+  std::vector<std::vector<PayloadQueue>> p2p;
   /// bcast[from] = ordered payloads broadcast by `from` this round.
-  std::vector<std::vector<Payload>> bcast;
+  std::vector<PayloadQueue> bcast;
 
   void reset(std::size_t n);
 };
@@ -303,7 +312,7 @@ class Network {
   /// copies: the payloads stay owned by the pending queue (see PendingView).
   std::vector<PendingView> pending_to_corrupt(PartyId to) const;
   /// Pending broadcasts of this round (broadcasts are public by nature).
-  const std::vector<std::vector<Payload>>& pending_broadcasts() const;
+  const std::vector<PayloadQueue>& pending_broadcasts() const;
   /// Pending payloads a corrupt party is about to send (the adversary owns
   /// its parties' outgoing traffic and may rewrite it via replace_pending).
   std::vector<PendingView> pending_from_corrupt(PartyId from) const;
@@ -313,6 +322,18 @@ class Network {
   const CostReport& costs() const { return costs_; }
   /// Snapshot for differential accounting of a protocol segment.
   CostReport cost_snapshot() const { return costs_; }
+
+  /// The metrics scope this network reports into — Registry::current() at
+  /// construction time (a session scope when the constructing thread had a
+  /// RegistryAttachment, the process root otherwise). Components built
+  /// around this network (VSS engines, protocols) charge their metrics
+  /// here so per-session attribution follows the network. end_round()
+  /// rolls the scope up into its parent at every round barrier, so parent
+  /// totals are exact whenever a round boundary has been reached.
+  metrics::Registry& registry() const { return *registry_; }
+  const std::shared_ptr<metrics::Registry>& registry_shared() const {
+    return registry_;
+  }
 
   /// Per-party cost attribution (see PartyCosts).
   const PartyCosts& party_costs(PartyId p) const;
@@ -342,8 +363,24 @@ class Network {
     return channel_stamp_[to * n_ + from];
   }
 
+  /// Cached handles into registry_ — one relaxed atomic add per field per
+  /// round on the hot path, resolved once at construction.
+  struct Meters {
+    metrics::Counter* rounds = nullptr;
+    metrics::Counter* broadcast_rounds = nullptr;
+    metrics::Counter* broadcast_invocations = nullptr;
+    metrics::Counter* p2p_messages = nullptr;
+    metrics::Counter* p2p_elements = nullptr;
+    metrics::Counter* broadcast_elements = nullptr;
+    metrics::Counter* alloc_count = nullptr;
+    metrics::Counter* alloc_bytes = nullptr;
+    metrics::Histogram* round_wall = nullptr;
+  };
+
   std::size_t n_;
   std::size_t threads_;
+  std::shared_ptr<metrics::Registry> registry_;
+  Meters meters_;
   std::vector<bool> corrupt_;
   std::vector<Rng> party_rng_;
   Rng adv_rng_;

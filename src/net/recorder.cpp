@@ -133,7 +133,13 @@ void Recorder::on_round_end(const Network& net, const CostReport& delta) {
       transcript_.absorb_u64(f.to_u64());
     }
     msg.digest = ch.value();
-    if (opt_.payloads) msg.payload = payload;
+    if (opt_.payloads) {
+      // Stored payload copies are the recorder's dominant allocation; the
+      // kRecorder ledger is what `gfor14-audit top` reports for them.
+      alloc::domain_stats(alloc::Domain::kRecorder)
+          .charge(payload.size() * sizeof(Fld));
+      msg.payload = payload;
+    }
     round.messages.push_back(std::move(msg));
   };
 

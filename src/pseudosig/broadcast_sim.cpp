@@ -26,7 +26,7 @@ void BroadcastSimulator::setup() {
   // channel in exactly 2 rounds total).
   schemes_ = PseudosigScheme::setup_all(net_, chan, ps_);
   setup_costs_ = net_.costs() - before;
-  metrics::Registry::instance().counter("pseudosig.setups").add(1);
+  net_.registry().counter("pseudosig.setups").add(1);
 }
 
 DsResult BroadcastSimulator::run(net::PartyId sender, Msg v1, Msg v2,
@@ -40,7 +40,7 @@ DsResult BroadcastSimulator::run(net::PartyId sender, Msg v1, Msg v2,
   auto result = dolev_strong_broadcast(net_, schemes_, sender, v1, v2,
                                        next_slot_++, t, behaviour);
   main_broadcasts_ += net_.costs().broadcast_invocations - bc_before;
-  metrics::Registry::instance().counter("pseudosig.broadcasts").add(1);
+  net_.registry().counter("pseudosig.broadcasts").add(1);
   return result;
 }
 

@@ -27,6 +27,8 @@ std::optional<std::size_t> dec(Fld f, std::size_t bound) {
 
 BivariateEngine::BivariateEngine(net::Network& net, EngineProfile profile)
     : net_(net),
+      vss_alloc_count_(&net.registry().counter("vss.alloc.count")),
+      vss_alloc_bytes_(&net.registry().counter("vss.alloc.bytes")),
       profile_(profile),
       behaviour_(net.n(), DealerBehaviour::kHonest),
       qualified_(net.n(), true),
@@ -107,6 +109,7 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
     for (net::PartyId i = 0; i < n; ++i) {
       net::Payload payload;
       payload.reserve(batch.size() * (t + 1));
+      charge_share_buffer(batch.size() * (t + 1));
       // A misbehaving dealer hands garbage slices to every second party
       // (other than itself) — enough to exercise complaint/resolution.
       const bool garbage = (b == DealerBehaviour::kInconsistentThenResolve ||
@@ -165,6 +168,7 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
       if (i == j) continue;
       net::Payload payload;
       payload.reserve(ctx.total_m);
+      charge_share_buffer(ctx.total_m);
       for (net::PartyId d : ctx.dealers)
         for (const auto& slice : ctx.recv[i][d])
           payload.push_back(slice.eval(eval_point<64>(j)));
@@ -728,6 +732,7 @@ std::vector<Fld> BivariateEngine::reconstruct_public(
   // reconstruction; each sender computes and queues independently.
   net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
     net::Payload payload(values.size());
+    charge_share_buffer(values.size());
     for (std::size_t vi = 0; vi < values.size(); ++vi)
       payload[vi] = committed_share_of(values[vi], i);
     for (net::PartyId j = 0; j < n; ++j)
@@ -774,6 +779,7 @@ std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
     for (const auto& req : requests) {
       if (i == req.receiver) continue;
       net::Payload payload(req.values.size());
+      charge_share_buffer(req.values.size());
       for (std::size_t vi = 0; vi < req.values.size(); ++vi)
         payload[vi] = committed_share_of(req.values[vi], i);
       lane.send(req.receiver, std::move(payload));

@@ -129,7 +129,20 @@ class BivariateEngine final : public VssScheme {
       const std::vector<LinComb>& values,
       const std::vector<std::optional<std::vector<Fld>>>& per_sender);
 
+  /// Charges one `vss.alloc.count` / `elements * sizeof(Fld)` worth of
+  /// `vss.alloc.bytes` into the network's metrics scope — called wherever a
+  /// share vector is staged for the wire. Deterministic (one charge per
+  /// logical buffer) and safe from worker lanes (relaxed atomic adds,
+  /// totals exact at the round barrier).
+  void charge_share_buffer(std::size_t elements) const {
+    vss_alloc_count_->add(1);
+    vss_alloc_bytes_->add(elements * sizeof(Fld));
+    alloc::domain_stats(alloc::Domain::kVss).charge(elements * sizeof(Fld));
+  }
+
   net::Network& net_;
+  metrics::Counter* vss_alloc_count_ = nullptr;
+  metrics::Counter* vss_alloc_bytes_ = nullptr;
   EngineProfile profile_;
   std::vector<DealerBehaviour> behaviour_;
   bool false_complaints_ = false;

@@ -57,7 +57,14 @@ TEST(Histogram, ResetClearsSampleState) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
 }
 
-TEST(Histogram, RegistryJsonExportCarriesQuantiles) {
+// Tests below touch the process-wide registry; start each from a zeroed
+// state (values reset, cached handles stay valid, scopes detached).
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::Registry::reset_for_test(); }
+};
+
+TEST_F(MetricsRegistryTest, RegistryJsonExportCarriesQuantiles) {
   auto& h = metrics::Registry::instance().histogram("test.export_hist");
   h.reset();
   for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
@@ -93,7 +100,7 @@ TEST(Histogram, ConcurrentObserveFromWorkerLanes) {
   EXPECT_LT(p50, static_cast<double>(kLanes * kPerLane));
 }
 
-TEST(Histogram, NetworkRunRoundFeedsRoundWallHistogram) {
+TEST_F(MetricsRegistryTest, NetworkRunRoundFeedsRoundWallHistogram) {
   auto& h = metrics::Registry::instance().histogram("net.round_wall_us");
   const std::uint64_t before = h.summary().count();
   net::Network net(4, 2014);

@@ -276,7 +276,14 @@ TEST(FaultEngineTest, ReplayStaleSubstitutesEarlierTraffic) {
 
 // --- byte-identity ---------------------------------------------------------
 
-TEST(FaultSoakTest, EmptyPlanIsByteIdenticalToNoEngine) {
+class FaultSoakTest : public ::testing::Test {
+ protected:
+  // The byte-identity assertions compare net.* metric deltas; start each
+  // test from a zeroed process-wide registry (cached handles stay valid).
+  void SetUp() override { metrics::Registry::reset_for_test(); }
+};
+
+TEST_F(FaultSoakTest, EmptyPlanIsByteIdenticalToNoEngine) {
   for (std::uint64_t seed : {2014ULL, 77ULL}) {
     const RunResult baseline = execute_channel(seed, 1, std::nullopt, 0);
     ASSERT_FALSE(baseline.recording.rounds.empty());
@@ -294,7 +301,7 @@ TEST(FaultSoakTest, EmptyPlanIsByteIdenticalToNoEngine) {
   }
 }
 
-TEST(FaultSoakTest, SameSeedReplayIsByteIdentical) {
+TEST_F(FaultSoakTest, SameSeedReplayIsByteIdentical) {
   net::FaultPlan plan;
   plan.corrupt_element(2, 0, net::kAllReceivers, 2)
       .corrupt_bit(3, 0, 1, 3)
@@ -315,7 +322,7 @@ TEST(FaultSoakTest, SameSeedReplayIsByteIdentical) {
       audit::first_divergence(a.recording, clean.recording).has_value());
 }
 
-TEST(FaultSoakTest, FaultyRunsAreThreadCountIndependent) {
+TEST_F(FaultSoakTest, FaultyRunsAreThreadCountIndependent) {
   net::FaultPlan plan;
   plan.corrupt_element(1, 0, net::kAllReceivers, 1)
       .truncate(2, 0, 3, 2)
@@ -330,7 +337,7 @@ TEST(FaultSoakTest, FaultyRunsAreThreadCountIndependent) {
 
 // --- randomized soak -------------------------------------------------------
 
-TEST(FaultSoakTest, CrashedCorruptDealerNeverBlocksHonestDelivery) {
+TEST_F(FaultSoakTest, CrashedCorruptDealerNeverBlocksHonestDelivery) {
   // A corrupt party that is silent from the very first round is the harshest
   // availability fault. Under the default-message convention its missing
   // traffic is read as canonical defaults, so it commits to the all-zero
@@ -357,7 +364,7 @@ TEST(FaultSoakTest, CrashedCorruptDealerNeverBlocksHonestDelivery) {
   }
 }
 
-TEST(FaultSoakTest, RandomizedSoakHoldsRobustnessInvariants) {
+TEST_F(FaultSoakTest, RandomizedSoakHoldsRobustnessInvariants) {
   std::uint64_t master_seed = 20140806;
   if (const char* env = std::getenv("GFOR14_FAULT_SEED"))
     master_seed = std::strtoull(env, nullptr, 10);

@@ -231,9 +231,15 @@ constexpr Scenario kScenarios[] = {
 
 constexpr std::uint64_t kSeeds[] = {1001, 20140715, 987654321};
 
-class ParallelEngineTest : public ::testing::Test {};
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  // Metric deltas below assume a quiescent registry; zero the process-wide
+  // counters (keeping cached handles valid) so earlier tests can't skew a
+  // before/after difference.
+  void SetUp() override { metrics::Registry::reset_for_test(); }
+};
 
-TEST(ParallelEngineTest, SerialAndParallelExecutionsAreByteIdentical) {
+TEST_F(ParallelEngineTest, SerialAndParallelExecutionsAreByteIdentical) {
   const std::size_t hw = hardware_threads();
   std::vector<std::size_t> thread_counts = {2, 4};
   // hw == 1 would just repeat the serial baseline; hw == 2 or 4 is covered.
@@ -256,7 +262,7 @@ TEST(ParallelEngineTest, SerialAndParallelExecutionsAreByteIdentical) {
   }
 }
 
-TEST(ParallelEngineTest, RepeatedParallelRunsAreStable) {
+TEST_F(ParallelEngineTest, RepeatedParallelRunsAreStable) {
   // Two parallel executions with the same seed and lane count must agree
   // with each other too (no hidden dependence on pool scheduling history).
   const Scenario& sc = kScenarios[0];
@@ -267,7 +273,7 @@ TEST(ParallelEngineTest, RepeatedParallelRunsAreStable) {
   EXPECT_EQ(a.costs, b.costs);
 }
 
-TEST(ParallelEngineTest, OversubscribedLanesStayDeterministic) {
+TEST_F(ParallelEngineTest, OversubscribedLanesStayDeterministic) {
   // More lanes than parties (and than cores): the engine clamps strands to
   // the index range; results still match serial.
   const Scenario& sc = kScenarios[0];
@@ -278,7 +284,7 @@ TEST(ParallelEngineTest, OversubscribedLanesStayDeterministic) {
   EXPECT_EQ(serial.costs, wide.costs);
 }
 
-TEST(ParallelEngineTest, ThreadSettingDoesNotLeakAcrossNetworks) {
+TEST_F(ParallelEngineTest, ThreadSettingDoesNotLeakAcrossNetworks) {
   // set_threads is per network; a new network picks up the process default.
   net::Network a(4, 1);
   a.set_threads(8);
