@@ -18,6 +18,7 @@
 
 #include "bench_json.hpp"
 #include "common/rng.hpp"
+#include "ff/batch.hpp"
 #include "ff/kernel.hpp"
 #include "ff/ops.hpp"
 #include "math/berlekamp_welch.hpp"
@@ -202,10 +203,14 @@ void throughput_table(benchjson::Artifact& artifact) {
       benchmark::DoNotOptimize(y.data());
     });
     // MB/s = operand bytes per op * 1000 / (ns per op); each op reads two
-    // Fld streams (axpy's accumulator read-modify-write counts as one).
-    const double mul_mb_s = 2.0 * sizeof(Fld) * 1000.0 / mul_ns;
-    const double dot_mb_s = 2.0 * kLen * sizeof(Fld) * 1000.0 / dot_ns;
-    const double axpy_mb_s = 2.0 * kLen * sizeof(Fld) * 1000.0 / axpy_ns;
+    // element streams (axpy's accumulator read-modify-write counts as one).
+    // Bytes per element is the field's wire width (byte_size()), NOT
+    // sizeof(Fld): sub-64-bit fields pad their storage limb, and counting
+    // padding would overstate throughput by up to 8x.
+    const double mul_mb_s = 2.0 * Fld::byte_size() * 1000.0 / mul_ns;
+    const double dot_mb_s = 2.0 * kLen * Fld::byte_size() * 1000.0 / dot_ns;
+    const double axpy_mb_s =
+        2.0 * kLen * Fld::byte_size() * 1000.0 / axpy_ns;
     std::printf("%-8s %12.1f %12.1f %12.1f\n", ff::kernel_name(k), mul_mb_s,
                 dot_mb_s, axpy_mb_s);
     json::Value& row = artifact.row();
@@ -220,6 +225,72 @@ void throughput_table(benchjson::Artifact& artifact) {
     row.set("axpy_ns", axpy_ns);
   }
   ff::reset_kernel();
+  std::printf("\n");
+}
+
+/// Span-kernel batch layer (ff/batch.hpp): per-field MB/s of the wide
+/// batch axpy/dot and the generator-LUT constant multiplier, on the
+/// dispatched kernels. Uses byte_size() per field (the satellite fix above)
+/// so GF(2^8)/GF(2^16) gather kernels are not credited for limb padding.
+template <typename F>
+void batch_field_rows(benchjson::Artifact& artifact, const char* name) {
+  constexpr std::size_t kLen = 4096;
+  Rng rng(9);
+  std::vector<F> a(kLen), b(kLen), y(kLen);
+  for (auto& x : a) x = F::random(rng);
+  for (auto& x : b) x = F::random(rng);
+  for (auto& x : y) x = F::random(rng);
+  const F c = F::random_nonzero(rng);
+  const double axpy_ns = time_ns_per_op(2000, [&] {
+    ff::batch::axpy<F::kBits>(c, std::span<const F>(a), std::span<F>(y));
+    benchmark::DoNotOptimize(y.data());
+  });
+  const double dot_ns = time_ns_per_op(2000, [&] {
+    F acc = ff::batch::dot<F::kBits>(std::span<const F>(a),
+                                     std::span<const F>(b));
+    benchmark::DoNotOptimize(acc);
+  });
+  const double bytes = 2.0 * kLen * F::byte_size();
+  const double axpy_mb_s = bytes * 1000.0 / axpy_ns;
+  const double dot_mb_s = bytes * 1000.0 / dot_ns;
+  std::printf("%-8s %12.1f %12.1f", name, axpy_mb_s, dot_mb_s);
+  json::Value& row = artifact.row();
+  row.set("case", "batch_throughput");
+  row.set("field", std::string(name));
+  row.set("kernel", std::string(ff::active_kernel_name()));
+  row.set("span_kernel", std::string(ff::active_span_kernel_name()));
+  row.set("len", kLen);
+  row.set("batch_axpy_mb_s", axpy_mb_s);
+  row.set("batch_dot_mb_s", dot_mb_s);
+  row.set("batch_axpy_ns", axpy_ns);
+  row.set("batch_dot_ns", dot_ns);
+  if constexpr (F::kBits == 64) {
+    // Generator-LUT constant multiply: the software-kernel encode path for
+    // Reed-Solomon / Lagrange rows (LagrangeCache::encode_plan).
+    const ff::batch::ConstMul64Lut lut(c);
+    const double lut_ns = time_ns_per_op(2000, [&] {
+      lut.axpy(std::span<const F>(a), std::span<F>(y));
+      benchmark::DoNotOptimize(y.data());
+    });
+    const double lut_mb_s = bytes * 1000.0 / lut_ns;
+    std::printf(" %12.1f", lut_mb_s);
+    row.set("lut_axpy_mb_s", lut_mb_s);
+    row.set("lut_axpy_ns", lut_ns);
+  }
+  std::printf("\n");
+}
+
+void batch_throughput_table(benchjson::Artifact& artifact) {
+  std::printf(
+      "=== batch span kernels (operand MB/s, len 4096, kernel %s/%s) ===\n",
+      ff::active_kernel_name(), ff::active_span_kernel_name());
+  std::printf("%-8s %12s %12s %12s\n", "field", "batch_axpy", "batch_dot",
+              "lut_axpy");
+  batch_field_rows<F8>(artifact, "F8");
+  batch_field_rows<F16>(artifact, "F16");
+  batch_field_rows<F32>(artifact, "F32");
+  batch_field_rows<F64>(artifact, "F64");
+  batch_field_rows<F128>(artifact, "F128");
   std::printf("\n");
 }
 
@@ -334,7 +405,9 @@ int main(int argc, char** argv) {
   kernel_sweep(artifact);
   span_ops_table(artifact);
   throughput_table(artifact);
+  batch_throughput_table(artifact);
   artifact.param("dispatched_kernel", std::string(ff::active_kernel_name()));
+  artifact.param("span_kernel", std::string(ff::active_span_kernel_name()));
   artifact.set("metrics", benchjson::metrics_snapshot());
   artifact.write();
   ::benchmark::Initialize(&argc, argv);

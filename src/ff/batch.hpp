@@ -1,0 +1,163 @@
+// Wide span kernels over GF(2^k): the batch layer of the field stack.
+//
+// The VSS engine's structure-of-arrays hot path (vss/soa.hpp) works on
+// contiguous coefficient planes — thousands of field elements multiplied by
+// ONE scalar at a time. That shape admits kernels the element-at-a-time
+// `ff::dot`/`ff::axpy` path cannot express:
+//
+//   * 128/256-bit vectorized carry-less multiply: PCLMULQDQ processes two
+//     GF(2^64) elements per iteration (VPCLMULQDQ four), with the modular
+//     reduction folded inside the vector registers — two extra clmuls per
+//     lane instead of a scalar fold;
+//   * generator-LUT encode (the word-packed `generator_lut` technique from
+//     Reed–Solomon encoders): a constant multiplier becomes 8 byte-indexed
+//     tables of 256 words, so c*x is 8 loads + 7 XORs with no multiply at
+//     all — the software fast path, and the precomputable shape behind
+//     EncodePlan64 for the Berlekamp–Welch / Lagrange rows;
+//   * GF(2^8)/GF(2^16) table-gather multiply-accumulate: the exp/log
+//     tables with the constant's log hoisted out of the loop.
+//
+// Dispatch mirrors ff/kernel.hpp: resolved once from the environment
+// (GFOR14_FF_BATCH = auto | wide | scalar), overridable from tests with
+// set_span_kernel(), counted in the metrics registry as
+// ff.batch.kernel.<name>. The SCALAR path is, by construction, the exact
+// loop the pre-batch code ran — it is kept as the differential oracle, and
+// every wide kernel must agree with it bit-for-bit on every input (GF(2^k)
+// arithmetic is exact, so this is equality, not tolerance). Forcing
+// GFOR14_FF_KERNEL=bitloop additionally degrades the wide path to the
+// scalar loops, so the full oracle stack remains reachable end-to-end.
+//
+// All entry points are safe on empty spans (no data() dereference).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ff/gf2e.hpp"
+
+namespace gfor14::ff {
+
+enum class SpanKernel {
+  kScalar,  ///< element-at-a-time loops (differential oracle)
+  kWide,    ///< vectorized clmul / LUT / table-gather spans
+};
+
+/// Stable lowercase name ("scalar", "wide").
+const char* span_kernel_name(SpanKernel k);
+
+/// The span kernel currently answering batch calls; resolves on first use
+/// from GFOR14_FF_BATCH (auto | wide | scalar; default wide).
+SpanKernel active_span_kernel();
+const char* active_span_kernel_name();
+
+/// Forces a span kernel (tests/benches). Always succeeds: the wide path
+/// degrades internally to whatever the active scalar kernel allows.
+bool set_span_kernel(SpanKernel k);
+
+/// Drops any override and re-resolves from GFOR14_FF_BATCH.
+void reset_span_kernel();
+
+/// True when long GF(2^64) constant-multiplies are cheapest through a
+/// precomputed byte-sliced LUT (wide path active, no hardware clmul).
+/// Callers holding reusable coefficient rows (Lagrange/Berlekamp-Welch)
+/// use this to decide whether an EncodePlan64 is worth fetching.
+bool span_prefers_lut();
+
+namespace batch {
+
+/// y[i] += c * x[i] over a contiguous span. Identical results to ff::axpy.
+template <unsigned Bits>
+void axpy(GF2E<Bits> c, std::span<const GF2E<Bits>> x,
+          std::span<GF2E<Bits>> y);
+
+/// Inner product sum_i a[i]*b[i]. Identical results to ff::dot.
+template <unsigned Bits>
+GF2E<Bits> dot(std::span<const GF2E<Bits>> a, std::span<const GF2E<Bits>> b);
+
+/// y[i] = c * y[i] in place.
+template <unsigned Bits>
+void scale(GF2E<Bits> c, std::span<GF2E<Bits>> y);
+
+/// One Horner step across a batch: acc[i] = x * acc[i] + plane[i].
+/// `acc` and `plane` must not alias; plane may be empty (pure scale step).
+template <unsigned Bits>
+void horner_fold(GF2E<Bits> x, std::span<GF2E<Bits>> acc,
+                 std::span<const GF2E<Bits>> plane);
+
+extern template void axpy<8>(F8, std::span<const F8>, std::span<F8>);
+extern template void axpy<16>(F16, std::span<const F16>, std::span<F16>);
+extern template void axpy<32>(F32, std::span<const F32>, std::span<F32>);
+extern template void axpy<64>(F64, std::span<const F64>, std::span<F64>);
+extern template void axpy<128>(F128, std::span<const F128>, std::span<F128>);
+extern template F8 dot<8>(std::span<const F8>, std::span<const F8>);
+extern template F16 dot<16>(std::span<const F16>, std::span<const F16>);
+extern template F32 dot<32>(std::span<const F32>, std::span<const F32>);
+extern template F64 dot<64>(std::span<const F64>, std::span<const F64>);
+extern template F128 dot<128>(std::span<const F128>, std::span<const F128>);
+extern template void scale<8>(F8, std::span<F8>);
+extern template void scale<16>(F16, std::span<F16>);
+extern template void scale<32>(F32, std::span<F32>);
+extern template void scale<64>(F64, std::span<F64>);
+extern template void scale<128>(F128, std::span<F128>);
+extern template void horner_fold<8>(F8, std::span<F8>, std::span<const F8>);
+extern template void horner_fold<16>(F16, std::span<F16>,
+                                     std::span<const F16>);
+extern template void horner_fold<32>(F32, std::span<F32>,
+                                     std::span<const F32>);
+extern template void horner_fold<64>(F64, std::span<F64>,
+                                     std::span<const F64>);
+extern template void horner_fold<128>(F128, std::span<F128>,
+                                      std::span<const F128>);
+
+/// Byte-sliced constant multiplier over GF(2^64) — the generator-LUT shape:
+/// tab[j][b] = c * (b << 8j), so c*x = XOR_j tab[j][byte_j(x)]. 16 KiB per
+/// constant; building one costs 64 doubling steps plus a subset-XOR fill,
+/// amortized over spans of a few hundred elements or over reuse across
+/// calls (EncodePlan64).
+class ConstMul64Lut {
+ public:
+  explicit ConstMul64Lut(F64 c);
+
+  F64 constant() const { return c_; }
+
+  /// Raw-representation product c * x (already reduced).
+  std::uint64_t mul_raw(std::uint64_t x) const {
+    const auto b = [x](unsigned j) {
+      return static_cast<unsigned>((x >> (8 * j)) & 0xFF);
+    };
+    return tab_[0][b(0)] ^ tab_[1][b(1)] ^ tab_[2][b(2)] ^ tab_[3][b(3)] ^
+           tab_[4][b(4)] ^ tab_[5][b(5)] ^ tab_[6][b(6)] ^ tab_[7][b(7)];
+  }
+
+  /// y[i] += c * x[i] through the tables.
+  void axpy(std::span<const F64> x, std::span<F64> y) const;
+  /// acc[i] = c * acc[i] + plane[i] through the tables (plane may be empty).
+  void fold(std::span<F64> acc, std::span<const F64> plane) const;
+
+ private:
+  alignas(64) std::array<std::array<std::uint64_t, 256>, 8> tab_;
+  F64 c_;
+};
+
+/// A precomputed LUT per coefficient of a fixed row — the cached encode
+/// shape for Reed-Solomon / Lagrange reconstruction: out = sum_i c_i * row_i
+/// becomes size() LUT-axpys, and a per-value dot against a share column is
+/// size() table gathers. Cached process-wide by LagrangeCache::encode_plan.
+class EncodePlan64 {
+ public:
+  explicit EncodePlan64(std::span<const F64> coeffs);
+
+  std::size_t size() const { return luts_.size(); }
+  const ConstMul64Lut& lut(std::size_t i) const { return luts_[i]; }
+
+  /// sum_i coeffs[i] * ys[i]; ys.size() must equal size().
+  F64 dot(std::span<const F64> ys) const;
+
+ private:
+  std::vector<ConstMul64Lut> luts_;
+};
+
+}  // namespace batch
+}  // namespace gfor14::ff

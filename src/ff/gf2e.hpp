@@ -222,6 +222,15 @@ class GF2E {
     return r;
   }
 
+  // --- Raw limb access (wide span kernels, ff/batch.hpp) ------------------
+  // A GF2E is exactly its limb array (no padding, standard layout), so a
+  // contiguous span of elements is a contiguous array of limbs. The batch
+  // kernels use this for vector loads/stores; for Bits <= 64 the stride is
+  // one std::uint64_t per element.
+
+  std::uint64_t* raw_limbs() { return limbs_.data(); }
+  const std::uint64_t* raw_limbs() const { return limbs_.data(); }
+
   // --- Lazily-reduced product accumulation (span kernels, ff/ops.hpp) -----
   // An inner product over the field can XOR-accumulate raw carry-less
   // products and reduce ONCE, instead of reducing every term: addition is

@@ -22,6 +22,10 @@ namespace gfor14::ff {
 template <unsigned Bits>
 GF2E<Bits> dot(std::span<const GF2E<Bits>> a, std::span<const GF2E<Bits>> b) {
   GFOR14_EXPECTS(a.size() == b.size());
+  // Empty-span guard: the additive identity, without ever forming data()
+  // pointers (the wide kernels downstream dereference span bases, and an
+  // empty span's data() may be null).
+  if (a.empty()) return GF2E<Bits>{};
   if constexpr (Bits <= 16) {
     // Table-multiplied fields: products are already cheap lookups.
     GF2E<Bits> acc;
@@ -40,7 +44,9 @@ template <unsigned Bits>
 void axpy(GF2E<Bits> c, std::span<const GF2E<Bits>> x,
           std::span<GF2E<Bits>> y) {
   GFOR14_EXPECTS(y.size() >= x.size());
-  if (c.is_zero()) return;
+  // Empty x is a no-op (before any data() is taken), and a zero scalar
+  // contributes nothing regardless of span length.
+  if (x.empty() || c.is_zero()) return;
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += c * x[i];
 }
 

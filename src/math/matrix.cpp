@@ -1,7 +1,7 @@
 #include "math/matrix.hpp"
 
 #include "common/expect.hpp"
-#include "ff/ops.hpp"
+#include "ff/batch.hpp"
 
 namespace gfor14 {
 
@@ -30,16 +30,21 @@ std::size_t Matrix::row_reduce() {
         std::swap(at(pivot, c), at(rank, c));
     }
     const Fld inv = at(rank, col).inverse();
-    for (std::size_t c = col; c < cols_; ++c) at(rank, c) *= inv;
+    ff::batch::scale<64>(inv,
+                         std::span<Fld>(&data_[rank * cols_ + col],
+                                        cols_ - col));
     // Eliminate the column below and above the pivot with fused row
-    // updates (row_r += factor * row_rank; char 2, so += is -=).
+    // updates (row_r += factor * row_rank; char 2, so += is -=), routed
+    // through the dispatched span kernels (Berlekamp-Welch key-equation
+    // systems are the widest consumers).
     const std::span<const Fld> pivot_row(&data_[rank * cols_ + col],
                                          cols_ - col);
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == rank || at(r, col).is_zero()) continue;
       const Fld factor = at(r, col);
-      ff::axpy(factor, pivot_row,
-               std::span<Fld>(&data_[r * cols_ + col], cols_ - col));
+      ff::batch::axpy<64>(factor, pivot_row,
+                          std::span<Fld>(&data_[r * cols_ + col],
+                                         cols_ - col));
     }
     ++rank;
   }

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "ff/batch.hpp"
 #include "ff/ops.hpp"
 #include "math/berlekamp_welch.hpp"
 #include "math/lagrange_cache.hpp"
@@ -32,7 +33,7 @@ BivariateEngine::BivariateEngine(net::Network& net, EngineProfile profile)
       profile_(profile),
       behaviour_(net.n(), DealerBehaviour::kHonest),
       qualified_(net.n(), true),
-      sharings_(net.n()) {
+      pools_(net.n()) {
   GFOR14_EXPECTS(profile_.t < net.n());
 }
 
@@ -44,7 +45,7 @@ void BivariateEngine::set_dealer_behaviour(net::PartyId dealer,
 
 std::size_t BivariateEngine::count(net::PartyId dealer) const {
   GFOR14_EXPECTS(dealer < net_.n());
-  return sharings_[dealer].size();
+  return pools_[dealer].count();
 }
 
 std::size_t BivariateEngine::share_rounds() const {
@@ -72,11 +73,18 @@ struct BivariateEngine::ShareCtx {
   std::vector<net::PartyId> dealers;  // dealers with non-empty batches
   std::size_t total_m = 0;            // sum of batch sizes
 
-  // Ground truth polynomials per dealer (indexed like batches).
+  // Hoisted evaluation points alpha[i] = eval_point<64>(i) — the SoA
+  // context shared by every round so no payload loop recomputes them.
+  std::vector<Fld> alpha;
+
+  // Ground truth polynomials per dealer (indexed like batches), plus their
+  // coefficient-major expansion used to build slices with span kernels.
   std::vector<std::vector<SymmetricBivariate>> dealt;
-  // recv[i][d][k]: the slice party i currently holds for sharing (d, k);
-  // evolves as published slices are adopted.
-  std::vector<std::vector<std::vector<Poly>>> recv;
+  std::vector<BivariateBatch> dealt_soa;
+  // recv[i][d]: the slice block party i currently holds for dealer d
+  // (plane(c)[k] = x^c coefficient of the k-th slice); evolves as published
+  // slices are adopted.
+  std::vector<std::vector<SliceBlock>> recv;
 
   struct Complaint {
     std::size_t d, k, lo, hi;  // pair {lo, hi}, lo < hi
@@ -106,31 +114,37 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
     if (batch.empty()) return;
     const DealerBehaviour b = behaviour_[d];
     if (b == DealerBehaviour::kSilent) return;
+    SliceBlock block;
     for (net::PartyId i = 0; i < n; ++i) {
-      net::Payload payload;
-      payload.reserve(batch.size() * (t + 1));
       charge_share_buffer(batch.size() * (t + 1));
       // A misbehaving dealer hands garbage slices to every second party
       // (other than itself) — enough to exercise complaint/resolution.
       const bool garbage = (b == DealerBehaviour::kInconsistentThenResolve ||
                             b == DealerBehaviour::kInconsistentRefuse) &&
                            i != d && i % 2 == 1;
-      for (std::size_t k = 0; k < batch.size(); ++k) {
-        const Poly slice = garbage
-                               ? Poly::random(net_.rng_of(d), t)
-                               : ctx.dealt[d][k].slice(eval_point<64>(i));
-        for (std::size_t c = 0; c <= t; ++c)
-          payload.push_back(c < slice.coeffs().size() ? slice.coeffs()[c]
-                                                      : Fld::zero());
+      if (garbage) {
+        // The per-(i, k) RNG draw order is part of the transcript contract,
+        // so the garbage path stays the scalar per-slice loop.
+        net::Payload payload;
+        payload.reserve(batch.size() * (t + 1));
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+          const Poly slice = Poly::random(net_.rng_of(d), t);
+          for (std::size_t c = 0; c <= t; ++c)
+            payload.push_back(c < slice.coeffs().size() ? slice.coeffs()[c]
+                                                        : Fld::zero());
+        }
+        lane.send(i, std::move(payload));
+        continue;
       }
+      // Honest slices: one batched Horner sweep over the dealer's
+      // coefficient planes instead of m per-Poly slice() calls.
+      ctx.dealt_soa[d].slices_at(ctx.alpha[i], block);
       if (i == d) {
         // Local state; no self-message on the wire.
-        for (std::size_t k = 0; k < batch.size(); ++k) {
-          std::vector<Fld> coeffs(payload.begin() + k * (t + 1),
-                                  payload.begin() + (k + 1) * (t + 1));
-          ctx.recv[i][d][k] = Poly{std::move(coeffs)};
-        }
+        ctx.recv[i][d] = block;
       } else {
+        net::Payload payload(batch.size() * (t + 1));
+        block.store_kmajor(payload);
         lane.send(i, std::move(payload));
       }
     }
@@ -152,11 +166,7 @@ void BivariateEngine::round_distribute_slices(ShareCtx& ctx) {
         net_.blame(i, d, "vss.slices.malformed");
         continue;
       }
-      for (std::size_t k = 0; k < m; ++k) {
-        std::vector<Fld> coeffs(payload.begin() + k * (t + 1),
-                                payload.begin() + (k + 1) * (t + 1));
-        ctx.recv[i][d][k] = Poly{std::move(coeffs)};
-      }
+      ctx.recv[i][d].load_kmajor(payload);
     }
   });
 }
@@ -166,12 +176,17 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
   net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
     for (net::PartyId j = 0; j < n; ++j) {
       if (i == j) continue;
-      net::Payload payload;
-      payload.reserve(ctx.total_m);
+      net::Payload payload(ctx.total_m);
       charge_share_buffer(ctx.total_m);
-      for (net::PartyId d : ctx.dealers)
-        for (const auto& slice : ctx.recv[i][d])
-          payload.push_back(slice.eval(eval_point<64>(j)));
+      // The receiver's evaluation point is hoisted per j (ctx.alpha) and
+      // each dealer's block evaluates in one batched Horner sweep.
+      std::size_t pos = 0;
+      for (net::PartyId d : ctx.dealers) {
+        const std::size_t m = (*ctx.batches)[d].size();
+        ctx.recv[i][d].eval_all(ctx.alpha[j],
+                                std::span<Fld>(payload.data() + pos, m));
+        pos += m;
+      }
       lane.send(j, std::move(payload));
     }
   });
@@ -180,6 +195,7 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
   // set is order-insensitive, so the parallel schedule cannot show through.
   std::vector<std::vector<ShareCtx::Complaint>> found(n);
   net_.for_each_party([&](net::PartyId i) {
+    std::vector<Fld> mine(ctx.total_m);
     for (net::PartyId j = 0; j < n; ++j) {
       if (i == j) continue;
       const auto& msgs = net_.delivered().p2p[i][j];
@@ -188,10 +204,16 @@ void BivariateEngine::round_cross_evaluations(ShareCtx& ctx) {
                                                                 : nullptr;
       std::size_t pos = 0;
       for (net::PartyId d : ctx.dealers) {
+        const std::size_t m = (*ctx.batches)[d].size();
+        ctx.recv[i][d].eval_all(ctx.alpha[j],
+                                std::span<Fld>(mine.data() + pos, m));
+        pos += m;
+      }
+      pos = 0;
+      for (net::PartyId d : ctx.dealers) {
         for (std::size_t k = 0; k < (*ctx.batches)[d].size(); ++k, ++pos) {
           const Fld claimed = payload ? (*payload)[pos] : Fld::zero();
-          const Fld mine = ctx.recv[i][d][k].eval(eval_point<64>(j));
-          if (claimed != mine) {
+          if (claimed != mine[pos]) {
             found[i].push_back(
                 {d, k, std::min<std::size_t>(i, j), std::max<std::size_t>(i, j)});
           }
@@ -257,8 +279,11 @@ ShareResult BivariateEngine::share_all(
 
   ShareCtx ctx;
   ctx.batches = &batches;
+  ctx.alpha.resize(n);
+  for (net::PartyId i = 0; i < n; ++i) ctx.alpha[i] = eval_point<64>(i);
   ctx.dealt.resize(n);
-  ctx.recv.assign(n, std::vector<std::vector<Poly>>(n));
+  ctx.dealt_soa.resize(n);
+  ctx.recv.assign(n, std::vector<SliceBlock>(n));
   ctx.public_fault.assign(n, false);
   ctx.published.resize(n);
   ctx.accusers.resize(n);
@@ -268,16 +293,18 @@ ShareResult BivariateEngine::share_all(
     ctx.dealers.push_back(d);
     ctx.total_m += batches[d].size();
     for (net::PartyId i = 0; i < n; ++i)
-      ctx.recv[i][d].assign(batches[d].size(), Poly{});
+      ctx.recv[i][d].assign(batches[d].size(), t + 1);
   }
   // Polynomial generation per dealer: dealer d draws only from its own
-  // forked RNG stream and fills only dealt[d].
+  // forked RNG stream and fills only dealt[d]. The draw order (per k, in
+  // storage order) is unchanged; the SoA expansion happens after the draws.
   net_.for_each_party([&](net::PartyId d) {
     if (batches[d].empty()) return;
     ctx.dealt[d].reserve(batches[d].size());
     for (Fld s : batches[d])
       ctx.dealt[d].push_back(
           SymmetricBivariate::random_with_secret(net_.rng_of(d), t, s));
+    ctx.dealt_soa[d].build(ctx.dealt[d], t);
   });
 
   // R1 + R2.
@@ -363,7 +390,7 @@ ShareResult BivariateEngine::share_all(
     for (const auto& [c, value] : ctx.resolutions) {
       for (net::PartyId p : {c.lo, c.hi}) {
         const net::PartyId other = (p == c.lo) ? c.hi : c.lo;
-        if (ctx.recv[p][c.d][c.k].eval(eval_point<64>(other)) != value)
+        if (ctx.recv[p][c.d].eval_at(c.k, ctx.alpha[other]) != value)
           ctx.accusers[c.d].insert(p);
       }
     }
@@ -442,12 +469,13 @@ ShareResult BivariateEngine::share_all(
           }
           // The accuser adopts the opened slice; everyone else privately
           // cross-checks it against their own slices.
-          ctx.recv[*a][d] = slices;
+          for (std::size_t k = 0; k < m; ++k)
+            ctx.recv[*a][d].set_poly(k, slices[k]);
           for (net::PartyId p = 0; p < n; ++p) {
             if (p == *a || ctx.accusers[d].contains(p)) continue;
             for (std::size_t k = 0; k < m; ++k) {
-              if (ctx.recv[p][d][k].eval(eval_point<64>(*a)) !=
-                  slices[k].eval(eval_point<64>(p))) {
+              if (ctx.recv[p][d].eval_at(k, ctx.alpha[*a]) !=
+                  slices[k].eval(ctx.alpha[p])) {
                 if (level == 0) {
                   next_accusers[d].insert(p);
                 } else {
@@ -511,9 +539,9 @@ ShareResult BivariateEngine::share_all(
     const bool ok = accepts[d] >= n - profile_.t;
     result.qualified[d] = ok;
     if (!ok) qualified_[d] = false;
-    base[d] = sharings_[d].size();
-    sharings_[d].resize(base[d] + batches[d].size());  // zero polys until
-                                                       // interpolated
+    pools_[d].configure(t + 1);
+    base[d] = pools_[d].append_zero(batches[d].size());  // zero columns
+                                                         // until interpolated
   }
   // Finalize faults found on the worker lanes (one byte per dealer slot, so
   // concurrent writers never share a byte): 1 = too few content parties,
@@ -555,25 +583,43 @@ ShareResult BivariateEngine::share_all(
       }
       basis.push_back(denoms[i] * b);
     }
-    for (std::size_t k = 0; k < m; ++k) {
-      // Interpolate the committed share polynomial g(y) = F(0, y) from the
-      // final shares of content honest parties, then verify every other
-      // content honest share lies on it (the qualification invariant).
-      Poly g;
-      for (std::size_t i = 0; i <= t; ++i) {
-        const Fld y = ctx.recv[content[i]][d][k].eval(Fld::zero());
-        if (!y.is_zero()) g = g + y * basis[i];
-      }
-      bool consistent = true;
-      for (std::size_t i = t + 1; i < content.size() && consistent; ++i)
-        consistent = g.eval(xs[i]) ==
-                     ctx.recv[content[i]][d][k].eval(Fld::zero());
-      if (!consistent) {
-        finalize_fault[d] = 2;
-        continue;  // this sharing stays the default zero polynomial
-      }
-      sharings_[d][base[d] + k].share_poly = std::move(g);
+    // Interpolate the committed share polynomials g(y) = F(0, y) for the
+    // whole batch at once: a party's final share of index k is its slice
+    // evaluated at y = 0 — exactly the x^0 coefficient plane of its slice
+    // block — so g's coefficient planes are t + 1 span axpys, and the
+    // consistency sweep (every other content honest share lies on g, the
+    // qualification invariant) is one batched Horner per tail party.
+    std::vector<std::vector<Fld>> gplanes(
+        t + 1, std::vector<Fld>(m, Fld::zero()));
+    for (std::size_t i = 0; i <= t; ++i) {
+      const std::span<const Fld> yrow = ctx.recv[content[i]][d].plane(0);
+      const auto& bc = basis[i].coeffs();
+      for (std::size_t c = 0; c < bc.size(); ++c)
+        ff::batch::axpy<64>(bc[c], yrow, std::span<Fld>(gplanes[c]));
     }
+    std::vector<std::uint8_t> ok_k(m, 1);
+    std::vector<Fld> pred(m);
+    for (std::size_t i = t + 1; i < content.size(); ++i) {
+      std::copy(gplanes[t].begin(), gplanes[t].end(), pred.begin());
+      for (std::size_t c = t; c-- > 0;)
+        ff::batch::horner_fold<64>(xs[i], std::span<Fld>(pred),
+                                   std::span<const Fld>(gplanes[c]));
+      const std::span<const Fld> yrow = ctx.recv[content[i]][d].plane(0);
+      for (std::size_t k = 0; k < m; ++k)
+        if (pred[k] != yrow[k]) ok_k[k] = 0;
+    }
+    // Consistent columns land in the pool; inconsistent ones stay the
+    // default zero and mark the dealer faulty (same degradation as before).
+    for (std::size_t c = 0; c <= t; ++c) {
+      const std::span<Fld> dst = pools_[d].plane(c);
+      for (std::size_t k = 0; k < m; ++k)
+        if (ok_k[k]) dst[base[d] + k] = gplanes[c][k];
+    }
+    for (std::size_t k = 0; k < m; ++k)
+      if (!ok_k[k]) {
+        finalize_fault[d] = 2;
+        break;
+      }
   });
   for (net::PartyId d : ctx.dealers) {
     if (finalize_fault[d] == 0) continue;
@@ -596,19 +642,69 @@ Fld BivariateEngine::committed_share_of(const LinComb& v,
   const Fld alpha = eval_point<64>(party);
   for (const auto& [ref, coeff] : v.terms()) {
     GFOR14_EXPECTS(ref.dealer < net_.n());
-    GFOR14_EXPECTS(ref.index < sharings_[ref.dealer].size());
-    acc += coeff * sharings_[ref.dealer][ref.index].share_poly.eval(alpha);
+    GFOR14_EXPECTS(ref.index < pools_[ref.dealer].count());
+    acc += coeff * pools_[ref.dealer].eval_one(ref.index, alpha);
   }
   return acc;
+}
+
+void BivariateEngine::committed_shares_into(std::span<const LinComb> values,
+                                           net::PartyId party,
+                                           std::span<Fld> out) const {
+  GFOR14_EXPECTS(out.size() == values.size());
+  const std::size_t n = net_.n();
+  const Fld alpha = eval_point<64>(party);
+  // Stats pass: find, per dealer, the index range the requests touch and the
+  // total reference count. Dense-enough dealers get their whole range
+  // evaluated in one batched Horner sweep (span kernels over the pool
+  // planes); sparse dealers fall back to per-index Horner. Either way each
+  // share value is the same Horner recurrence, so the sums below are
+  // bit-identical to the scalar committed_share_of path.
+  struct DealerStats {
+    std::size_t refs = 0;
+    std::size_t lo = ~std::size_t{0};
+    std::size_t hi = 0;
+  };
+  std::vector<DealerStats> stats(n);
+  for (const LinComb& v : values)
+    for (const auto& [ref, coeff] : v.terms()) {
+      GFOR14_EXPECTS(ref.dealer < n);
+      GFOR14_EXPECTS(ref.index < pools_[ref.dealer].count());
+      DealerStats& s = stats[ref.dealer];
+      ++s.refs;
+      s.lo = std::min(s.lo, ref.index);
+      s.hi = std::max(s.hi, ref.index + 1);
+    }
+  std::vector<std::vector<Fld>> table(n);
+  for (net::PartyId d = 0; d < n; ++d) {
+    const DealerStats& s = stats[d];
+    if (s.refs == 0) continue;
+    const std::size_t width = s.hi - s.lo;
+    if (s.refs >= 16 && s.refs * 4 >= width) {
+      table[d].resize(width);
+      pools_[d].eval_range(alpha, s.lo, std::span<Fld>(table[d]));
+    }
+  }
+  for (std::size_t vi = 0; vi < values.size(); ++vi) {
+    Fld acc = values[vi].constant_term();
+    for (const auto& [ref, coeff] : values[vi].terms()) {
+      const Fld share =
+          table[ref.dealer].empty()
+              ? pools_[ref.dealer].eval_one(ref.index, alpha)
+              : table[ref.dealer][ref.index - stats[ref.dealer].lo];
+      acc += coeff * share;
+    }
+    out[vi] = acc;
+  }
 }
 
 Fld BivariateEngine::committed_value(const LinComb& v) const {
   Fld acc = v.constant_term();
   for (const auto& [ref, coeff] : v.terms()) {
     GFOR14_EXPECTS(ref.dealer < net_.n());
-    GFOR14_EXPECTS(ref.index < sharings_[ref.dealer].size());
-    acc += coeff *
-           sharings_[ref.dealer][ref.index].share_poly.eval(Fld::zero());
+    GFOR14_EXPECTS(ref.index < pools_[ref.dealer].count());
+    // The committed secret is g(0) — the x^0 pool plane, no Horner needed.
+    acc += coeff * pools_[ref.dealer].plane(0)[ref.index];
   }
   return acc;
 }
@@ -625,44 +721,102 @@ std::vector<Fld> BivariateEngine::decode_received(
     // then interpolate t + 1 accepted shares. Lagrange coefficients come
     // from the process-wide cache keyed by the accepted point set (the
     // common case is a single set across all values and rounds).
-    const auto decode_one = [&](std::size_t vi) {
-      std::vector<net::PartyId> accepted;
-      std::vector<Fld> accepted_vals;
-      for (net::PartyId i = 0; i < n && accepted.size() < t + 1; ++i) {
-        if (!per_sender[i]) continue;
-        const Fld revealed = (*per_sender[i])[vi];
-        const Fld expected = committed_share_of(values[vi], i);
-        bool accept = revealed == expected;
-        if (!accept && profile_.forgery_success_prob > 0.0) {
-          const double coin =
-              static_cast<double>(net_.adversary_rng().next_u64()) /
-              static_cast<double>(~0ULL);
-          accept = coin < profile_.forgery_success_prob;
-        }
-        if (accept) {
-          accepted.push_back(i);
-          accepted_vals.push_back(revealed);
-        }
-      }
-      if (accepted.size() < t + 1) return;  // default 0 (cannot happen
-                                            // with an honest majority)
-      std::vector<Fld> xs(accepted.size());
-      for (std::size_t i = 0; i < accepted.size(); ++i)
-        xs[i] = eval_point<64>(accepted[i]);
-      const auto& lambda = LagrangeCache::instance().coefficients(
-          std::span<const Fld>(xs), Fld::zero());
-      out[vi] = ff::dot(std::span<const Fld>(lambda),
-                        std::span<const Fld>(accepted_vals));
-    };
     if (profile_.forgery_success_prob > 0.0) {
       // The forgery coin draws from the shared adversary stream in (value,
       // sender) order — that order is part of the determinism contract, so
-      // this path stays serial regardless of the thread setting.
-      for (std::size_t vi = 0; vi < values.size(); ++vi) decode_one(vi);
-    } else {
-      ThreadPool::instance().parallel_for(0, values.size(), net_.threads(),
-                                          decode_one);
+      // this path stays serial and per-value regardless of kernels.
+      for (std::size_t vi = 0; vi < values.size(); ++vi) {
+        std::vector<net::PartyId> accepted;
+        std::vector<Fld> accepted_vals;
+        for (net::PartyId i = 0; i < n && accepted.size() < t + 1; ++i) {
+          if (!per_sender[i]) continue;
+          const Fld revealed = (*per_sender[i])[vi];
+          const Fld expected = committed_share_of(values[vi], i);
+          bool accept = revealed == expected;
+          if (!accept) {
+            const double coin =
+                static_cast<double>(net_.adversary_rng().next_u64()) /
+                static_cast<double>(~0ULL);
+            accept = coin < profile_.forgery_success_prob;
+          }
+          if (accept) {
+            accepted.push_back(i);
+            accepted_vals.push_back(revealed);
+          }
+        }
+        if (accepted.size() < t + 1) continue;  // default 0 (cannot happen
+                                                // with an honest majority)
+        std::vector<Fld> xs(accepted.size());
+        for (std::size_t i = 0; i < accepted.size(); ++i)
+          xs[i] = eval_point<64>(accepted[i]);
+        const auto& lambda = LagrangeCache::instance().coefficients(
+            std::span<const Fld>(xs), Fld::zero());
+        out[vi] = ff::dot(std::span<const Fld>(lambda),
+                          std::span<const Fld>(accepted_vals));
+      }
+      return out;
     }
+    // Idealized IC (the default): acceptance is the pure predicate
+    // revealed == committed share, so the sender walk batches — one
+    // committed_shares_into per sender covers every value at once, and each
+    // value keeps exactly the accept set the per-value walk would build
+    // (senders visited in index order, capped at t + 1 accepts).
+    std::vector<std::vector<net::PartyId>> acc_who(values.size());
+    std::vector<std::vector<Fld>> acc_vals(values.size());
+    std::size_t unfinished = values.size();
+    std::vector<Fld> expected(values.size());
+    for (net::PartyId i = 0; i < n && unfinished > 0; ++i) {
+      if (!per_sender[i]) continue;
+      committed_shares_into(std::span<const LinComb>(values.data(),
+                                                     values.size()),
+                            i, std::span<Fld>(expected));
+      for (std::size_t vi = 0; vi < values.size(); ++vi) {
+        if (acc_who[vi].size() >= t + 1) continue;
+        if ((*per_sender[i])[vi] != expected[vi]) continue;
+        acc_who[vi].push_back(i);
+        acc_vals[vi].push_back(expected[vi]);
+        if (acc_who[vi].size() == t + 1) --unfinished;
+      }
+    }
+    // Accept sets repeat massively across values (usually one distinct set
+    // per call), so resolve each distinct set's Lagrange row once — the
+    // per-value work then collapses to a t+1-wide dot with no cache-key
+    // allocation or lock traffic inside the parallel section.
+    auto& lcache = LagrangeCache::instance();
+    const bool use_lut = ff::span_prefers_lut();
+    std::vector<std::vector<net::PartyId>> distinct_sets;
+    std::vector<std::size_t> set_of(values.size(), ~std::size_t{0});
+    for (std::size_t vi = 0; vi < values.size(); ++vi) {
+      if (acc_who[vi].size() < t + 1) continue;  // default 0
+      std::size_t s = 0;
+      while (s < distinct_sets.size() && distinct_sets[s] != acc_who[vi]) ++s;
+      if (s == distinct_sets.size()) distinct_sets.push_back(acc_who[vi]);
+      set_of[vi] = s;
+    }
+    std::vector<const std::vector<Fld>*> set_lambda(distinct_sets.size());
+    std::vector<const ff::batch::EncodePlan64*> set_plan(
+        distinct_sets.size(), nullptr);
+    for (std::size_t s = 0; s < distinct_sets.size(); ++s) {
+      std::vector<Fld> xs(distinct_sets[s].size());
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = eval_point<64>(distinct_sets[s][i]);
+      set_lambda[s] =
+          &lcache.coefficients(std::span<const Fld>(xs), Fld::zero());
+      if (use_lut)
+        set_plan[s] =
+            &lcache.encode_plan(std::span<const Fld>(xs), Fld::zero());
+    }
+    ThreadPool::instance().parallel_for(
+        0, values.size(), net_.threads(), [&](std::size_t vi) {
+          const std::size_t s = set_of[vi];
+          if (s == ~std::size_t{0}) return;
+          if (use_lut) {
+            out[vi] = set_plan[s]->dot(std::span<const Fld>(acc_vals[vi]));
+          } else {
+            out[vi] = ff::dot(std::span<const Fld>(*set_lambda[s]),
+                              std::span<const Fld>(acc_vals[vi]));
+          }
+        });
     return out;
   }
 
@@ -697,28 +851,70 @@ std::vector<Fld> BivariateEngine::decode_received(
   tail_rows.reserve(navail - (t + 1));
   for (std::size_t i = t + 1; i < navail; ++i)
     tail_rows.push_back(&lcache.coefficients(head_x, xs[i]));
-  // Values are independent (pure field arithmetic on precomputed rows), so
-  // the viewer-side decode splits across lanes — without it the serial
-  // decode would Amdahl-cap reconstruction speedups.
+  // Under software multiply kernels the encode rows amortize into
+  // generator LUTs (16 KiB per coefficient, shared across every value in
+  // every round at this point set) — built here, outside the parallel
+  // section, so lanes never duplicate table construction.
+  const bool use_lut = ff::span_prefers_lut();
+  const ff::batch::EncodePlan64* plan0 =
+      use_lut ? &lcache.encode_plan(head_x, Fld::zero()) : nullptr;
+  std::vector<const ff::batch::EncodePlan64*> tail_plans;
+  if (use_lut)
+    for (std::size_t i = t + 1; i < navail; ++i)
+      tail_plans.push_back(&lcache.encode_plan(head_x, xs[i]));
+  // Chunked span decode: each sender's revealed vector is contiguous over
+  // the value index, so the head interpolation at zero and at every tail
+  // point are t + 1 span-axpys per chunk instead of per-value dots — the
+  // same field operations in the same Horner/accumulation order, evaluated
+  // column-wise (exact arithmetic: bit-identical results, see
+  // tests/ff_batch_test.cpp). Chunks split across lanes; without that the
+  // serial decode would Amdahl-cap reconstruction speedups.
+  constexpr std::size_t kChunk = 2048;
+  const std::size_t nchunks = (values.size() + kChunk - 1) / kChunk;
   ThreadPool::instance().parallel_for(
-      0, values.size(), net_.threads(), [&](std::size_t vi) {
-        std::vector<Fld> ys(navail);
-        for (std::size_t i = 0; i < navail; ++i)
-          ys[i] = (*per_sender[present[i]])[vi];
-        const std::span<const Fld> head_y(ys.data(), t + 1);
-        // Fast path: the tail shares lie on the head interpolation.
-        bool consistent = true;
-        for (std::size_t i = t + 1; i < navail && consistent; ++i) {
-          if (ff::dot(std::span<const Fld>(*tail_rows[i - (t + 1)]),
-                      head_y) != ys[i])
-            consistent = false;
+      0, nchunks, net_.threads(), [&](std::size_t ci) {
+        const std::size_t lo = ci * kChunk;
+        const std::size_t hi = std::min(lo + kChunk, values.size());
+        const std::size_t len = hi - lo;
+        const std::span<Fld> dst(out.data() + lo, len);
+        const auto row = [&](std::size_t i) {
+          return std::span<const Fld>(per_sender[present[i]]->data() + lo,
+                                      len);
+        };
+        // Fast path for the whole chunk: interpolate the head senders at 0.
+        for (std::size_t i = 0; i <= t; ++i) {
+          if (use_lut)
+            plan0->lut(i).axpy(row(i), dst);
+          else
+            ff::batch::axpy<64>(lambda0[i], row(i), dst);
         }
-        if (consistent) {
-          out[vi] = ff::dot(std::span<const Fld>(lambda0), head_y);
-          return;
+        // Consistency sweep: every tail share must lie on the head
+        // interpolation; failures fall back to Berlekamp-Welch per value.
+        std::vector<std::uint8_t> ok(len, 1);
+        std::vector<Fld> pred(len);
+        for (std::size_t j = 0; t + 1 + j < navail; ++j) {
+          std::fill(pred.begin(), pred.end(), Fld::zero());
+          for (std::size_t i = 0; i <= t; ++i) {
+            if (use_lut)
+              tail_plans[j]->lut(i).axpy(row(i), std::span<Fld>(pred));
+            else
+              ff::batch::axpy<64>((*tail_rows[j])[i], row(i),
+                                  std::span<Fld>(pred));
+          }
+          const std::span<const Fld> tail = row(t + 1 + j);
+          for (std::size_t k = 0; k < len; ++k)
+            if (pred[k] != tail[k]) ok[k] = 0;
         }
-        auto decoded = berlekamp_welch(xs, ys, t, max_errors);
-        if (decoded) out[vi] = decoded->eval(Fld::zero());
+        for (std::size_t k = 0; k < len; ++k) {
+          if (ok[k]) continue;
+          std::vector<Fld> ys(navail);
+          for (std::size_t i = 0; i < navail; ++i)
+            ys[i] = (*per_sender[present[i]])[lo + k];
+          auto decoded = berlekamp_welch(xs, ys, t, max_errors);
+          // Overwrites the fast-path accumulation; no decode keeps the
+          // canonical default (zero), matching the per-value code.
+          dst[k] = decoded ? decoded->eval(Fld::zero()) : Fld::zero();
+        }
       });
   return out;
 }
@@ -733,8 +929,9 @@ std::vector<Fld> BivariateEngine::reconstruct_public(
   net_.run_round([&](net::PartyId i, net::RoundLane& lane) {
     net::Payload payload(values.size());
     charge_share_buffer(values.size());
-    for (std::size_t vi = 0; vi < values.size(); ++vi)
-      payload[vi] = committed_share_of(values[vi], i);
+    committed_shares_into(std::span<const LinComb>(values.data(),
+                                                   values.size()),
+                          i, std::span<Fld>(payload.data(), payload.size()));
     for (net::PartyId j = 0; j < n; ++j)
       if (i != j) lane.send(j, payload);
   });
@@ -748,8 +945,9 @@ std::vector<Fld> BivariateEngine::reconstruct_public(
   for (net::PartyId i = 0; i < n; ++i) {
     if (i == viewer) {
       std::vector<Fld> own(values.size());
-      for (std::size_t vi = 0; vi < values.size(); ++vi)
-        own[vi] = committed_share_of(values[vi], viewer);
+      committed_shares_into(std::span<const LinComb>(values.data(),
+                                                     values.size()),
+                            viewer, std::span<Fld>(own));
       per_sender[i] = std::move(own);
       continue;
     }
@@ -780,8 +978,9 @@ std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
       if (i == req.receiver) continue;
       net::Payload payload(req.values.size());
       charge_share_buffer(req.values.size());
-      for (std::size_t vi = 0; vi < req.values.size(); ++vi)
-        payload[vi] = committed_share_of(req.values[vi], i);
+      committed_shares_into(
+          std::span<const LinComb>(req.values.data(), req.values.size()), i,
+          std::span<Fld>(payload.data(), payload.size()));
       lane.send(req.receiver, std::move(payload));
     }
   });
@@ -797,8 +996,9 @@ std::vector<std::vector<Fld>> BivariateEngine::reconstruct_private_multi(
     for (net::PartyId i = 0; i < n; ++i) {
       if (i == req.receiver) {
         std::vector<Fld> own(req.values.size());
-        for (std::size_t vi = 0; vi < req.values.size(); ++vi)
-          own[vi] = committed_share_of(req.values[vi], req.receiver);
+        committed_shares_into(
+            std::span<const LinComb>(req.values.data(), req.values.size()),
+            req.receiver, std::span<Fld>(own));
         per_sender[i] = std::move(own);
         continue;
       }

@@ -47,10 +47,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "math/bivariate.hpp"
 #include "math/poly.hpp"
+#include "vss/soa.hpp"
 #include "vss/vss.hpp"
 
 namespace gfor14::vss {
@@ -109,12 +111,6 @@ class BivariateEngine final : public VssScheme {
   bool dealer_qualified(net::PartyId d) const { return qualified_[d]; }
 
  private:
-  struct Sharing {
-    /// g(y) = F(0, y): party i's committed share is g(alpha_i); the
-    /// committed secret is g(0). Zero polynomial once disqualified.
-    Poly share_poly;
-  };
-
   // --- sharing-phase helpers (see .cpp for the round-by-round logic) ------
   struct ShareCtx;
   void round_distribute_slices(ShareCtx& ctx);
@@ -125,6 +121,12 @@ class BivariateEngine final : public VssScheme {
   void run_padding_rounds();
 
   Fld committed_share_of(const LinComb& v, net::PartyId party) const;
+  /// Batched committed_share_of: out[vi] = the party's committed share of
+  /// values[vi], with per-dealer pool evaluations amortized across values
+  /// through one span Horner sweep over each touched index range.
+  /// Bit-identical to calling committed_share_of per value.
+  void committed_shares_into(std::span<const LinComb> values,
+                             net::PartyId party, std::span<Fld> out) const;
   std::vector<Fld> decode_received(
       const std::vector<LinComb>& values,
       const std::vector<std::optional<std::vector<Fld>>>& per_sender);
@@ -148,8 +150,11 @@ class BivariateEngine final : public VssScheme {
   bool false_complaints_ = false;
 
   std::vector<bool> qualified_;
-  /// sharings_[dealer][index].
-  std::vector<std::vector<Sharing>> sharings_;
+  /// Committed share polynomials g(y) = F(0, y) per dealer, one pool column
+  /// per sharing index, stored coefficient-major (vss/soa.hpp): party i's
+  /// committed share is the column evaluated at alpha_i; the committed
+  /// secret is the x^0 plane. Columns stay zero once disqualified.
+  std::vector<SharePool> pools_;
 };
 
 }  // namespace gfor14::vss

@@ -1,7 +1,9 @@
 #include "vss/packed.hpp"
 
 #include "common/expect.hpp"
+#include "ff/batch.hpp"
 #include "math/berlekamp_welch.hpp"
+#include "math/lagrange_cache.hpp"
 
 namespace gfor14::vss {
 
@@ -60,8 +62,15 @@ std::optional<std::vector<Fld>> PackedSharing::reconstruct(
   const std::span<const Fld> head_x(xs.data(), degree() + 1);
   const std::span<const Fld> head_y(shares.data(), degree() + 1);
   std::vector<Fld> out(k_);
-  for (std::size_t j = 0; j < k_; ++j)
-    out[j] = lagrange_eval_at(head_x, head_y, beta(j));
+  // Slot evaluations are dots against cached Lagrange rows: the cut-and-
+  // choose layer reconstructs at the same party sets round after round, so
+  // the coefficient vectors come from the process-wide cache and the inner
+  // products go through the dispatched span kernels.
+  auto& lcache = LagrangeCache::instance();
+  for (std::size_t j = 0; j < k_; ++j) {
+    const auto& lambda = lcache.coefficients(head_x, beta(j));
+    out[j] = ff::batch::dot<64>(std::span<const Fld>(lambda), head_y);
+  }
   return out;
 }
 

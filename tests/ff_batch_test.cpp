@@ -1,0 +1,392 @@
+// Differential suite for the span-kernel batch layer (ff/batch.hpp): every
+// batch operation must agree bit-for-bit with the scalar elementwise oracle
+// across all field widths, span lengths (including empty, odd, and
+// unaligned), and every kernel configuration reachable on the host —
+// scalar-kernel overrides (bitloop / table / hardware) crossed with the
+// span-kernel override (scalar / wide). The SoA share containers and the
+// generator-LUT encode plans ride the same contract, and a recorded
+// adversarial AnonChan session replays byte-identically at 1 and 4 worker
+// lanes under both span kernels, certifying that none of the wide paths
+// leaks into the wire transcript.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "audit/replay.hpp"
+#include "common/rng.hpp"
+#include "ff/batch.hpp"
+#include "ff/gf2e.hpp"
+#include "ff/kernel.hpp"
+#include "ff/ops.hpp"
+#include "math/bivariate.hpp"
+#include "math/lagrange_cache.hpp"
+#include "math/poly.hpp"
+#include "net/adversary.hpp"
+#include "net/faultplan.hpp"
+#include "net/recorder.hpp"
+#include "vss/schemes.hpp"
+#include "vss/soa.hpp"
+
+namespace gfor14 {
+namespace {
+
+/// Lengths that hit every vector-width boundary: empty, sub-lane, one lane,
+/// 2 and 4 element SIMD groups, the 256-bit (4x64) groups plus remainders,
+/// the LUT build threshold neighborhood, and a long tail.
+const std::size_t kLens[] = {0,  1,  2,  3,   7,   8,   15,  16,  17,
+                             31, 32, 63, 64,  65,  255, 256, 257, 1000};
+
+/// A kernel configuration under test: a scalar multiply kernel (the
+/// dispatch the wide path degrades through) plus a span kernel.
+struct KernelConfig {
+  ff::Kernel scalar;
+  ff::SpanKernel span;
+};
+
+std::vector<KernelConfig> host_configs() {
+  std::vector<KernelConfig> configs = {
+      {ff::Kernel::kBitloop, ff::SpanKernel::kScalar},
+      {ff::Kernel::kBitloop, ff::SpanKernel::kWide},
+      {ff::Kernel::kTable, ff::SpanKernel::kScalar},
+      {ff::Kernel::kTable, ff::SpanKernel::kWide},
+  };
+  if (ff::hardware_available()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    const ff::Kernel hw = ff::Kernel::kPclmul;
+#else
+    const ff::Kernel hw = ff::Kernel::kPmull;
+#endif
+    configs.push_back({hw, ff::SpanKernel::kScalar});
+    configs.push_back({hw, ff::SpanKernel::kWide});
+  }
+  return configs;
+}
+
+/// RAII kernel override: applies a config, restores dispatch on exit.
+class ScopedKernels {
+ public:
+  explicit ScopedKernels(KernelConfig c) {
+    EXPECT_TRUE(ff::set_kernel(c.scalar));
+    EXPECT_TRUE(ff::set_span_kernel(c.span));
+  }
+  ~ScopedKernels() {
+    ff::reset_kernel();
+    ff::reset_span_kernel();
+  }
+};
+
+template <typename F>
+class FfBatchTest : public ::testing::Test {};
+
+using BatchFieldTypes = ::testing::Types<F8, F16, F32, F64, F128>;
+TYPED_TEST_SUITE(FfBatchTest, BatchFieldTypes);
+
+template <typename F>
+std::vector<F> random_vec(Rng& rng, std::size_t len) {
+  std::vector<F> v(len);
+  for (auto& x : v) x = F::random(rng);
+  return v;
+}
+
+TYPED_TEST(FfBatchTest, AxpyMatchesScalarOracleAcrossKernels) {
+  constexpr unsigned kBits = TypeParam::kBits;
+  for (const KernelConfig cfg : host_configs()) {
+    ScopedKernels guard(cfg);
+    Rng rng(211);
+    for (const std::size_t len : kLens) {
+      for (const std::size_t off : {std::size_t{0}, std::size_t{1}}) {
+        if (off > len) continue;
+        const auto x = random_vec<TypeParam>(rng, len);
+        auto y = random_vec<TypeParam>(rng, len);
+        const TypeParam c = TypeParam::random(rng);
+        auto expect = y;
+        for (std::size_t i = off; i < len; ++i) expect[i] += c * x[i];
+        ff::batch::axpy<kBits>(
+            c, std::span<const TypeParam>(x.data() + off, len - off),
+            std::span<TypeParam>(y.data() + off, len - off));
+        ASSERT_EQ(y, expect)
+            << "len=" << len << " off=" << off << " scalar_kernel="
+            << ff::kernel_name(cfg.scalar)
+            << " span=" << ff::span_kernel_name(cfg.span);
+      }
+    }
+  }
+}
+
+TYPED_TEST(FfBatchTest, DotMatchesScalarOracleAcrossKernels) {
+  constexpr unsigned kBits = TypeParam::kBits;
+  for (const KernelConfig cfg : host_configs()) {
+    ScopedKernels guard(cfg);
+    Rng rng(223);
+    for (const std::size_t len : kLens) {
+      for (const std::size_t off : {std::size_t{0}, std::size_t{1}}) {
+        if (off > len) continue;
+        const auto a = random_vec<TypeParam>(rng, len);
+        const auto b = random_vec<TypeParam>(rng, len);
+        const std::span<const TypeParam> sa(a.data() + off, len - off);
+        const std::span<const TypeParam> sb(b.data() + off, len - off);
+        // The oracle is ff::dot itself (Wide accumulation): the batch layer
+        // promises identical bits, not merely an equal field value.
+        const TypeParam expect = ff::dot(sa, sb);
+        ASSERT_EQ(ff::batch::dot<kBits>(sa, sb), expect)
+            << "len=" << len << " off=" << off << " scalar_kernel="
+            << ff::kernel_name(cfg.scalar)
+            << " span=" << ff::span_kernel_name(cfg.span);
+      }
+    }
+  }
+}
+
+TYPED_TEST(FfBatchTest, ScaleAndHornerFoldMatchScalarOracle) {
+  constexpr unsigned kBits = TypeParam::kBits;
+  for (const KernelConfig cfg : host_configs()) {
+    ScopedKernels guard(cfg);
+    Rng rng(227);
+    for (const std::size_t len : kLens) {
+      const TypeParam c = TypeParam::random(rng);
+      auto y = random_vec<TypeParam>(rng, len);
+      auto expect = y;
+      for (auto& v : expect) v = c * v;
+      ff::batch::scale<kBits>(c, std::span<TypeParam>(y));
+      ASSERT_EQ(y, expect) << "scale len=" << len;
+
+      const auto plane = random_vec<TypeParam>(rng, len);
+      auto acc = random_vec<TypeParam>(rng, len);
+      auto fold_expect = acc;
+      for (std::size_t i = 0; i < len; ++i)
+        fold_expect[i] = c * fold_expect[i] + plane[i];
+      ff::batch::horner_fold<kBits>(c, std::span<TypeParam>(acc),
+                                    std::span<const TypeParam>(plane));
+      ASSERT_EQ(acc, fold_expect) << "horner_fold len=" << len;
+      // Empty plane degrades to a pure scale step.
+      auto acc2 = fold_expect;
+      auto scale_expect = fold_expect;
+      for (auto& v : scale_expect) v = c * v;
+      ff::batch::horner_fold<kBits>(c, std::span<TypeParam>(acc2),
+                                    std::span<const TypeParam>());
+      ASSERT_EQ(acc2, scale_expect) << "horner_fold empty plane len=" << len;
+    }
+  }
+}
+
+TEST(ConstMul64Lut, MatchesOperatorAcrossOperands) {
+  Rng rng(229);
+  for (int trial = 0; trial < 32; ++trial) {
+    const F64 c = trial == 0 ? F64::zero() : F64::random(rng);
+    const ff::batch::ConstMul64Lut lut(c);
+    EXPECT_EQ(lut.constant(), c);
+    for (const std::uint64_t raw :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x1B},
+          std::uint64_t{1} << 63, ~std::uint64_t{0}, rng.next_u64()}) {
+      const F64 x = F64::from_u64(raw);
+      EXPECT_EQ(F64::from_u64(lut.mul_raw(raw)), c * x)
+          << "c=" << c.to_u64() << " x=" << raw;
+    }
+    const auto xs = random_vec<F64>(rng, 131);
+    auto ys = random_vec<F64>(rng, 131);
+    auto expect = ys;
+    for (std::size_t i = 0; i < xs.size(); ++i) expect[i] += c * xs[i];
+    lut.axpy(std::span<const F64>(xs), std::span<F64>(ys));
+    EXPECT_EQ(ys, expect);
+    auto acc = random_vec<F64>(rng, 131);
+    auto fold_expect = acc;
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      fold_expect[i] = c * fold_expect[i] + xs[i];
+    lut.fold(std::span<F64>(acc), std::span<const F64>(xs));
+    EXPECT_EQ(acc, fold_expect);
+  }
+}
+
+TEST(EncodePlan64, DotMatchesWideDotAndCachesInLagrangeCache) {
+  auto& cache = LagrangeCache::instance();
+  cache.clear();
+  Rng rng(233);
+  std::vector<Fld> xs;
+  for (std::size_t i = 0; i < 4; ++i) xs.push_back(eval_point<64>(i));
+  const auto& lambda = cache.coefficients(xs, Fld::zero());
+  const auto& plan = cache.encode_plan(xs, Fld::zero());
+  ASSERT_EQ(plan.size(), lambda.size());
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    EXPECT_EQ(plan.lut(i).constant(), lambda[i]);
+  for (int trial = 0; trial < 16; ++trial) {
+    const auto ys = random_vec<Fld>(rng, lambda.size());
+    EXPECT_EQ(plan.dot(std::span<const Fld>(ys)),
+              ff::dot(std::span<const Fld>(lambda),
+                      std::span<const Fld>(ys)));
+  }
+  // Second fetch is the same stored plan (stable reference contract).
+  EXPECT_EQ(&plan, &cache.encode_plan(xs, Fld::zero()));
+  cache.clear();
+}
+
+TEST(SpanKernelDispatch, LutPreferenceTracksKernels) {
+  // Under a software multiply kernel the wide path prefers generator LUTs;
+  // with the span layer forced scalar it never does.
+  {
+    ScopedKernels guard({ff::Kernel::kTable, ff::SpanKernel::kWide});
+    EXPECT_TRUE(ff::span_prefers_lut());
+  }
+  {
+    ScopedKernels guard({ff::Kernel::kTable, ff::SpanKernel::kScalar});
+    EXPECT_FALSE(ff::span_prefers_lut());
+  }
+  if (ff::hardware_available()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    ScopedKernels guard({ff::Kernel::kPclmul, ff::SpanKernel::kWide});
+#else
+    ScopedKernels guard({ff::Kernel::kPmull, ff::SpanKernel::kWide});
+#endif
+    EXPECT_FALSE(ff::span_prefers_lut());
+  }
+  EXPECT_NE(ff::active_span_kernel_name(), nullptr);
+}
+
+// --- SoA share containers (vss/soa.hpp) ------------------------------------
+
+TEST(SoaContainers, SliceBlockMatchesPolyEvalAndWireRoundTrip) {
+  Rng rng(239);
+  const std::size_t m = 37, coeffs = 4;
+  std::vector<Poly> polys;
+  vss::SliceBlock block;
+  block.assign(m, coeffs);
+  for (std::size_t k = 0; k < m; ++k) {
+    polys.push_back(Poly::random(rng, coeffs - 1));
+    block.set_poly(k, polys.back());
+  }
+  for (const Fld x : {Fld::zero(), Fld::one(), Fld::random(rng)}) {
+    std::vector<Fld> all(m);
+    block.eval_all(x, std::span<Fld>(all));
+    for (std::size_t k = 0; k < m; ++k) {
+      EXPECT_EQ(all[k], polys[k].eval(x)) << "k=" << k;
+      EXPECT_EQ(block.eval_at(k, x), polys[k].eval(x)) << "k=" << k;
+    }
+  }
+  // k-major wire layout round-trips bit-for-bit.
+  std::vector<Fld> wire(m * coeffs);
+  block.store_kmajor(std::span<Fld>(wire));
+  vss::SliceBlock back;
+  back.assign(m, coeffs);
+  back.load_kmajor(std::span<const Fld>(wire));
+  for (std::size_t c = 0; c < coeffs; ++c) {
+    const auto a = block.plane(c);
+    const auto b = back.plane(c);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(SoaContainers, BivariateBatchSlicesMatchScalarSlices) {
+  Rng rng(241);
+  const std::size_t deg = 2, m = 11;
+  std::vector<SymmetricBivariate> polys;
+  for (std::size_t k = 0; k < m; ++k)
+    polys.push_back(
+        SymmetricBivariate::random_with_secret(rng, deg, Fld::random(rng)));
+  vss::BivariateBatch batch;
+  batch.build(std::span<const SymmetricBivariate>(polys), deg);
+  vss::SliceBlock block;
+  for (std::size_t party = 0; party < 5; ++party) {
+    const Fld y0 = eval_point<64>(party);
+    batch.slices_at(y0, block);
+    for (std::size_t k = 0; k < m; ++k) {
+      const Poly expect = polys[k].slice(y0);
+      const auto& ec = expect.coeffs();
+      for (std::size_t c = 0; c <= deg; ++c)
+        EXPECT_EQ(block.plane(c)[k], c < ec.size() ? ec[c] : Fld::zero())
+            << "party=" << party << " k=" << k << " c=" << c;
+    }
+  }
+}
+
+TEST(SoaContainers, SharePoolEvalRangeMatchesEvalOne) {
+  Rng rng(251);
+  vss::SharePool pool;
+  pool.configure(3);
+  EXPECT_EQ(pool.append_zero(8), 0u);
+  EXPECT_EQ(pool.append_zero(5), 8u);
+  ASSERT_EQ(pool.count(), 13u);
+  for (std::size_t k = 0; k < pool.count(); ++k) {
+    const auto coeffs = random_vec<Fld>(rng, 3);
+    pool.set_column(k, std::span<const Fld>(coeffs));
+  }
+  const Fld alpha = eval_point<64>(2);
+  std::vector<Fld> ranged(5);
+  pool.eval_range(alpha, 8, std::span<Fld>(ranged));
+  for (std::size_t i = 0; i < ranged.size(); ++i)
+    EXPECT_EQ(ranged[i], pool.eval_one(8 + i, alpha)) << "i=" << i;
+}
+
+// --- end-to-end byte identity ----------------------------------------------
+
+/// Records the RB anonymous channel at n = 5 under a fault plan and a
+/// rushing share-corrupting adversary (the audit_replay_test configuration:
+/// the richest wire transcript the protocol produces).
+net::Recording record_run(std::uint64_t seed, std::size_t threads) {
+  net::Network net(5, seed);
+  net.set_threads(threads);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  net::FaultPlan plan;
+  plan.corrupt_element(2, 0, net::kAllReceivers, 2).drop(4, 0, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+  auto recorder =
+      std::make_shared<net::Recorder>(net::Recorder::Options{true});
+  net.attach_observer(recorder);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
+  std::vector<Fld> inputs;
+  for (std::size_t i = 0; i < 5; ++i)
+    inputs.push_back(i + 1 < 5 ? Fld::from_u64(100 + i) : Fld::zero());
+  chan.run(4, inputs);
+  return recorder->take();
+}
+
+std::optional<audit::Divergence> replay_run(const net::Recording& reference,
+                                            std::uint64_t seed,
+                                            std::size_t threads) {
+  net::Network net(5, seed);
+  net.set_threads(threads);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  net::FaultPlan plan;
+  plan.corrupt_element(2, 0, net::kAllReceivers, 2).drop(4, 0, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+  auto verifier = std::make_shared<audit::ReplayVerifier>(reference);
+  net.attach_observer(verifier);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
+  std::vector<Fld> inputs;
+  for (std::size_t i = 0; i < 5; ++i)
+    inputs.push_back(i + 1 < 5 ? Fld::from_u64(100 + i) : Fld::zero());
+  chan.run(4, inputs);
+  return verifier->finish();
+}
+
+TEST(BatchByteIdentity, ReplayHoldsAcrossLanesAndSpanKernels) {
+  // Record under the default (wide) span kernel at one lane, then certify
+  // the transcript byte-for-byte at 1 and 4 lanes, and again with the span
+  // layer forced scalar: the SoA/batch hot paths must be invisible on the
+  // wire regardless of lane count or kernel choice.
+  LagrangeCache::instance().clear();
+  const net::Recording reference = record_run(4241, 1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    LagrangeCache::instance().clear();
+    const auto divergence = replay_run(reference, 4241, threads);
+    EXPECT_FALSE(divergence.has_value())
+        << "diverged at " << threads << " lanes: round "
+        << divergence->round;
+  }
+  {
+    ScopedKernels guard({ff::Kernel::kTable, ff::SpanKernel::kScalar});
+    LagrangeCache::instance().clear();
+    const auto divergence = replay_run(reference, 4241, 4);
+    EXPECT_FALSE(divergence.has_value())
+        << "scalar span kernel diverged: round " << divergence->round;
+  }
+  LagrangeCache::instance().clear();
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -174,6 +174,30 @@ TYPED_TEST(FfOpsTest, AxpyMatchesNaiveUpdate) {
   }
 }
 
+TYPED_TEST(FfOpsTest, DotOfEmptySpansIsZero) {
+  // Regression: the empty case must return the additive identity without
+  // touching either data pointer (spans over null are legal when empty).
+  const std::span<const TypeParam> empty;
+  EXPECT_EQ(ff::dot(empty, empty), TypeParam::zero());
+}
+
+TYPED_TEST(FfOpsTest, AxpyOnEmptySpansIsNoop) {
+  Rng rng(131);
+  const std::span<const TypeParam> empty_x;
+  std::span<TypeParam> empty_y;
+  EXPECT_NO_THROW(
+      ff::axpy(TypeParam::random_nonzero(rng), empty_x, empty_y));
+  // Zero coefficient on a non-empty span must leave y untouched (and is
+  // allowed to skip the loop entirely).
+  std::vector<TypeParam> x(9), y(9);
+  for (auto& v : x) v = TypeParam::random(rng);
+  for (auto& v : y) v = TypeParam::random(rng);
+  const std::vector<TypeParam> before = y;
+  ff::axpy(TypeParam::zero(), std::span<const TypeParam>(x),
+           std::span<TypeParam>(y));
+  EXPECT_EQ(y, before);
+}
+
 TEST(LagrangeCacheTest, HitsReturnIdenticalCoefficients) {
   auto& cache = LagrangeCache::instance();
   cache.clear();
