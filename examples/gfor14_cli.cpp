@@ -5,6 +5,9 @@
 //   gfor14_cli publish   [--n N] [--scheme ...] [--kappa K] [--seed S]
 //   gfor14_cli pseudosig [--n N] [--scheme ...] [--seed S]
 //   gfor14_cli compare   [--n N] [--seed S]
+//   gfor14_cli serve     [--sessions K] [--threads N|hw] [--lanes L]
+//                        [--n N] [--scheme ...] [--kappa K] [--seed S]
+//                        [--faulty F] [--verify]
 //   gfor14_cli replay    RECORDING [--threads N|hw] [telemetry flags]
 //
 // Observability (any command):
@@ -49,6 +52,15 @@
 //   --fault-seed S  seed for the fault randomness (default: the
 //                   GFOR14_FAULT_SEED environment variable, else --seed)
 //
+// Multi-session server (`serve`, DESIGN.md §13): runs K independent
+// AnonChan sessions concurrently over the shared thread pool, each with its
+// own Rng lineage forked from --seed by session id, its own recorder and a
+// "session/<id>" metrics scope. --faulty F gives the first F sessions a
+// randomized in-model FaultPlan (seed-derived, replayable); --verify
+// re-executes every session solo against its recording and fails on the
+// first byte of divergence; --lanes L sets each session's own worker-lane
+// request (inline when sessions are co-scheduled).
+//
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
 #include <cstdio>
@@ -71,6 +83,7 @@
 #include "net/faultplan.hpp"
 #include "net/recorder.hpp"
 #include "pseudosig/broadcast_sim.hpp"
+#include "server/session_engine.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -97,6 +110,10 @@ struct Options {
   std::string prom_path;          // Prometheus text exposition, "" = off
   std::size_t sample_every = 1;   // telemetry sampling interval (rounds)
   bool top = false;               // print the resource view on completion
+  std::size_t sessions = 8;       // serve: concurrent session count
+  std::size_t lanes = 1;          // serve: per-session worker-lane request
+  std::size_t faulty = 0;         // serve: sessions given random FaultPlans
+  bool verify = false;            // serve: replay-verify every session
   std::shared_ptr<net::Recording> replay_reference;  // set by `replay`
 };
 
@@ -112,6 +129,10 @@ int usage() {
                " [--chrome-trace PATH]\n"
                "  [--telemetry PATH|-] [--prom PATH] [--sample-every N]"
                " [--top]\n"
+               "   or: gfor14_cli serve [--sessions K] [--threads N|hw]\n"
+               "        [--lanes L] [--n N] [--scheme rb|bgw|ggor]"
+               " [--kappa K]\n"
+               "        [--seed S] [--faulty F] [--verify]\n"
                "   or: gfor14_cli replay RECORDING [--threads N|hw]\n"
                "        [--telemetry PATH|-] [--prom PATH] [--sample-every N]"
                " [--top]\n");
@@ -123,8 +144,12 @@ bool parse(int argc, char** argv, Options& opt) {
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key == "--top") {  // the only valueless flag
+    if (key == "--top") {  // valueless flags
       opt.top = true;
+      continue;
+    }
+    if (key == "--verify") {
+      opt.verify = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -169,6 +194,14 @@ bool parse(int argc, char** argv, Options& opt) {
       } else if (key == "--sample-every") {
         opt.sample_every = std::stoul(value);
         if (opt.sample_every == 0) return false;
+      } else if (key == "--sessions") {
+        opt.sessions = std::stoul(value);
+        if (opt.sessions == 0) return false;
+      } else if (key == "--lanes") {
+        opt.lanes = value == "hw" ? hardware_threads() : std::stoul(value);
+        if (opt.lanes == 0) return false;
+      } else if (key == "--faulty") {
+        opt.faulty = std::stoul(value);
       } else {
         return false;
       }
@@ -483,6 +516,72 @@ int run_compare(const Options& opt) {
   return 0;
 }
 
+/// A randomized in-model FaultPlan for one serve session: faults target
+/// party 0's traffic only (the session marks it corrupt), drawn from an Rng
+/// forked off the master seed by session id so the plan is a pure function
+/// of (seed, id) — independent of scheduling and of the other sessions.
+net::FaultPlan serve_fault_plan(std::uint64_t master_seed, std::uint64_t id,
+                                std::size_t n) {
+  net::FaultPlan::RandomSpec spec;
+  spec.targets = {0};
+  spec.n = n;
+  spec.rounds = 12;
+  spec.count = 3;
+  spec.allow_crash = false;  // keep every session's round count comparable
+  Rng plan_rng = Rng(master_seed).fork(0x5E55104E5ULL ^ id);
+  return net::FaultPlan::random(plan_rng, spec);
+}
+
+int run_serve(const Options& opt) {
+  server::SessionEngine engine({opt.seed, opt.threads});
+  for (std::size_t i = 0; i < opt.sessions; ++i) {
+    server::SessionConfig cfg;
+    cfg.id = i;
+    cfg.n = opt.n;
+    cfg.scheme = opt.scheme;
+    cfg.kappa = opt.kappa;
+    cfg.lanes = opt.lanes;
+    if (i < opt.faulty) cfg.faults = serve_fault_plan(opt.seed, i, opt.n);
+    engine.submit(cfg);
+  }
+  std::printf("serving %zu sessions (%zu faulty) over %zu strands: n=%zu, "
+              "%s VSS, kappa=%zu, lanes=%zu, seed %s\n",
+              opt.sessions, opt.faulty, engine.threads(), opt.n,
+              scheme_str(opt.scheme), opt.kappa, opt.lanes,
+              net::hex_u64(opt.seed).c_str());
+
+  const auto report = engine.run_all();
+
+  int rc = 0;
+  for (const auto& s : report.sessions) {
+    std::printf("  session %llu: %zu/%zu delivered, %zu rounds, digest %s, "
+                "%zu blames, %.2f ms",
+                static_cast<unsigned long long>(s.config.id),
+                s.messages_delivered, s.config.n - 1, s.costs.rounds,
+                net::hex_u64(s.transcript_digest).c_str(), s.blames.size(),
+                s.wall_ms);
+    if (opt.verify) {
+      if (const auto d = server::replay_verify(s, opt.seed)) {
+        std::printf(" | replay DIVERGED: %s", d->format().c_str());
+        rc = 1;
+      } else {
+        std::printf(" | replay ok");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("throughput: %zu messages in %.2f ms = %.1f messages/sec | "
+              "session latency p50 %.2f ms, p95 %.2f ms\n",
+              report.messages_delivered, report.wall_ms,
+              report.messages_per_sec, report.p50_session_ms,
+              report.p95_session_ms);
+  if (opt.verify && rc == 0)
+    std::printf("replay verified: all %zu sessions byte-identical to solo "
+                "re-execution\n",
+                report.sessions.size());
+  return rc;
+}
+
 // Enables tracing per --trace and, at scope exit, flushes the requested
 // observability outputs (in-memory trace trees to stdout for "-", metrics
 // JSON to the requested sink).
@@ -637,6 +736,7 @@ int main(int argc, char** argv) {
     if (opt.command == "publish") return run_publish(opt);
     if (opt.command == "pseudosig") return run_pseudosig(opt);
     if (opt.command == "compare") return run_compare(opt);
+    if (opt.command == "serve") return run_serve(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,175 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/expect.hpp"
+
+namespace gfor14::server {
+
+anonchan::Params SessionConfig::params() const {
+  return light ? anonchan::Params::light(n)
+               : anonchan::Params::practical(n, kappa);
+}
+
+std::vector<Fld> SessionConfig::effective_inputs() const {
+  if (!inputs.empty()) {
+    GFOR14_EXPECTS(inputs.size() == n);
+    return inputs;
+  }
+  // Canonical pattern: a distinct non-zero message per sender, keyed by the
+  // session id so no two sessions of one engine run inject equal messages;
+  // the receiver contributes the zero (non-)message.
+  std::vector<Fld> x(n, Fld::zero());
+  const net::PartyId recv = effective_receiver();
+  for (std::size_t i = 0; i < n; ++i)
+    if (i != recv) x[i] = Fld::from_u64(0xE12000 + 251 * id + i);
+  return x;
+}
+
+std::string SessionConfig::effective_scope_label() const {
+  return scope_label.empty() ? "session/" + std::to_string(id) : scope_label;
+}
+
+SessionSeeds derive_seeds(std::uint64_t master_seed,
+                          std::uint64_t session_id) {
+  // A FRESH master stream per call: forking from a long-lived master would
+  // make the lineage depend on how many sessions were derived before this
+  // one. Rng::fork derives the child from the full 256-bit parent state, so
+  // distinct ids give pairwise-independent streams (common/rng.hpp).
+  Rng session_root = Rng(master_seed).fork(session_id);
+  SessionSeeds s;
+  s.net_seed = session_root.next_u64();
+  s.fault_seed = session_root.next_u64();
+  return s;
+}
+
+Session::Session(SessionConfig config, std::uint64_t master_seed)
+    : config_(std::move(config)),
+      master_seed_(master_seed),
+      seeds_(derive_seeds(master_seed, config_.id)) {
+  GFOR14_EXPECTS(config_.n >= 3);
+  GFOR14_EXPECTS(config_.effective_receiver() < config_.n);
+}
+
+namespace {
+
+json::Value recording_config(const SessionConfig& cfg,
+                             const SessionSeeds& seeds) {
+  json::Value c = json::Value::object();
+  c.set("command", std::string("session"));
+  c.set("session_id", cfg.id);
+  c.set("n", cfg.n);
+  c.set("scheme", std::string(vss::scheme_name(cfg.scheme)));
+  c.set("kappa", cfg.kappa);
+  c.set("profile", std::string(cfg.light ? "light" : "practical"));
+  c.set("receiver", cfg.effective_receiver());
+  c.set("seed", net::hex_u64(seeds.net_seed));
+  c.set("fault_seed",
+        net::hex_u64(cfg.fault_seed.value_or(seeds.fault_seed)));
+  c.set("fault_specs", cfg.faults.specs.size());
+  return c;
+}
+
+std::size_t count_delivered(const anonchan::Output& out,
+                            const std::vector<Fld>& inputs,
+                            net::PartyId receiver) {
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    if (i != receiver && inputs[i] != Fld::zero() && out.delivered(inputs[i]))
+      ++delivered;
+  return delivered;
+}
+
+/// The shared execution core of Session::run and replay_verify: builds the
+/// whole per-session stack inside the given metrics attachment and runs one
+/// channel invocation with `observer` attached.
+anonchan::Output execute(const SessionConfig& cfg, const SessionSeeds& seeds,
+                         const std::shared_ptr<net::RoundObserver>& observer,
+                         net::Network& net,
+                         std::shared_ptr<net::FaultEngine>* engine_out) {
+  net.set_threads(cfg.lanes);
+  if (!cfg.faults.empty()) {
+    for (net::PartyId p : cfg.faults.senders())
+      if (p < cfg.n) net.set_corrupt(p, true);
+    auto engine = std::make_shared<net::FaultEngine>(
+        cfg.faults, cfg.fault_seed.value_or(seeds.fault_seed));
+    net.attach_faults(engine);
+    if (engine_out != nullptr) *engine_out = std::move(engine);
+  }
+  net.attach_observer(observer);
+  auto vss = vss::make_vss(cfg.scheme, net);
+  anonchan::AnonChan chan(net, *vss, cfg.params());
+  return chan.run(cfg.effective_receiver(), cfg.effective_inputs());
+}
+
+}  // namespace
+
+SessionResult Session::run() {
+  GFOR14_EXPECTS(!spent_);
+  spent_ = true;
+
+  // The scope is looked up (or created) under the process root, reset so a
+  // relaunched label starts from zero, and attached to THIS thread for the
+  // whole execution: every component constructed below binds its metric
+  // handles to it (metrics.hpp attribution-by-construction).
+  auto scope =
+      metrics::Registry::instance().scope(config_.effective_scope_label());
+  scope->reset();
+  metrics::RegistryAttachment attach(scope);
+
+  SessionResult r;
+  r.config = config_;
+  r.seeds = seeds_;
+  r.scope_name = config_.effective_scope_label();
+
+  auto recorder = std::make_shared<net::Recorder>(
+      net::Recorder::Options{config_.record_payloads},
+      recording_config(config_, seeds_));
+  std::shared_ptr<net::FaultEngine> faults;
+
+  net::Network net(config_.n, seeds_.net_seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  r.output = execute(config_, seeds_, recorder, net, &faults);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  r.costs = net.costs();
+  r.recording = recorder->take();
+  r.transcript_digest = r.recording.final_digest;
+  r.blames = net.blames();
+  if (faults) r.fault_events = faults->events();
+  r.messages_delivered = count_delivered(r.output, config_.effective_inputs(),
+                                         config_.effective_receiver());
+
+  // Completion roll-up: push every remaining counter delta into the process
+  // root so parent totals are exact the moment the session finishes (the
+  // Network already rolled up at each round barrier; this covers anything
+  // charged after the last barrier).
+  scope->roll_up();
+  r.counters = scope->counters_snapshot();
+  return r;
+}
+
+std::optional<audit::Divergence> replay_verify(const SessionResult& result,
+                                               std::uint64_t master_seed) {
+  // Solo re-execution under a throwaway scope: the verifier compares the
+  // live transcript against the co-scheduled recording round by round, so
+  // any influence another session had on this one surfaces as a precise
+  // (round, channel, byte) divergence.
+  auto scope = metrics::Registry::instance().scope(
+      "replay/" + result.config.effective_scope_label());
+  scope->reset();
+  metrics::RegistryAttachment attach(scope);
+
+  const SessionSeeds seeds = derive_seeds(master_seed, result.config.id);
+  auto verifier = std::make_shared<audit::ReplayVerifier>(result.recording);
+  SessionConfig solo = result.config;
+  solo.lanes = 1;
+  net::Network net(solo.n, seeds.net_seed);
+  (void)execute(solo, seeds, verifier, net, nullptr);
+  scope->roll_up();
+  return verifier->finish();
+}
+
+}  // namespace gfor14::server

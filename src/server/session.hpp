@@ -1,0 +1,140 @@
+// One logical AnonChan session inside the multi-session server (DESIGN.md
+// §13): a self-contained protocol execution with its own Network, Rng
+// lineage, fault plan, flight recorder and scoped metrics registry.
+//
+// A Session owns NOTHING shared: every piece of mutable protocol state —
+// party RNGs, pending queues, fault engine, recorder — is private to the
+// session, so any number of sessions may execute concurrently (on the
+// common::ThreadPool, via server::SessionEngine) without observing each
+// other. The only cross-session state is immutable-after-insert pure-value
+// caches (LagrangeCache / EncodePlan tables) and the atomic metrics
+// counters, neither of which can carry information INTO a transcript. The
+// isolation contract this buys is the one the differential suite
+// (tests/session_engine_test.cpp) pins down: a session's delivered
+// transcript, CostReport, blame/fault logs and scoped net./vss. counters
+// are byte-identical whether the session runs alone on an idle process or
+// interleaved with any mix of other sessions at any engine thread count.
+//
+// Rng lineage: all of a session's randomness derives from
+// derive_seeds(master_seed, id) — a fresh fork of the master stream keyed
+// by the session id, independent of submission order and of every other
+// session's draws. Two sessions share entropy only if they share an id,
+// which SessionEngine::submit rejects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "anonchan/params.hpp"
+#include "audit/replay.hpp"
+#include "common/metrics.hpp"
+#include "net/faultplan.hpp"
+#include "net/network.hpp"
+#include "net/recorder.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14::server {
+
+/// Everything that defines one logical session. Plain data; the engine
+/// copies it into the session and echoes it back in the result.
+struct SessionConfig {
+  std::uint64_t id = 0;  ///< unique per engine run: scope name + Rng lineage
+  std::size_t n = 5;
+  vss::SchemeKind scheme = vss::SchemeKind::kRB;
+  std::size_t kappa = 3;     ///< cut-and-choose copies (practical profile)
+  bool light = false;        ///< use Params::light(n) instead of practical
+  /// Receiver party; SIZE_MAX selects n - 1.
+  net::PartyId receiver = static_cast<net::PartyId>(-1);
+  /// Per-party inputs; empty selects the canonical pattern (distinct
+  /// non-zero message per sender, zero for the receiver).
+  std::vector<Fld> inputs;
+  /// Wire-fault script for this session; parties it targets are marked
+  /// corrupt. Empty = clean session (strict no-op, no engine attached).
+  net::FaultPlan faults;
+  /// Explicit fault-engine seed; nullopt derives it from the Rng lineage.
+  std::optional<std::uint64_t> fault_seed;
+  /// Worker lanes for the session's own round engine. When the session is
+  /// co-scheduled with others the nested parallel_for runs inline (the
+  /// pool forbids two parallel levels), which is transcript-equivalent by
+  /// the DESIGN.md §8 lane-count-independence contract.
+  std::size_t lanes = 1;
+  bool record_payloads = true;  ///< full-fidelity vs header-only recording
+  /// Metrics scope name under the process root; "" = "session/<id>".
+  std::string scope_label;
+
+  net::PartyId effective_receiver() const {
+    return receiver == static_cast<net::PartyId>(-1)
+               ? static_cast<net::PartyId>(n - 1)
+               : receiver;
+  }
+  anonchan::Params params() const;
+  std::vector<Fld> effective_inputs() const;
+  std::string effective_scope_label() const;
+};
+
+/// The session's independent randomness, forked from the engine master
+/// seed by session id. Pure function of (master_seed, id): independent of
+/// submission order, scheduling, and every other session's draws.
+struct SessionSeeds {
+  std::uint64_t net_seed = 0;    ///< Network seed (per-party Rng lineage)
+  std::uint64_t fault_seed = 0;  ///< FaultEngine seed (unless pinned)
+};
+SessionSeeds derive_seeds(std::uint64_t master_seed, std::uint64_t session_id);
+
+/// Everything one completed session produced.
+struct SessionResult {
+  SessionConfig config;
+  SessionSeeds seeds;
+  anonchan::Output output;
+  net::CostReport costs;          ///< this session's own network, from zero
+  net::Recording recording;       ///< full per-session transcript
+  std::uint64_t transcript_digest = 0;
+  std::vector<net::BlameRecord> blames;
+  std::vector<net::FaultEvent> fault_events;
+  /// Name-sorted counters of the session's metrics scope after the final
+  /// roll-up — the deterministic per-session attribution (net.*, vss.*).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::size_t messages_delivered = 0;  ///< honest inputs present in Y
+  double wall_ms = 0.0;                ///< environmental, never compared
+  std::string scope_name;
+};
+
+/// One runnable session. Construction only captures configuration; run()
+/// performs the whole protocol execution on the calling thread (plus the
+/// session's own lanes when not nested) and may be invoked from a pool
+/// strand — everything it touches is session-private or thread-safe.
+class Session {
+ public:
+  Session(SessionConfig config, std::uint64_t master_seed);
+
+  const SessionConfig& config() const { return config_; }
+  const SessionSeeds& seeds() const { return seeds_; }
+
+  /// Executes the session: attaches its metrics scope to the calling
+  /// thread, builds the Network/VSS/AnonChan stack inside that attachment,
+  /// runs one full channel invocation, rolls the scope up into the process
+  /// root and returns the collected result. A Session is single-use.
+  SessionResult run();
+
+ private:
+  SessionConfig config_;
+  std::uint64_t master_seed_ = 0;
+  SessionSeeds seeds_;
+  bool spent_ = false;
+};
+
+/// Re-executes a result's configuration solo (fresh Network, same lineage,
+/// serial engine context) with a ReplayVerifier attached and returns the
+/// first divergence from the recorded transcript — nullopt certifies that
+/// the co-scheduled execution was byte-identical to an isolated one. This
+/// is the per-session audit hook the CLI's `serve --verify` and the
+/// session-soak CI job call.
+std::optional<audit::Divergence> replay_verify(const SessionResult& result,
+                                               std::uint64_t master_seed);
+
+}  // namespace gfor14::server

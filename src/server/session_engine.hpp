@@ -1,0 +1,76 @@
+// Session-multiplexing engine (DESIGN.md §13): schedules many independent
+// server::Session executions over the shared common::ThreadPool and
+// aggregates their results into a throughput report.
+//
+// Scheduling model: run_all() issues exactly ONE ThreadPool::parallel_for
+// over the submitted sessions, so every session executes wholly inside one
+// pool strand. Per-session lane parallelism (SessionConfig::lanes) nests
+// inside that strand and therefore runs inline — the pool forbids two live
+// parallel levels — which is transcript-equivalent by the lane-count-
+// independence contract of DESIGN.md §8. The pool's determinism contract
+// (fn(i) called exactly once, writes to disjoint slots) plus the sessions'
+// order-independent Rng lineage give the engine's own contract:
+//
+//   Interleaving determinism. For every submitted session, the transcript
+//   digest, Recording, CostReport, blame/fault logs and scoped counters in
+//   EngineReport.sessions[i] are byte-identical to the same SessionConfig
+//   run alone via Session::run(), at ANY engine thread count and ANY
+//   co-scheduled session mix. Only wall-clock fields vary.
+//
+// Metric roll-up points: each session rolls its scope up at every round
+// barrier (Network) and once at completion (Session::run); run_all performs
+// one final recursive root roll-up so process totals are exact when the
+// report is returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/session.hpp"
+
+namespace gfor14::server {
+
+struct EngineOptions {
+  /// Root of every session's Rng lineage (seeds = derive_seeds(master, id)).
+  std::uint64_t master_seed = 20140715;
+  /// Concurrent session strands; 0 selects common::default_threads()
+  /// (GFOR14_THREADS / CLI --threads).
+  std::size_t threads = 0;
+};
+
+/// What one run_all() produced. Per-session payloads are deterministic;
+/// the wall_ms / latency / throughput aggregates are environmental.
+struct EngineReport {
+  std::vector<SessionResult> sessions;  ///< submission order
+  std::size_t threads = 0;              ///< strands actually requested
+  double wall_ms = 0.0;                 ///< whole-batch wall clock
+  std::size_t messages_delivered = 0;   ///< sum of honest deliveries
+  double messages_per_sec = 0.0;        ///< delivered / wall seconds
+  double p50_session_ms = 0.0;          ///< median session latency
+  double p95_session_ms = 0.0;          ///< tail session latency
+};
+
+class SessionEngine {
+ public:
+  explicit SessionEngine(EngineOptions options = {});
+
+  std::uint64_t master_seed() const { return options_.master_seed; }
+  std::size_t threads() const;
+  std::size_t session_count() const { return pending_.size(); }
+
+  /// Queues one session; returns its index in EngineReport.sessions.
+  /// Duplicate session ids are rejected (they would share Rng lineage and
+  /// a metrics scope), as is submitting after run_all().
+  std::size_t submit(SessionConfig config);
+
+  /// Executes every submitted session across the engine's strands and
+  /// returns the aggregated report. Single-use.
+  EngineReport run_all();
+
+ private:
+  EngineOptions options_;
+  std::vector<SessionConfig> pending_;
+  bool spent_ = false;
+};
+
+}  // namespace gfor14::server

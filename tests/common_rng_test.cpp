@@ -1,6 +1,10 @@
 // Determinism and statistical sanity of the simulation RNG.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <set>
+#include <utility>
+
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -96,6 +100,70 @@ TEST(Rng, ForkAdvancesParent) {
   // draw and the streams coincide afterwards.
   (void)b.next_u64();
   for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// --- session-lineage regression (DESIGN.md §13) ----------------------------
+// The multi-session engine derives every session's randomness as
+// Rng(master).fork(session_id): a fresh master stream per derivation, so
+// the lineage is a pure function of (master, id). A scheduler refactor
+// that silently shared entropy between sessions would surface here as
+// cross-stream collisions or correlation, long before the differential
+// suite's transcript comparison points at a protocol-level symptom.
+
+// 256 session streams × 256 draws: all 65536 outputs pairwise distinct.
+// With independent 64-bit streams a single collision has probability
+// ~2^-33 (birthday bound); any duplicate means two sessions share state.
+TEST(Rng, SessionStreamsHaveNoCrossStreamCollisions) {
+  const std::size_t kStreams = 256, kDraws = 256;
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t id = 0; id < kStreams; ++id) {
+    Rng session = Rng(20140808).fork(id);
+    for (std::size_t d = 0; d < kDraws; ++d)
+      outputs.insert(session.next_u64());
+  }
+  EXPECT_EQ(outputs.size(), kStreams * kDraws);
+}
+
+// Cross-correlation: XORing two session streams must look uniform — each
+// of the 64 bit positions of a[i] ^ b[i] balanced over many draws. A
+// lagged copy (stream B = stream A shifted by k draws) or a shared
+// splitmix sequence would leave some bit position heavily biased.
+TEST(Rng, SessionStreamPairsAreUncorrelated) {
+  const std::size_t kDraws = 4096;
+  const std::pair<std::uint64_t, std::uint64_t> pairs[] = {
+      {0, 1}, {1, 2}, {0, 255}, {17, 170}};
+  for (const auto& [ida, idb] : pairs) {
+    Rng a = Rng(20140808).fork(ida);
+    Rng b = Rng(20140808).fork(idb);
+    std::array<std::size_t, 64> ones{};
+    for (std::size_t d = 0; d < kDraws; ++d) {
+      const std::uint64_t x = a.next_u64() ^ b.next_u64();
+      for (std::size_t bit = 0; bit < 64; ++bit)
+        ones[bit] += (x >> bit) & 1;
+    }
+    // 64 bits × 4 pairs = 256 individual checks, so a per-bit confidence
+    // interval would fire spuriously; bound the absolute bias at ~5 sigma
+    // instead (sd = 0.5/sqrt(4096) ≈ 0.008). A lagged or shared stream
+    // leaves some XORed bit position pinned near 0 or 1, far outside.
+    for (std::size_t bit = 0; bit < 64; ++bit) {
+      const double frac =
+          static_cast<double>(ones[bit]) / static_cast<double>(kDraws);
+      EXPECT_NEAR(frac, 0.5, 0.04)
+          << "streams " << ida << "," << idb << " bit " << bit;
+    }
+  }
+}
+
+// The derivation must not depend on how many sessions were derived before:
+// deriving id 7 alone and deriving it after a thousand other ids must give
+// the same stream (each derivation uses a FRESH Rng(master)).
+TEST(Rng, SessionDerivationIsOrderIndependent) {
+  Rng direct = Rng(4242).fork(7);
+  for (std::uint64_t other = 0; other < 1000; ++other)
+    if (other != 7) (void)Rng(4242).fork(other);
+  Rng after = Rng(4242).fork(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(direct.next_u64(), after.next_u64());
 }
 
 TEST(Rng, NextBelowInRangeAndRoughlyUniform) {

@@ -34,6 +34,7 @@
 #include "net/adversary.hpp"
 #include "net/faultplan.hpp"
 #include "net/recorder.hpp"
+#include "server/session_engine.hpp"
 #include "vss/schemes.hpp"
 
 namespace gfor14 {
@@ -450,6 +451,100 @@ TEST_F(FaultSoakTest, RandomizedSoakHoldsRobustnessInvariants) {
   }
   // The soak must actually exercise the engine, not schedule no-ops only.
   EXPECT_GT(faults_applied, kScenarios);
+}
+
+// --- concurrent-session fault soak (DESIGN.md §13) -------------------------
+// Half of a co-scheduled fleet carries randomized in-model FaultPlans; the
+// other half is clean. Fault isolation is the claim under test: a faulty
+// session must blame/degrade exactly as it does alone (PR 4 contract), and
+// the CLEAN sessions scheduled next to it must stay byte-identical to
+// their solo baselines — a fault engine that leaked one rewritten payload
+// across sessions diverges the recording comparison at the exact byte.
+// Replayable via GFOR14_FAULT_SEED like the randomized soak above.
+TEST_F(FaultSoakTest, ConcurrentFaultySessionsDoNotPerturbCleanOnes) {
+  std::uint64_t master_seed = 20140808;
+  if (const char* env = std::getenv("GFOR14_FAULT_SEED"))
+    master_seed = std::strtoull(env, nullptr, 10);
+  std::printf("GFOR14_FAULT_SEED=%llu (set this env var to replay)\n",
+              static_cast<unsigned long long>(master_seed));
+
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kN = 5;
+  constexpr std::size_t kT = 2;  // in-model for RB: t < n/2
+
+  // Session shapes are pure functions of (master_seed, id): odd ids draw a
+  // random plan from an id-forked stream, even ids stay clean. The plan's
+  // targets are the first kT parties; the session marks them corrupt.
+  const auto make_config = [&](std::size_t id) {
+    server::SessionConfig cfg;
+    cfg.id = id;
+    cfg.n = kN;
+    cfg.scheme = vss::SchemeKind::kRB;
+    cfg.kappa = 2;
+    if (id % 2 == 1) {
+      net::FaultPlan::RandomSpec rs;
+      for (std::size_t p = 0; p < kT; ++p)
+        rs.targets.push_back(static_cast<net::PartyId>(p));
+      rs.n = kN;
+      rs.rounds = 16;
+      Rng plan_rng = Rng(master_seed).fork(0xFA017 + id);
+      rs.count = 2 + plan_rng.next_below(5);
+      rs.max_amount = 1 + plan_rng.next_below(4);
+      cfg.faults = net::FaultPlan::random(plan_rng, rs);
+    }
+    return cfg;
+  };
+
+  // Solo baselines first, serially, under distinct scopes.
+  std::vector<server::SessionResult> solo;
+  for (std::size_t id = 0; id < kSessions; ++id) {
+    server::SessionConfig cfg = make_config(id);
+    cfg.scope_label = "solo-soak/" + std::to_string(id);
+    server::Session session(cfg, master_seed);
+    solo.push_back(session.run());
+  }
+
+  server::SessionEngine engine({master_seed, 4});
+  for (std::size_t id = 0; id < kSessions; ++id)
+    engine.submit(make_config(id));
+  const auto report = engine.run_all();
+
+  std::size_t faults_applied = 0;
+  for (std::size_t id = 0; id < kSessions; ++id) {
+    const auto& co = report.sessions[id];
+    SCOPED_TRACE("session=" + std::to_string(id) +
+                 (id % 2 == 1 ? " (faulty)" : " (clean)") +
+                 " master_seed=" + std::to_string(master_seed));
+    // Both halves byte-identical to their own solo executions — clean
+    // sessions prove fault isolation, faulty ones prove the fault engine's
+    // seed-replay contract survives co-scheduling.
+    if (const auto d = audit::first_divergence(solo[id].recording,
+                                               co.recording))
+      ADD_FAILURE() << d->format();
+    EXPECT_EQ(solo[id].transcript_digest, co.transcript_digest);
+    EXPECT_EQ(solo[id].costs, co.costs);
+    EXPECT_EQ(solo[id].counters, co.counters);
+
+    ASSERT_EQ(co.output.pass.size(), kN);
+    if (id % 2 == 0) {
+      // Clean sessions deliver everything and blame no one.
+      EXPECT_EQ(co.messages_delivered, kN - 1);
+      EXPECT_TRUE(co.blames.empty());
+      EXPECT_TRUE(co.fault_events.empty());
+      for (std::size_t p = 0; p < kN; ++p) EXPECT_TRUE(co.output.pass[p]);
+    } else {
+      // Faulty sessions degrade per the PR 4 contract: honest parties are
+      // never disqualified and blames only ever name the corrupt targets.
+      for (std::size_t p = kT; p < kN; ++p)
+        EXPECT_TRUE(co.output.pass[p]) << "honest party " << p;
+      for (const auto& b : co.blames)
+        EXPECT_LT(b.accused, kT) << "blame names honest party " << b.accused
+                                 << " (" << b.reason << ")";
+      faults_applied += co.fault_events.size();
+    }
+  }
+  // The faulty half must actually fire faults, not schedule no-ops only.
+  EXPECT_GT(faults_applied, 0u);
 }
 
 }  // namespace
