@@ -8,6 +8,8 @@
 //   gfor14_cli serve     [--sessions K] [--threads N|hw] [--lanes L]
 //                        [--n N] [--scheme ...] [--kappa K] [--seed S]
 //                        [--faulty F] [--verify]
+//                        [--soak] [--churn] [--retries R] [--queue-cap Q]
+//                        [--round-budget B] [--crash-every E]
 //   gfor14_cli replay    RECORDING [--threads N|hw] [telemetry flags]
 //
 // Observability (any command):
@@ -61,13 +63,27 @@
 // first byte of divergence; --lanes L sets each session's own worker-lane
 // request (inline when sessions are co-scheduled).
 //
+// Supervised churn soak (`serve --soak`, DESIGN.md §14): streams the K
+// sessions through the SupervisedRuntime instead of batching them — a
+// feeder thread admits sessions against a bounded queue (--queue-cap Q,
+// blocking backpressure) while the main thread drives execution waves.
+// Failures are contained into FailureRecords and retried up to --retries R
+// attempts with capped logical exponential backoff; --round-budget B arms
+// the per-attempt round watchdog; --churn enables deterministic chaos
+// injection (every --crash-every E-th session's strand crashes mid-protocol
+// on its first attempt, then retries clean). Exit status is non-zero when
+// any session permanently failed or --verify found a divergence.
+//
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "anonchan/anon_broadcast.hpp"
 #include "anonchan/attacks.hpp"
@@ -114,6 +130,12 @@ struct Options {
   std::size_t lanes = 1;          // serve: per-session worker-lane request
   std::size_t faulty = 0;         // serve: sessions given random FaultPlans
   bool verify = false;            // serve: replay-verify every session
+  bool soak = false;              // serve: supervised streaming runtime
+  bool churn = false;             // serve --soak: chaos crash injection
+  std::size_t retries = 3;        // serve --soak: attempts per session
+  std::size_t queue_cap = 8;      // serve --soak: admission queue bound
+  std::size_t round_budget = 0;   // serve --soak: per-attempt round budget
+  std::size_t crash_every = 3;    // serve --soak --churn: crash id % E == 0
   std::shared_ptr<net::Recording> replay_reference;  // set by `replay`
 };
 
@@ -133,14 +155,55 @@ int usage() {
                "        [--lanes L] [--n N] [--scheme rb|bgw|ggor]"
                " [--kappa K]\n"
                "        [--seed S] [--faulty F] [--verify]\n"
+               "        [--soak] [--churn] [--retries R] [--queue-cap Q]\n"
+               "        [--round-budget B] [--crash-every E]\n"
+               "        [--telemetry PATH|-] [--prom PATH]"
+               " [--sample-every N] [--top]\n"
                "   or: gfor14_cli replay RECORDING [--threads N|hw]\n"
                "        [--telemetry PATH|-] [--prom PATH] [--sample-every N]"
                " [--top]\n");
   return 2;
 }
 
+/// Strict unsigned decimal parse: the WHOLE value must be digits (so
+/// "12abc", "", "-1" and "1e3" are all rejected, unlike std::stoul).
+bool parse_u64_strict(const std::string& value, std::uint64_t& out) {
+  if (value.empty() || value.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_size_strict(const std::string& value, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64_strict(value, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Prints a one-line diagnostic and returns false (parse() convention:
+/// main() follows the message with the usage text and exits non-zero).
+bool complain(const char* fmt_str, ...) {
+  std::va_list args;
+  va_start(args, fmt_str);
+  std::fprintf(stderr, "error: ");
+  std::vfprintf(stderr, fmt_str, args);
+  std::fprintf(stderr, "\n");
+  va_end(args);
+  return false;
+}
+
+bool complain_number(const std::string& key, const std::string& value) {
+  return complain("invalid value '%s' for %s (expected an unsigned integer)",
+                  value.c_str(), key.c_str());
+}
+
 bool parse(int argc, char** argv, Options& opt) {
-  if (argc < 2) return false;
+  if (argc < 2) return complain("missing command");
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
@@ -152,67 +215,120 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.verify = true;
       continue;
     }
-    if (i + 1 >= argc) return false;
+    if (key == "--soak") {
+      opt.soak = true;
+      continue;
+    }
+    if (key == "--churn") {
+      opt.churn = true;
+      continue;
+    }
+    if (i + 1 >= argc) return complain("%s requires a value", key.c_str());
     const std::string value = argv[++i];
-    try {
-      if (key == "--n") {
-        opt.n = std::stoul(value);
-      } else if (key == "--kappa") {
-        opt.kappa = std::stoul(value);
-      } else if (key == "--receiver") {
-        opt.receiver = std::stoul(value);
-      } else if (key == "--seed") {
-        opt.seed = std::stoull(value);
-      } else if (key == "--scheme") {
-        if (value == "rb") opt.scheme = vss::SchemeKind::kRB;
-        else if (value == "bgw") opt.scheme = vss::SchemeKind::kBGW;
-        else if (value == "ggor") opt.scheme = vss::SchemeKind::kGGOR13;
-        else return false;
-      } else if (key == "--attack") {
-        opt.attack = value;
-      } else if (key == "--trace") {
-        opt.trace_path = value;
-      } else if (key == "--metrics") {
-        opt.metrics_path = value;
-      } else if (key == "--threads") {
-        opt.threads = value == "hw" ? hardware_threads() : std::stoul(value);
-        if (opt.threads == 0) return false;
-        set_default_threads(opt.threads);
-      } else if (key == "--faults") {
-        opt.faults = value;
-      } else if (key == "--fault-seed") {
-        opt.fault_seed = std::stoull(value);
-        opt.fault_seed_set = true;
-      } else if (key == "--record") {
-        opt.record_path = value;
-      } else if (key == "--chrome-trace") {
-        opt.chrome_trace_path = value;
-      } else if (key == "--telemetry") {
-        opt.telemetry_path = value;
-      } else if (key == "--prom") {
-        opt.prom_path = value;
-      } else if (key == "--sample-every") {
-        opt.sample_every = std::stoul(value);
-        if (opt.sample_every == 0) return false;
-      } else if (key == "--sessions") {
-        opt.sessions = std::stoul(value);
-        if (opt.sessions == 0) return false;
-      } else if (key == "--lanes") {
-        opt.lanes = value == "hw" ? hardware_threads() : std::stoul(value);
-        if (opt.lanes == 0) return false;
-      } else if (key == "--faulty") {
-        opt.faulty = std::stoul(value);
-      } else {
-        return false;
+    if (key == "--n") {
+      if (!parse_size_strict(value, opt.n)) return complain_number(key, value);
+    } else if (key == "--kappa") {
+      if (!parse_size_strict(value, opt.kappa))
+        return complain_number(key, value);
+    } else if (key == "--receiver") {
+      if (!parse_size_strict(value, opt.receiver))
+        return complain_number(key, value);
+    } else if (key == "--seed") {
+      if (!parse_u64_strict(value, opt.seed))
+        return complain_number(key, value);
+    } else if (key == "--scheme") {
+      if (value == "rb") opt.scheme = vss::SchemeKind::kRB;
+      else if (value == "bgw") opt.scheme = vss::SchemeKind::kBGW;
+      else if (value == "ggor") opt.scheme = vss::SchemeKind::kGGOR13;
+      else
+        return complain("unknown --scheme '%s' (expected rb|bgw|ggor)",
+                        value.c_str());
+    } else if (key == "--attack") {
+      opt.attack = value;
+    } else if (key == "--trace") {
+      opt.trace_path = value;
+    } else if (key == "--metrics") {
+      opt.metrics_path = value;
+    } else if (key == "--threads") {
+      if (value == "hw") {
+        opt.threads = hardware_threads();
+      } else if (!parse_size_strict(value, opt.threads)) {
+        return complain("invalid value '%s' for --threads (expected an "
+                        "unsigned integer or 'hw')",
+                        value.c_str());
       }
-    } catch (const std::exception&) {
-      return false;
+      if (opt.threads == 0)
+        return complain("--threads must be at least 1 (got '%s')",
+                        value.c_str());
+      set_default_threads(opt.threads);
+    } else if (key == "--faults") {
+      opt.faults = value;
+    } else if (key == "--fault-seed") {
+      if (!parse_u64_strict(value, opt.fault_seed))
+        return complain_number(key, value);
+      opt.fault_seed_set = true;
+    } else if (key == "--record") {
+      opt.record_path = value;
+    } else if (key == "--chrome-trace") {
+      opt.chrome_trace_path = value;
+    } else if (key == "--telemetry") {
+      opt.telemetry_path = value;
+    } else if (key == "--prom") {
+      opt.prom_path = value;
+    } else if (key == "--sample-every") {
+      if (!parse_size_strict(value, opt.sample_every))
+        return complain_number(key, value);
+      if (opt.sample_every == 0)
+        return complain("--sample-every must be at least 1");
+    } else if (key == "--sessions") {
+      if (!parse_size_strict(value, opt.sessions))
+        return complain_number(key, value);
+      if (opt.sessions == 0)
+        return complain("--sessions must be at least 1 (got '%s')",
+                        value.c_str());
+    } else if (key == "--lanes") {
+      if (value == "hw") {
+        opt.lanes = hardware_threads();
+      } else if (!parse_size_strict(value, opt.lanes)) {
+        return complain_number(key, value);
+      }
+      if (opt.lanes == 0) return complain("--lanes must be at least 1");
+    } else if (key == "--faulty") {
+      if (!parse_size_strict(value, opt.faulty))
+        return complain_number(key, value);
+    } else if (key == "--retries") {
+      if (!parse_size_strict(value, opt.retries))
+        return complain_number(key, value);
+      if (opt.retries == 0)
+        return complain("--retries must be at least 1 (1 = no retry)");
+    } else if (key == "--queue-cap") {
+      if (!parse_size_strict(value, opt.queue_cap))
+        return complain_number(key, value);
+      if (opt.queue_cap == 0)
+        return complain("--queue-cap must be at least 1");
+    } else if (key == "--round-budget") {
+      if (!parse_size_strict(value, opt.round_budget))
+        return complain_number(key, value);
+    } else if (key == "--crash-every") {
+      if (!parse_size_strict(value, opt.crash_every))
+        return complain_number(key, value);
+      if (opt.crash_every == 0)
+        return complain("--crash-every must be at least 1");
+    } else {
+      return complain("unknown option '%s'", key.c_str());
     }
   }
-  if (opt.n < 3 || opt.n > 32 || opt.kappa < 1 || opt.kappa > 32)
-    return false;
+  if (opt.n < 3 || opt.n > 32)
+    return complain("--n must be in [3, 32] (got %zu)", opt.n);
+  if (opt.kappa < 1 || opt.kappa > 32)
+    return complain("--kappa must be in [1, 32] (got %zu)", opt.kappa);
   if (opt.receiver == SIZE_MAX) opt.receiver = opt.n - 1;
-  if (opt.receiver >= opt.n) return false;
+  if (opt.receiver >= opt.n)
+    return complain("--receiver %zu is out of range for --n %zu",
+                    opt.receiver, opt.n);
+  if (opt.faulty > opt.sessions)
+    return complain("--faulty (%zu) exceeds --sessions (%zu)", opt.faulty,
+                    opt.sessions);
   return true;
 }
 
@@ -532,18 +648,136 @@ net::FaultPlan serve_fault_plan(std::uint64_t master_seed, std::uint64_t id,
   return net::FaultPlan::random(plan_rng, spec);
 }
 
-int run_serve(const Options& opt) {
-  server::SessionEngine engine({opt.seed, opt.threads});
-  for (std::size_t i = 0; i < opt.sessions; ++i) {
-    server::SessionConfig cfg;
-    cfg.id = i;
-    cfg.n = opt.n;
-    cfg.scheme = opt.scheme;
-    cfg.kappa = opt.kappa;
-    cfg.lanes = opt.lanes;
-    if (i < opt.faulty) cfg.faults = serve_fault_plan(opt.seed, i, opt.n);
-    engine.submit(cfg);
+server::SessionConfig serve_session_config(const Options& opt,
+                                           std::size_t i) {
+  server::SessionConfig cfg;
+  cfg.id = i;
+  cfg.n = opt.n;
+  cfg.scheme = opt.scheme;
+  cfg.kappa = opt.kappa;
+  cfg.lanes = opt.lanes;
+  if (i < opt.faulty) cfg.faults = serve_fault_plan(opt.seed, i, opt.n);
+  return cfg;
+}
+
+/// `serve --soak`: streaming admission through the supervised runtime. A
+/// feeder thread submits all K sessions against the bounded queue (blocking
+/// on backpressure) while this thread drives execution waves; the drain
+/// guarantees every admitted session reaches a terminal state.
+int run_serve_soak(const Options& opt) {
+  server::SupervisorOptions sup;
+  sup.master_seed = opt.seed;
+  sup.threads = opt.threads;
+  sup.queue_capacity = opt.queue_cap;
+  sup.retry.max_attempts = opt.retries;
+  sup.retry.round_budget = opt.round_budget;
+  sup.chaos.enabled = opt.churn;
+  sup.chaos.every = opt.crash_every;
+  server::SupervisedRuntime runtime(sup);
+
+  // The §11 telemetry surface, sampled per scheduling wave instead of per
+  // round barrier: the root scope carries the server.* health counters, so
+  // the exported series (and `gfor14-audit top`) shows the engine line.
+  std::shared_ptr<telemetry::TelemetrySampler> sampler;
+  if (!opt.telemetry_path.empty() || !opt.prom_path.empty() || opt.top)
+    sampler = std::make_shared<telemetry::TelemetrySampler>(
+        metrics::Registry::current_shared(),
+        telemetry::TelemetrySampler::Options{opt.sample_every, 512});
+
+  std::printf("soak: %zu sessions (%zu faulty%s) through a queue of %zu over "
+              "%zu strands, %zu attempts each, seed %s\n",
+              opt.sessions, opt.faulty,
+              opt.churn ? ", churn chaos on" : "", opt.queue_cap,
+              runtime.threads(), opt.retries, net::hex_u64(opt.seed).c_str());
+
+  std::atomic<bool> feeder_done{false};
+  std::thread feeder([&] {
+    for (std::size_t i = 0; i < opt.sessions; ++i)
+      if (!runtime.submit(serve_session_config(opt, i))) break;
+    feeder_done.store(true);
+  });
+  while (!feeder_done.load() || !runtime.idle()) {
+    if (runtime.run_wave() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    } else if (sampler) {
+      sampler->sample_wave();
+    }
   }
+  feeder.join();
+  const server::RuntimeReport report = runtime.drain();
+  if (sampler) sampler->sample_wave();  // final post-drain health point
+
+  for (const auto& f : report.failures)
+    std::printf("  contained: %s\n", f.describe().c_str());
+
+  int rc = 0;
+  if (opt.verify) {
+    for (const auto& s : report.completed) {
+      if (const auto d = server::replay_verify(s, opt.seed)) {
+        std::printf("  session %llu attempt %zu replay DIVERGED: %s\n",
+                    static_cast<unsigned long long>(s.config.id), s.attempt,
+                    d->format().c_str());
+        rc = 1;
+      }
+    }
+    if (rc == 0)
+      std::printf("replay verified: all %zu completed sessions "
+                  "byte-identical to solo re-execution\n",
+                  report.completed.size());
+  }
+
+  std::printf("soak complete: %zu/%zu sessions completed in %zu waves | "
+              "%zu contained failures, %zu retries (retry rate %.2f), "
+              "%zu gave up\n",
+              report.completed_sessions, report.admitted, report.waves,
+              report.failed_attempts, report.retries, report.retry_rate,
+              report.failed_sessions);
+  std::printf("queue: cap %zu, high water %zu | admit-to-complete "
+              "p50 %.2f ms, p95 %.2f ms\n",
+              opt.queue_cap, report.queue_high_water,
+              report.p50_admit_to_complete_ms,
+              report.p95_admit_to_complete_ms);
+  std::printf("throughput: %zu messages in %.2f ms = %.1f messages/sec\n",
+              report.messages_delivered, report.wall_ms,
+              report.messages_per_sec);
+  std::printf("engine state: %s\n",
+              report.failed_sessions > 0 ? "DEGRADED" : "healthy");
+  if (report.failed_sessions > 0) rc = 1;
+
+  if (sampler) {
+    if (opt.telemetry_path == "-") {
+      std::printf("%s\n", sampler->to_json().dump(2).c_str());
+    } else if (!opt.telemetry_path.empty()) {
+      if (sampler->write_json(opt.telemetry_path)) {
+        std::printf("telemetry: %s (%zu snapshots, stride %zu)\n",
+                    opt.telemetry_path.c_str(), sampler->snapshots().size(),
+                    sampler->stride());
+      } else {
+        std::fprintf(stderr, "error: cannot write telemetry '%s'\n",
+                     opt.telemetry_path.c_str());
+        rc = 1;
+      }
+    }
+    if (!opt.prom_path.empty()) {
+      if (sampler->write_prometheus(opt.prom_path)) {
+        std::printf("prometheus: %s\n", opt.prom_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write prometheus '%s'\n",
+                     opt.prom_path.c_str());
+        rc = 1;
+      }
+    }
+    if (opt.top)
+      std::printf("%s", audit::render_top(sampler->to_json()).c_str());
+  }
+  return rc;
+}
+
+int run_serve(const Options& opt) {
+  if (opt.soak) return run_serve_soak(opt);
+  server::SessionEngine engine({opt.seed, opt.threads});
+  for (std::size_t i = 0; i < opt.sessions; ++i)
+    engine.submit(serve_session_config(opt, i));
   std::printf("serving %zu sessions (%zu faulty) over %zu strands: n=%zu, "
               "%s VSS, kappa=%zu, lanes=%zu, seed %s\n",
               opt.sessions, opt.faulty, engine.threads(), opt.n,

@@ -198,6 +198,23 @@ std::string render_top(const json::Value& doc) {
   out += prev ? "  (*rate over the last sampling interval)\n"
               : "  (rate averaged over the whole run)\n";
 
+  // Supervised-engine health (DESIGN.md §14): present only when server.*
+  // counters were sampled, i.e. the document came from a supervised run.
+  if (counters) {
+    const auto cval = [&](const char* key) {
+      const json::Value* v = counters->find(key);
+      return v ? v->as_double() : 0.0;
+    };
+    if (cval("server.admitted") > 0) {
+      const bool degraded = cval("server.failed_sessions") > 0;
+      out += fmt("engine: %s | %.0f admitted, %.0f completed, %.0f retried, "
+                 "%.0f attempts failed, %.0f sessions failed\n",
+                 degraded ? "DEGRADED" : "healthy", cval("server.admitted"),
+                 cval("server.completed"), cval("server.retried"),
+                 cval("server.failed"), cval("server.failed_sessions"));
+    }
+  }
+
   const json::Value* env = doc.find("environment");
   if (env == nullptr) return out;
   out += "environment\n";

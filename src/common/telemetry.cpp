@@ -95,7 +95,7 @@ void expose_level(const json::Value& doc, const std::string& scope,
 
 bool deterministic_counter(const std::string& name) {
   static constexpr const char* kPrefixes[] = {"net.", "vss.", "anonchan.",
-                                              "pseudosig."};
+                                              "pseudosig.", "server."};
   for (const char* p : kPrefixes)
     if (name.rfind(p, 0) == 0) return true;
   return false;
@@ -116,6 +116,10 @@ TelemetrySampler::TelemetrySampler(std::shared_ptr<metrics::Registry> scope,
 
 void TelemetrySampler::on_round_end(const net::Network& /*net*/,
                                     const net::CostReport& /*round_delta*/) {
+  sample_wave();
+}
+
+void TelemetrySampler::sample_wave() {
   ++rounds_seen_;
   if (rounds_seen_ % stride_ != 0) return;
   take_snapshot();

@@ -74,6 +74,12 @@ class TelemetrySampler : public net::RoundObserver {
   void on_round_end(const net::Network& net,
                     const net::CostReport& round_delta) override;
 
+  /// One sampling tick outside a Network round barrier — the supervised
+  /// runtime soak (DESIGN.md §14) samples per scheduling wave instead of
+  /// per round, with the same interval/decimation mechanics ("round" in
+  /// the exported series then counts waves).
+  void sample_wave();
+
   std::size_t rounds_seen() const { return rounds_seen_; }
   /// Current effective sampling interval (opt.every, doubled per decimation).
   std::size_t stride() const { return stride_; }

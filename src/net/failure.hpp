@@ -1,0 +1,56 @@
+// Failure taxonomy for supervised protocol execution (DESIGN.md §14).
+//
+// A long-lived server must turn every way a session can die into data: the
+// supervisor (server/supervisor.hpp) catches whatever a protocol execution
+// throws — the round watchdog's RoundLimitExceeded, protocol-layer
+// ProtocolError, API-misuse ContractViolation, chaos-injected strand
+// crashes — and classifies it into a FailureKind so retry policy, metrics
+// and operators all speak one vocabulary. Two further kinds cover failures
+// that are not exceptions at all: a completed run that delivered fewer
+// honest messages than the policy requires, and a run that overran its
+// per-session wall deadline.
+//
+// The taxonomy lives in net/ (not server/) because the network layer is
+// where the throwing contracts are defined (network.hpp declares
+// RoundLimitExceeded; common/expect.hpp declares ProtocolError and
+// ContractViolation) and because transports added later (ROADMAP item 4)
+// will classify socket-level failures into the same kinds.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "common/expect.hpp"
+#include "net/network.hpp"
+
+namespace gfor14::net {
+
+enum class FailureKind : std::uint8_t {
+  kRoundLimit,         ///< RoundLimitExceeded: watchdog/round-budget overrun
+  kInjectedCrash,      ///< InjectedCrash: chaos-injected strand crash
+  kProtocolError,      ///< any other ProtocolError from the protocol layer
+  kContractViolation,  ///< ContractViolation: API misuse / poisoned view
+  kDeliveryShortfall,  ///< completed, but delivered < policy minimum
+  kDeadlineExceeded,   ///< completed, but over the per-session wall deadline
+  kUnknownException,   ///< anything else derived from std::exception
+};
+
+/// Stable lower-case name ("round_limit", "injected_crash", ...).
+const char* failure_kind_name(FailureKind kind);
+
+/// Thrown by chaos injection (server::CrashInjector) to simulate a session
+/// strand dying mid-run — the supervised runtime's containment story must
+/// treat it exactly like any other mid-protocol death. A ProtocolError
+/// subclass so un-supervised callers that already handle protocol failures
+/// keep working.
+class InjectedCrash : public ProtocolError {
+ public:
+  explicit InjectedCrash(const std::string& what) : ProtocolError(what) {}
+};
+
+/// Maps a caught exception to its taxonomy kind. Order matters: the most
+/// derived network types are tested before their ProtocolError base.
+FailureKind classify_failure(const std::exception& e);
+
+}  // namespace gfor14::net

@@ -31,16 +31,35 @@ std::string SessionConfig::effective_scope_label() const {
   return scope_label.empty() ? "session/" + std::to_string(id) : scope_label;
 }
 
-SessionSeeds derive_seeds(std::uint64_t master_seed,
-                          std::uint64_t session_id) {
+SessionSeeds derive_seeds(std::uint64_t master_seed, std::uint64_t session_id,
+                          std::size_t attempt) {
   // A FRESH master stream per call: forking from a long-lived master would
   // make the lineage depend on how many sessions were derived before this
   // one. Rng::fork derives the child from the full 256-bit parent state, so
   // distinct ids give pairwise-independent streams (common/rng.hpp).
+  // Retries re-fork the session root by the attempt number, giving every
+  // attempt an independent stream while attempt 0 stays byte-identical to
+  // the original two-argument lineage.
   Rng session_root = Rng(master_seed).fork(session_id);
+  if (attempt != 0) session_root = session_root.fork(attempt);
   SessionSeeds s;
   s.net_seed = session_root.next_u64();
   s.fault_seed = session_root.next_u64();
+  return s;
+}
+
+std::string FailureRecord::describe() const {
+  std::string s = "session " + std::to_string(session_id) + " attempt " +
+                  std::to_string(attempt) + ": " +
+                  net::failure_kind_name(kind) + " at round " +
+                  std::to_string(failing_round);
+  if (!blamed.empty()) {
+    s += ", blamed {";
+    for (std::size_t i = 0; i < blamed.size(); ++i)
+      s += (i ? "," : "") + std::string("P") + std::to_string(blamed[i]);
+    s += "}";
+  }
+  if (!what.empty()) s += " (" + what + ")";
   return s;
 }
 
@@ -55,10 +74,11 @@ Session::Session(SessionConfig config, std::uint64_t master_seed)
 namespace {
 
 json::Value recording_config(const SessionConfig& cfg,
-                             const SessionSeeds& seeds) {
+                             const SessionSeeds& seeds, std::size_t attempt) {
   json::Value c = json::Value::object();
   c.set("command", std::string("session"));
   c.set("session_id", cfg.id);
+  c.set("attempt", attempt);
   c.set("n", cfg.n);
   c.set("scheme", std::string(vss::scheme_name(cfg.scheme)));
   c.set("kappa", cfg.kappa);
@@ -81,13 +101,33 @@ std::size_t count_delivered(const anonchan::Output& out,
   return delivered;
 }
 
-/// The shared execution core of Session::run and replay_verify: builds the
-/// whole per-session stack inside the given metrics attachment and runs one
-/// channel invocation with `observer` attached.
-anonchan::Output execute(const SessionConfig& cfg, const SessionSeeds& seeds,
-                         const std::shared_ptr<net::RoundObserver>& observer,
-                         net::Network& net,
-                         std::shared_ptr<net::FaultEngine>* engine_out) {
+/// Chaos injection (DESIGN.md §14): throws net::InjectedCrash out of the
+/// target round's barrier, after the recorder observed the round — so the
+/// recording holds everything delivered before the strand "died".
+class CrashInjector : public net::RoundObserver {
+ public:
+  explicit CrashInjector(std::size_t crash_round)
+      : crash_round_(crash_round) {}
+
+  void on_round_end(const net::Network&, const net::CostReport&) override {
+    if (++rounds_ >= crash_round_)
+      throw net::InjectedCrash("injected strand crash at round barrier " +
+                               std::to_string(rounds_));
+  }
+
+ private:
+  std::size_t crash_round_;
+  std::size_t rounds_ = 0;
+};
+
+/// The shared execution core of Session::run, run_attempt and
+/// replay_verify: builds the whole per-session stack inside the given
+/// metrics attachment and runs one channel invocation with `observers`
+/// attached (in order).
+anonchan::Output execute(
+    const SessionConfig& cfg, const SessionSeeds& seeds,
+    const std::vector<std::shared_ptr<net::RoundObserver>>& observers,
+    net::Network& net, std::shared_ptr<net::FaultEngine>* engine_out) {
   net.set_threads(cfg.lanes);
   if (!cfg.faults.empty()) {
     for (net::PartyId p : cfg.faults.senders())
@@ -97,10 +137,42 @@ anonchan::Output execute(const SessionConfig& cfg, const SessionSeeds& seeds,
     net.attach_faults(engine);
     if (engine_out != nullptr) *engine_out = std::move(engine);
   }
-  net.attach_observer(observer);
+  for (const auto& obs : observers) net.attach_observer(obs);
   auto vss = vss::make_vss(cfg.scheme, net);
   anonchan::AnonChan chan(net, *vss, cfg.params());
   return chan.run(cfg.effective_receiver(), cfg.effective_inputs());
+}
+
+/// Collects the deterministic payload of a finished execution into a
+/// SessionResult (everything except wall_ms, which the caller timed).
+SessionResult collect_result(const SessionConfig& cfg,
+                             const SessionSeeds& seeds, std::size_t attempt,
+                             anonchan::Output output, net::Network& net,
+                             net::Recorder& recorder,
+                             const net::FaultEngine* faults) {
+  SessionResult r;
+  r.config = cfg;
+  r.seeds = seeds;
+  r.attempt = attempt;
+  r.scope_name = cfg.effective_scope_label();
+  r.output = std::move(output);
+  r.costs = net.costs();
+  r.recording = recorder.take();
+  r.transcript_digest = r.recording.final_digest;
+  r.blames = net.blames();
+  if (faults != nullptr) r.fault_events = faults->events();
+  r.messages_delivered = count_delivered(r.output, cfg.effective_inputs(),
+                                         cfg.effective_receiver());
+  return r;
+}
+
+/// Distinct accused parties, ascending, public blames folded in.
+std::vector<net::PartyId> blame_set(const net::Network& net) {
+  std::vector<net::PartyId> accused;
+  for (const auto& b : net.blames()) accused.push_back(b.accused);
+  std::sort(accused.begin(), accused.end());
+  accused.erase(std::unique(accused.begin(), accused.end()), accused.end());
+  return accused;
 }
 
 }  // namespace
@@ -118,29 +190,19 @@ SessionResult Session::run() {
   scope->reset();
   metrics::RegistryAttachment attach(scope);
 
-  SessionResult r;
-  r.config = config_;
-  r.seeds = seeds_;
-  r.scope_name = config_.effective_scope_label();
-
   auto recorder = std::make_shared<net::Recorder>(
       net::Recorder::Options{config_.record_payloads},
-      recording_config(config_, seeds_));
+      recording_config(config_, seeds_, 0));
   std::shared_ptr<net::FaultEngine> faults;
 
   net::Network net(config_.n, seeds_.net_seed);
   const auto t0 = std::chrono::steady_clock::now();
-  r.output = execute(config_, seeds_, recorder, net, &faults);
+  auto output = execute(config_, seeds_, {recorder}, net, &faults);
   const auto t1 = std::chrono::steady_clock::now();
-  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
 
-  r.costs = net.costs();
-  r.recording = recorder->take();
-  r.transcript_digest = r.recording.final_digest;
-  r.blames = net.blames();
-  if (faults) r.fault_events = faults->events();
-  r.messages_delivered = count_delivered(r.output, config_.effective_inputs(),
-                                         config_.effective_receiver());
+  SessionResult r = collect_result(config_, seeds_, 0, std::move(output), net,
+                                   *recorder, faults.get());
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
 
   // Completion roll-up: push every remaining counter delta into the process
   // root so parent totals are exact the moment the session finishes (the
@@ -151,23 +213,119 @@ SessionResult Session::run() {
   return r;
 }
 
+SessionOutcome run_attempt(const SessionConfig& config,
+                           std::uint64_t master_seed,
+                           const AttemptSpec& spec) {
+  GFOR14_EXPECTS(config.n >= 3);
+  GFOR14_EXPECTS(config.effective_receiver() < config.n);
+
+  // The EXECUTED config: supervised retries may run with the fault plan
+  // cleared (the crashed member was replaced); the result echoes this
+  // effective config so replay_verify re-executes what actually ran.
+  SessionConfig cfg = config;
+  if (spec.drop_faults) {
+    cfg.faults = net::FaultPlan{};
+    cfg.fault_seed.reset();
+  }
+  const SessionSeeds seeds = derive_seeds(master_seed, cfg.id, spec.attempt);
+
+  auto scope =
+      metrics::Registry::instance().scope(cfg.effective_scope_label());
+  scope->reset();
+  metrics::RegistryAttachment attach(scope);
+
+  auto recorder = std::make_shared<net::Recorder>(
+      net::Recorder::Options{cfg.record_payloads},
+      recording_config(cfg, seeds, spec.attempt));
+  std::vector<std::shared_ptr<net::RoundObserver>> observers = {recorder};
+  if (spec.crash_at_round.has_value())
+    observers.push_back(std::make_shared<CrashInjector>(*spec.crash_at_round));
+  std::shared_ptr<net::FaultEngine> faults;
+
+  SessionOutcome outcome;
+  net::Network net(cfg.n, seeds.net_seed);
+  if (spec.round_budget != 0) net.set_max_rounds(spec.round_budget);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto output = execute(cfg, seeds, observers, net, &faults);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    SessionResult r = collect_result(cfg, seeds, spec.attempt,
+                                     std::move(output), net, *recorder,
+                                     faults.get());
+    r.wall_ms = wall_ms;
+    if (spec.min_delivered != 0 &&
+        r.messages_delivered < spec.min_delivered) {
+      FailureRecord f;
+      f.session_id = cfg.id;
+      f.attempt = spec.attempt;
+      f.kind = net::FailureKind::kDeliveryShortfall;
+      f.what = "delivered " + std::to_string(r.messages_delivered) + " < " +
+               std::to_string(spec.min_delivered) + " required";
+      f.failing_round = r.costs.rounds;
+      f.blamed = blame_set(net);
+      f.wall_ms = wall_ms;
+      outcome.failure = std::move(f);
+    } else if (spec.wall_deadline_ms > 0.0 &&
+               wall_ms > spec.wall_deadline_ms) {
+      // Environmental safety net — never part of the determinism contract.
+      FailureRecord f;
+      f.session_id = cfg.id;
+      f.attempt = spec.attempt;
+      f.kind = net::FailureKind::kDeadlineExceeded;
+      f.what = "wall " + std::to_string(wall_ms) + " ms over deadline";
+      f.failing_round = r.costs.rounds;
+      f.blamed = blame_set(net);
+      f.wall_ms = wall_ms;
+      outcome.failure = std::move(f);
+    } else {
+      outcome.result = std::move(r);
+    }
+  } catch (const std::exception& e) {
+    // Containment point: the Network is still alive here, so the record
+    // can carry the failing round and the blame set the session had
+    // accumulated before dying.
+    const auto t1 = std::chrono::steady_clock::now();
+    FailureRecord f;
+    f.session_id = cfg.id;
+    f.attempt = spec.attempt;
+    f.kind = net::classify_failure(e);
+    f.what = e.what();
+    f.failing_round = net.costs().rounds;
+    f.blamed = blame_set(net);
+    f.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    outcome.failure = std::move(f);
+  }
+
+  // Roll up on BOTH paths: a failed attempt's partial traffic still belongs
+  // in the process totals (it happened), and the scope must be settled
+  // before a retry resets it.
+  scope->roll_up();
+  if (outcome.ok()) outcome.result->counters = scope->counters_snapshot();
+  return outcome;
+}
+
 std::optional<audit::Divergence> replay_verify(const SessionResult& result,
                                                std::uint64_t master_seed) {
   // Solo re-execution under a throwaway scope: the verifier compares the
   // live transcript against the co-scheduled recording round by round, so
   // any influence another session had on this one surfaces as a precise
-  // (round, channel, byte) divergence.
+  // (round, channel, byte) divergence. Retried results replay under their
+  // (id, attempt) lineage against the effective (executed) config.
   auto scope = metrics::Registry::instance().scope(
       "replay/" + result.config.effective_scope_label());
   scope->reset();
   metrics::RegistryAttachment attach(scope);
 
-  const SessionSeeds seeds = derive_seeds(master_seed, result.config.id);
+  const SessionSeeds seeds =
+      derive_seeds(master_seed, result.config.id, result.attempt);
   auto verifier = std::make_shared<audit::ReplayVerifier>(result.recording);
   SessionConfig solo = result.config;
   solo.lanes = 1;
   net::Network net(solo.n, seeds.net_seed);
-  (void)execute(solo, seeds, verifier, net, nullptr);
+  (void)execute(solo, seeds, {verifier}, net, nullptr);
   scope->roll_up();
   return verifier->finish();
 }

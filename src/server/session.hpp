@@ -16,10 +16,20 @@
 // interleaved with any mix of other sessions at any engine thread count.
 //
 // Rng lineage: all of a session's randomness derives from
-// derive_seeds(master_seed, id) — a fresh fork of the master stream keyed
-// by the session id, independent of submission order and of every other
-// session's draws. Two sessions share entropy only if they share an id,
-// which SessionEngine::submit rejects.
+// derive_seeds(master_seed, id, attempt) — a fresh fork of the master
+// stream keyed by the session id (and, for supervised retries, re-forked by
+// the attempt number), independent of submission order and of every other
+// session's draws. Attempt 0 is byte-identical to the pre-supervision
+// two-argument lineage, so existing recordings stay replayable. Two
+// sessions share entropy only if they share an id, which
+// SessionEngine::submit rejects.
+//
+// Supervised (contained) execution — DESIGN.md §14: run_attempt() executes
+// one attempt of a session with every defined failure mode caught INSIDE
+// the call, while the session's Network is still alive, and folded into a
+// structured FailureRecord (exception taxonomy kind, failing round, blame
+// set). The supervisor (supervisor.hpp) builds its crash-containment and
+// retry story entirely on this primitive.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +43,7 @@
 #include "anonchan/params.hpp"
 #include "audit/replay.hpp"
 #include "common/metrics.hpp"
+#include "net/failure.hpp"
 #include "net/faultplan.hpp"
 #include "net/network.hpp"
 #include "net/recorder.hpp"
@@ -78,18 +89,64 @@ struct SessionConfig {
 };
 
 /// The session's independent randomness, forked from the engine master
-/// seed by session id. Pure function of (master_seed, id): independent of
-/// submission order, scheduling, and every other session's draws.
+/// seed by session id and attempt number. Pure function of
+/// (master_seed, id, attempt): independent of submission order, scheduling,
+/// and every other session's draws. Attempt 0 reproduces the original
+/// two-argument lineage exactly.
 struct SessionSeeds {
   std::uint64_t net_seed = 0;    ///< Network seed (per-party Rng lineage)
   std::uint64_t fault_seed = 0;  ///< FaultEngine seed (unless pinned)
 };
-SessionSeeds derive_seeds(std::uint64_t master_seed, std::uint64_t session_id);
+SessionSeeds derive_seeds(std::uint64_t master_seed, std::uint64_t session_id,
+                          std::size_t attempt = 0);
+
+/// One execution attempt's supervision envelope (DESIGN.md §14): which
+/// attempt of the session this is (selects the Rng lineage) plus the
+/// containment limits the supervisor imposes. Plain data, deterministic —
+/// the supervisor derives it purely from (policy, session id, attempt).
+struct AttemptSpec {
+  std::size_t attempt = 0;
+  /// Per-attempt round budget enforced by the Network watchdog; the attempt
+  /// dies with a kRoundLimit FailureRecord when exceeded. 0 = unlimited.
+  std::size_t round_budget = 0;
+  /// Chaos injection: throw net::InjectedCrash after this many round
+  /// barriers, simulating the session strand dying mid-run.
+  std::optional<std::size_t> crash_at_round;
+  /// Run this attempt with the config's fault plan cleared (retry policy's
+  /// "crashed member replaced" model).
+  bool drop_faults = false;
+  /// Minimum honest deliveries for the attempt to count as success; a
+  /// completed run below this fails with kDeliveryShortfall. 0 = off.
+  std::size_t min_delivered = 0;
+  /// Per-attempt wall-clock ceiling (environmental safety net, never part
+  /// of determinism claims); exceeding it fails with kDeadlineExceeded.
+  /// 0 = off.
+  double wall_deadline_ms = 0.0;
+};
+
+/// Structured containment record of one failed attempt: what died, where,
+/// and who the session blamed before dying. This is the supervisor's whole
+/// interface to failure — a supervised session NEVER propagates an
+/// exception past run_attempt().
+struct FailureRecord {
+  std::uint64_t session_id = 0;
+  std::size_t attempt = 0;
+  net::FailureKind kind = net::FailureKind::kUnknownException;
+  std::string what;               ///< exception message / shortfall note
+  std::size_t failing_round = 0;  ///< Network costs().rounds at failure
+  /// Distinct accused parties from the session's blame records at failure
+  /// time, ascending (kPublicBlame excluded — it names the same parties).
+  std::vector<net::PartyId> blamed;
+  double wall_ms = 0.0;  ///< environmental, never compared
+
+  std::string describe() const;
+};
 
 /// Everything one completed session produced.
 struct SessionResult {
-  SessionConfig config;
+  SessionConfig config;  ///< the config as EXECUTED (faults may be dropped)
   SessionSeeds seeds;
+  std::size_t attempt = 0;  ///< lineage attempt that produced this result
   anonchan::Output output;
   net::CostReport costs;          ///< this session's own network, from zero
   net::Recording recording;       ///< full per-session transcript
@@ -103,6 +160,25 @@ struct SessionResult {
   double wall_ms = 0.0;                ///< environmental, never compared
   std::string scope_name;
 };
+
+/// Exactly one of result / failure is set.
+struct SessionOutcome {
+  std::optional<SessionResult> result;
+  std::optional<FailureRecord> failure;
+  bool ok() const { return result.has_value(); }
+};
+
+/// Executes ONE supervised attempt of a session: attaches the session's
+/// metrics scope, builds the private Network/VSS/AnonChan stack with the
+/// (master_seed, id, attempt) Rng lineage, applies the AttemptSpec's
+/// containment limits, and catches every failure (taxonomy of
+/// net/failure.hpp) into a FailureRecord while the Network is still alive —
+/// so the record carries the failing round and the blame set. With a
+/// default AttemptSpec the success path is byte-identical to
+/// Session::run(). Thread-safe in the same sense as Session::run(): may be
+/// called from any pool strand.
+SessionOutcome run_attempt(const SessionConfig& config,
+                           std::uint64_t master_seed, const AttemptSpec& spec);
 
 /// One runnable session. Construction only captures configuration; run()
 /// performs the whole protocol execution on the calling thread (plus the
@@ -119,6 +195,7 @@ class Session {
   /// thread, builds the Network/VSS/AnonChan stack inside that attachment,
   /// runs one full channel invocation, rolls the scope up into the process
   /// root and returns the collected result. A Session is single-use.
+  /// Uncontained: exceptions propagate (use run_attempt for supervision).
   SessionResult run();
 
  private:
@@ -128,12 +205,12 @@ class Session {
   bool spent_ = false;
 };
 
-/// Re-executes a result's configuration solo (fresh Network, same lineage,
-/// serial engine context) with a ReplayVerifier attached and returns the
-/// first divergence from the recorded transcript — nullopt certifies that
-/// the co-scheduled execution was byte-identical to an isolated one. This
-/// is the per-session audit hook the CLI's `serve --verify` and the
-/// session-soak CI job call.
+/// Re-executes a result's configuration solo (fresh Network, same
+/// (id, attempt) lineage, serial engine context) with a ReplayVerifier
+/// attached and returns the first divergence from the recorded transcript —
+/// nullopt certifies that the co-scheduled execution was byte-identical to
+/// an isolated one. This is the per-session audit hook the CLI's
+/// `serve --verify` and the session-soak CI job call.
 std::optional<audit::Divergence> replay_verify(const SessionResult& result,
                                                std::uint64_t master_seed);
 

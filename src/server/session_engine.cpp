@@ -2,22 +2,30 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "common/expect.hpp"
 #include "common/thread_pool.hpp"
 
 namespace gfor14::server {
 
-namespace {
-
-double percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
+void finalize_engine_report(EngineReport& report) {
+  report.messages_delivered = 0;
+  std::vector<double> latencies;
+  latencies.reserve(report.sessions.size());
+  for (const SessionResult& r : report.sessions) {
+    report.messages_delivered += r.messages_delivered;
+    latencies.push_back(r.wall_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_session_ms = percentile_sorted(latencies, 0.50);
+  report.p95_session_ms = percentile_sorted(latencies, 0.95);
+  report.messages_per_sec =
+      report.wall_ms > 0.0
+          ? static_cast<double>(report.messages_delivered) * 1000.0 /
+                report.wall_ms
+          : 0.0;
 }
-
-}  // namespace
 
 SessionEngine::SessionEngine(EngineOptions options) : options_(options) {}
 
@@ -37,37 +45,43 @@ EngineReport SessionEngine::run_all() {
   GFOR14_EXPECTS(!spent_);
   spent_ = true;
 
+  // Batch = supervised runtime with retries/chaos/budgets off and capacity
+  // for the whole batch up front: the drain is a single wave, i.e. one
+  // parallel_for over the sessions, preserving the original execution
+  // shape (and the §13 byte-identity contract) exactly.
+  SupervisorOptions sup;
+  sup.master_seed = options_.master_seed;
+  sup.threads = options_.threads;
+  sup.queue_capacity = std::max<std::size_t>(pending_.size(), 1);
+  sup.retry.max_attempts = 1;
+  SupervisedRuntime runtime(sup);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (SessionConfig& cfg : pending_) {
+    const bool admitted = runtime.try_submit(cfg);
+    GFOR14_EXPECTS(admitted);
+  }
+  RuntimeReport rr = runtime.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
   EngineReport report;
   report.threads = threads();
+  report.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   report.sessions.resize(pending_.size());
 
-  // One parallel_for, one strand per session: fn(i) is invoked exactly
-  // once and writes only its own slot, so the batch inherits the pool's
-  // determinism contract wholesale. Session construction happens inside
-  // the strand — derive_seeds is a pure function of (master_seed, id), so
-  // placement cannot leak between strands.
-  const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool::instance().parallel_for(
-      0, pending_.size(), report.threads, [&](std::size_t i) {
-        Session session(pending_[i], options_.master_seed);
-        report.sessions[i] = session.run();
-      });
-  const auto t1 = std::chrono::steady_clock::now();
-  report.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    index_of[pending_[i].id] = i;
+  for (SessionResult& r : rr.completed)
+    report.sessions[index_of.at(r.config.id)] = std::move(r);
+  report.failures = std::move(rr.failures);
+  // A failed session's slot stays default-constructed except for the config
+  // echo, so callers can still see what was attempted.
+  for (const FailureRecord& f : report.failures)
+    report.sessions[index_of.at(f.session_id)].config =
+        pending_[index_of.at(f.session_id)];
 
-  std::vector<double> latencies;
-  latencies.reserve(report.sessions.size());
-  for (const SessionResult& r : report.sessions) {
-    report.messages_delivered += r.messages_delivered;
-    latencies.push_back(r.wall_ms);
-  }
-  std::sort(latencies.begin(), latencies.end());
-  report.p50_session_ms = percentile(latencies, 0.50);
-  report.p95_session_ms = percentile(latencies, 0.95);
-  if (report.wall_ms > 0.0)
-    report.messages_per_sec =
-        static_cast<double>(report.messages_delivered) * 1000.0 /
-        report.wall_ms;
+  finalize_engine_report(report);
 
   // Belt-and-braces: every session already rolled up at completion, but a
   // recursive root roll-up here makes process totals exact even for scopes

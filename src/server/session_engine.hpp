@@ -1,15 +1,12 @@
-// Session-multiplexing engine (DESIGN.md §13): schedules many independent
-// server::Session executions over the shared common::ThreadPool and
-// aggregates their results into a throughput report.
+// Batch facade over the supervised session runtime (DESIGN.md §13/§14).
 //
-// Scheduling model: run_all() issues exactly ONE ThreadPool::parallel_for
-// over the submitted sessions, so every session executes wholly inside one
-// pool strand. Per-session lane parallelism (SessionConfig::lanes) nests
-// inside that strand and therefore runs inline — the pool forbids two live
-// parallel levels — which is transcript-equivalent by the lane-count-
-// independence contract of DESIGN.md §8. The pool's determinism contract
-// (fn(i) called exactly once, writes to disjoint slots) plus the sessions'
-// order-independent Rng lineage give the engine's own contract:
+// SessionEngine keeps the original submit-then-run_all batch API but is now
+// a thin wrapper over server::SupervisedRuntime: run_all() admits every
+// queued session into a runtime configured with max_attempts = 1 (no
+// retries, no chaos, no budgets) and drains it. An all-up-front admission
+// with no failures is exactly one wave — one ThreadPool::parallel_for over
+// the batch — so the execution shape, and with it the §13 interleaving-
+// determinism contract, is unchanged:
 //
 //   Interleaving determinism. For every submitted session, the transcript
 //   digest, Recording, CostReport, blame/fault logs and scoped counters in
@@ -17,16 +14,17 @@
 //   run alone via Session::run(), at ANY engine thread count and ANY
 //   co-scheduled session mix. Only wall-clock fields vary.
 //
-// Metric roll-up points: each session rolls its scope up at every round
-// barrier (Network) and once at completion (Session::run); run_all performs
-// one final recursive root roll-up so process totals are exact when the
-// report is returned.
+// Containment semantics (new): a session that dies no longer propagates its
+// exception out of run_all() — it surfaces as a FailureRecord in
+// EngineReport.failures and its EngineReport.sessions slot is left
+// default-constructed (recording empty, config echoed). Batches of clean
+// sessions — every existing caller — behave exactly as before.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "server/session.hpp"
+#include "server/supervisor.hpp"
 
 namespace gfor14::server {
 
@@ -42,6 +40,8 @@ struct EngineOptions {
 /// the wall_ms / latency / throughput aggregates are environmental.
 struct EngineReport {
   std::vector<SessionResult> sessions;  ///< submission order
+  /// Contained failures (sessions whose slot above is a placeholder).
+  std::vector<FailureRecord> failures;
   std::size_t threads = 0;              ///< strands actually requested
   double wall_ms = 0.0;                 ///< whole-batch wall clock
   std::size_t messages_delivered = 0;   ///< sum of honest deliveries
@@ -49,6 +49,12 @@ struct EngineReport {
   double p50_session_ms = 0.0;          ///< median session latency
   double p95_session_ms = 0.0;          ///< tail session latency
 };
+
+/// Fills the aggregate fields (messages_delivered, messages_per_sec,
+/// p50/p95 latency) from report.sessions and report.wall_ms, already set by
+/// the caller. Total function: empty batches and zero/negative wall clocks
+/// yield 0 rates — never inf or NaN (tests/supervisor_test.cpp pins this).
+void finalize_engine_report(EngineReport& report);
 
 class SessionEngine {
  public:

@@ -1,0 +1,462 @@
+// Supervised streaming runtime suite (DESIGN.md §14).
+//
+// Pins the three contracts the supervisor adds on top of the §13 session
+// isolation story:
+//
+//  1. Schedule determinism: the full admit/fail/retry ScheduleEvent log,
+//     the completed results and the contained FailureRecords of a fixed
+//     (master_seed, policy, chaos, admission sequence) are byte-identical
+//     at 1 and 4 engine threads.
+//  2. Crash containment: injected strand crashes, round-budget overruns and
+//     whole-fleet failures become FailureRecords (kind, failing round,
+//     blame set) — never a propagated exception, and never a session left
+//     in a non-terminal state after drain.
+//  3. Isolation under churn: clean co-scheduled sessions stay byte-identical
+//     to solo Session::run() baselines while their neighbours crash and
+//     retry; a retried session's transcript differs from its attempt-0
+//     recording only through the (master, id, attempt) Rng lineage.
+//
+// Plus the engine-report rate-math guards (zero wall clock / empty batch
+// never yields inf or NaN) and the bounded-queue backpressure behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/replay.hpp"
+#include "common/expect.hpp"
+#include "common/metrics.hpp"
+#include "server/session_engine.hpp"
+#include "server/supervisor.hpp"
+
+namespace gfor14 {
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 20260808;
+
+::testing::AssertionResult identical(const net::Recording& a,
+                                     const net::Recording& b) {
+  if (const auto d = audit::first_divergence(a, b))
+    return ::testing::AssertionFailure() << d->format();
+  return ::testing::AssertionSuccess();
+}
+
+/// Deterministic in-model wire faults against party 0 (marked corrupt by
+/// the session), inside the rounds a practical kappa=2 run takes.
+net::FaultPlan in_model_faults() {
+  net::FaultPlan plan;
+  plan.drop(2, 0, 1).corrupt_element(5, 0, 2, 1).truncate(7, 0, 1, 1);
+  return plan;
+}
+
+/// Small mixed fleet: id picks n / scheme / profile and whether the session
+/// carries wire faults, so the same fleet rebuilds for baselines and for
+/// both thread counts.
+server::SessionConfig fleet_config(std::size_t i) {
+  server::SessionConfig cfg;
+  cfg.id = i;
+  cfg.n = 4 + (i % 2);
+  cfg.scheme = (i % 2) ? vss::SchemeKind::kGGOR13 : vss::SchemeKind::kRB;
+  cfg.kappa = 2;
+  cfg.light = (i % 4) == 1;
+  if (i % 4 == 2) cfg.faults = in_model_faults();
+  return cfg;
+}
+
+/// Chaos plan used across the suite: sessions with id % 3 == 0 crash on
+/// attempt 0 and run clean from attempt 1 on.
+server::ChaosOptions churn_chaos() {
+  server::ChaosOptions chaos;
+  chaos.enabled = true;
+  chaos.every = 3;
+  chaos.crash_attempts = 1;
+  return chaos;
+}
+
+server::SupervisorOptions churn_options(std::size_t threads) {
+  server::SupervisorOptions sup;
+  sup.master_seed = kMasterSeed;
+  sup.threads = threads;
+  sup.queue_capacity = 64;
+  sup.retry.max_attempts = 3;
+  sup.chaos = churn_chaos();
+  return sup;
+}
+
+server::RuntimeReport run_fleet(server::SupervisorOptions sup,
+                                std::size_t sessions) {
+  server::SupervisedRuntime runtime(sup);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const bool admitted = runtime.try_submit(fleet_config(i));
+    EXPECT_TRUE(admitted);
+  }
+  return runtime.drain();
+}
+
+std::string describe_failures(const std::vector<server::FailureRecord>& fs) {
+  std::string s;
+  for (const auto& f : fs) s += f.describe() + "\n";
+  return s;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::Registry::reset_for_test(); }
+};
+
+TEST_F(SupervisorTest, ScheduleReplaysIdenticallyAtAnyThreadCount) {
+  constexpr std::size_t kSessions = 9;
+  const auto serial = run_fleet(churn_options(1), kSessions);
+  metrics::Registry::reset_for_test();
+  const auto parallel = run_fleet(churn_options(4), kSessions);
+
+  // The whole admit/fail/retry schedule, rendered canonically, must match.
+  EXPECT_EQ(server::format_schedule(serial.schedule),
+            server::format_schedule(parallel.schedule));
+  // Deterministic aggregates.
+  EXPECT_EQ(serial.admitted, parallel.admitted);
+  EXPECT_EQ(serial.completed_sessions, parallel.completed_sessions);
+  EXPECT_EQ(serial.failed_sessions, parallel.failed_sessions);
+  EXPECT_EQ(serial.retries, parallel.retries);
+  EXPECT_EQ(serial.waves, parallel.waves);
+  EXPECT_EQ(serial.retry_rate, parallel.retry_rate);
+  EXPECT_EQ(serial.messages_delivered, parallel.messages_delivered);
+  // Contained failures match field-for-field (describe() covers id,
+  // attempt, kind, failing round and blame set).
+  EXPECT_EQ(describe_failures(serial.failures),
+            describe_failures(parallel.failures));
+  // Completed results arrive in the same (wave, admission) order with the
+  // same transcripts.
+  ASSERT_EQ(serial.completed.size(), parallel.completed.size());
+  for (std::size_t i = 0; i < serial.completed.size(); ++i) {
+    SCOPED_TRACE("completed[" + std::to_string(i) + "]");
+    EXPECT_EQ(serial.completed[i].config.id, parallel.completed[i].config.id);
+    EXPECT_EQ(serial.completed[i].attempt, parallel.completed[i].attempt);
+    EXPECT_EQ(serial.completed[i].transcript_digest,
+              parallel.completed[i].transcript_digest);
+    EXPECT_TRUE(identical(serial.completed[i].recording,
+                          parallel.completed[i].recording));
+  }
+}
+
+TEST_F(SupervisorTest, CleanSessionsStayByteIdenticalWhileNeighborsCrash) {
+  // ids 0, 3, 6 crash on attempt 0 and retry; the others run clean. Every
+  // clean session must be byte-identical to its solo Session::run()
+  // baseline — the §13 isolation contract extended across churn.
+  constexpr std::size_t kSessions = 8;
+  const auto report = run_fleet(churn_options(4), kSessions);
+  ASSERT_EQ(report.completed_sessions, kSessions);
+  ASSERT_EQ(report.failed_attempts, 3u);  // ids 0, 3, 6
+
+  for (const auto& result : report.completed) {
+    if (result.attempt != 0) continue;  // retried neighbours checked below
+    SCOPED_TRACE("session " + std::to_string(result.config.id));
+    server::SessionConfig solo_cfg = fleet_config(result.config.id);
+    solo_cfg.scope_label = "solo/" + std::to_string(result.config.id);
+    server::Session solo(solo_cfg, kMasterSeed);
+    const auto baseline = solo.run();
+    EXPECT_TRUE(identical(baseline.recording, result.recording));
+    EXPECT_EQ(baseline.transcript_digest, result.transcript_digest);
+    EXPECT_EQ(baseline.costs, result.costs);
+    EXPECT_EQ(baseline.messages_delivered, result.messages_delivered);
+    EXPECT_EQ(baseline.counters, result.counters);
+  }
+}
+
+TEST_F(SupervisorTest, RetryLineageIsFreshButPinnedToSessionAndAttempt) {
+  // Attempt 0 must reproduce the original two-argument lineage; retries
+  // re-fork by attempt, giving fresh independent seeds.
+  const auto a0 = server::derive_seeds(kMasterSeed, 5);
+  const auto a0_explicit = server::derive_seeds(kMasterSeed, 5, 0);
+  EXPECT_EQ(a0.net_seed, a0_explicit.net_seed);
+  EXPECT_EQ(a0.fault_seed, a0_explicit.fault_seed);
+  const auto a1 = server::derive_seeds(kMasterSeed, 5, 1);
+  const auto a2 = server::derive_seeds(kMasterSeed, 5, 2);
+  EXPECT_NE(a0.net_seed, a1.net_seed);
+  EXPECT_NE(a1.net_seed, a2.net_seed);
+  // Pure function of (master, id, attempt).
+  EXPECT_EQ(a1.net_seed, server::derive_seeds(kMasterSeed, 5, 1).net_seed);
+
+  // End to end: a crashed session's successful retry carries attempt 1,
+  // runs under the attempt-1 seeds, and its transcript differs from the
+  // attempt-0 solo baseline of the same config — only the lineage changed.
+  server::SupervisorOptions sup = churn_options(2);
+  sup.chaos.every = 1;  // every session crashes on attempt 0
+  const auto report = run_fleet(sup, 2);
+  ASSERT_EQ(report.completed_sessions, 2u);
+  ASSERT_EQ(report.failed_attempts, 2u);
+  for (const auto& result : report.completed) {
+    SCOPED_TRACE("session " + std::to_string(result.config.id));
+    EXPECT_EQ(result.attempt, 1u);
+    const auto expect_seeds =
+        server::derive_seeds(kMasterSeed, result.config.id, 1);
+    EXPECT_EQ(result.seeds.net_seed, expect_seeds.net_seed);
+
+    server::SessionConfig solo_cfg = fleet_config(result.config.id);
+    solo_cfg.scope_label = "solo/" + std::to_string(result.config.id);
+    server::Session solo(solo_cfg, kMasterSeed);
+    const auto attempt0 = solo.run();
+    EXPECT_NE(attempt0.transcript_digest, result.transcript_digest);
+
+    // And the retried transcript still replay-verifies under its own
+    // (id, attempt) lineage.
+    const auto divergence = server::replay_verify(result, kMasterSeed);
+    EXPECT_FALSE(divergence.has_value())
+        << "session " << result.config.id << ": " << divergence->format();
+  }
+}
+
+TEST_F(SupervisorTest, InjectedCrashesAreContainedWithRoundAndBlame) {
+  server::SupervisorOptions sup = churn_options(4);
+  sup.retry.max_attempts = 1;  // no retries: every crash is a give-up
+  sup.chaos.every = 1;
+  const auto report = run_fleet(sup, 3);
+  EXPECT_EQ(report.completed_sessions, 0u);
+  EXPECT_EQ(report.failed_sessions, 3u);
+  ASSERT_EQ(report.failures.size(), 3u);
+  for (const auto& f : report.failures) {
+    SCOPED_TRACE("session " + std::to_string(f.session_id));
+    EXPECT_EQ(f.kind, net::FailureKind::kInjectedCrash);
+    const auto planned = server::chaos_crash_round(sup.chaos, kMasterSeed,
+                                                   f.session_id, 0);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(f.failing_round, *planned);
+    EXPECT_FALSE(f.what.empty());
+  }
+}
+
+TEST_F(SupervisorTest, RoundBudgetOverrunFailsWithRoundLimit) {
+  server::SupervisorOptions sup;
+  sup.master_seed = kMasterSeed;
+  sup.threads = 2;
+  sup.retry.max_attempts = 2;
+  sup.retry.round_budget = 3;  // far below the rounds a session needs
+  const auto report = run_fleet(sup, 2);
+  EXPECT_EQ(report.completed_sessions, 0u);
+  EXPECT_EQ(report.failed_sessions, 2u);
+  EXPECT_EQ(report.failures.size(), 4u);  // 2 sessions x 2 attempts
+  for (const auto& f : report.failures) {
+    EXPECT_EQ(f.kind, net::FailureKind::kRoundLimit);
+    EXPECT_EQ(f.failing_round, 3u);
+  }
+  // The schedule records the full lifecycle: admit, fail, retry with capped
+  // exponential backoff (base 1: retry 1 eligible at wave 0+1+1), second
+  // fail, give-up — all deterministic.
+  const std::string schedule = server::format_schedule(report.schedule);
+  EXPECT_NE(schedule.find("w0 admit id=0 attempt=0"), std::string::npos)
+      << schedule;
+  EXPECT_NE(schedule.find("w0 fail id=0 attempt=0 cause=round_limit"),
+            std::string::npos)
+      << schedule;
+  EXPECT_NE(schedule.find("w0 retry id=0 attempt=1 eligible=w2"),
+            std::string::npos)
+      << schedule;
+  EXPECT_NE(schedule.find("w2 give_up id=0 attempt=1 cause=round_limit"),
+            std::string::npos)
+      << schedule;
+}
+
+TEST_F(SupervisorTest, BackoffIsCappedExponential) {
+  server::RetryPolicy policy;  // base 1, cap 8
+  EXPECT_EQ(policy.backoff_waves(1), 1u);
+  EXPECT_EQ(policy.backoff_waves(2), 2u);
+  EXPECT_EQ(policy.backoff_waves(3), 4u);
+  EXPECT_EQ(policy.backoff_waves(4), 8u);
+  EXPECT_EQ(policy.backoff_waves(5), 8u);  // capped
+  EXPECT_EQ(policy.backoff_waves(70), 8u);  // shift-overflow safe
+  policy.backoff_base = 0;  // immediate retries
+  EXPECT_EQ(policy.backoff_waves(3), 0u);
+  policy.backoff_base = 3;
+  policy.backoff_cap = 5;
+  EXPECT_EQ(policy.backoff_waves(1), 3u);
+  EXPECT_EQ(policy.backoff_waves(2), 5u);
+}
+
+TEST_F(SupervisorTest, ChaosCrashRoundIsAPureFunctionOfScheduleCoords) {
+  const auto chaos = churn_chaos();
+  const auto a = server::chaos_crash_round(chaos, kMasterSeed, 3, 0);
+  const auto b = server::chaos_crash_round(chaos, kMasterSeed, 3, 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_GE(*a, chaos.min_round);
+  EXPECT_LT(*a, chaos.max_round);
+  // Non-selected ids and exhausted crash_attempts are spared; disabled
+  // chaos never injects.
+  EXPECT_FALSE(server::chaos_crash_round(chaos, kMasterSeed, 4, 0));
+  EXPECT_FALSE(server::chaos_crash_round(chaos, kMasterSeed, 3, 1));
+  server::ChaosOptions off;
+  EXPECT_FALSE(server::chaos_crash_round(off, kMasterSeed, 3, 0));
+}
+
+TEST_F(SupervisorTest, BackpressureBoundsTheQueueAndNothingLeaks) {
+  server::SupervisorOptions sup;
+  sup.master_seed = kMasterSeed;
+  sup.threads = 2;
+  sup.queue_capacity = 2;
+  sup.retry.max_attempts = 1;
+  server::SupervisedRuntime runtime(sup);
+
+  // A feeder thread pushes 6 light sessions through a queue of 2 with
+  // blocking submits; the main thread drives waves. The queue must never
+  // exceed its capacity and every session must reach a terminal state.
+  constexpr std::size_t kSessions = 6;
+  std::atomic<bool> fed{false};
+  std::thread feeder([&] {
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      server::SessionConfig cfg;
+      cfg.id = i;
+      cfg.n = 4;
+      cfg.light = true;
+      EXPECT_TRUE(runtime.submit(cfg));
+    }
+    fed.store(true);
+  });
+  while (!fed.load() || !runtime.idle()) {
+    if (runtime.run_wave() == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  feeder.join();
+  const auto report = runtime.drain();
+
+  EXPECT_LE(report.queue_high_water, sup.queue_capacity);
+  EXPECT_EQ(report.admitted, kSessions);
+  EXPECT_EQ(report.completed_sessions, kSessions);
+  EXPECT_EQ(report.failed_sessions, 0u);
+  EXPECT_EQ(runtime.queue_depth(), 0u);
+  for (std::size_t i = 0; i < kSessions; ++i)
+    EXPECT_EQ(runtime.state_of(i), server::SessionState::kCompleted);
+  // Closed runtime rejects both admission paths.
+  server::SessionConfig late;
+  late.id = 99;
+  late.n = 4;
+  late.light = true;
+  EXPECT_FALSE(runtime.submit(late));
+  EXPECT_FALSE(runtime.try_submit(late));
+}
+
+TEST_F(SupervisorTest, TrySubmitRejectsWhenTheQueueIsFull) {
+  server::SupervisorOptions sup;
+  sup.master_seed = kMasterSeed;
+  sup.queue_capacity = 1;
+  server::SupervisedRuntime runtime(sup);
+  server::SessionConfig a = fleet_config(0);
+  server::SessionConfig b = fleet_config(1);
+  EXPECT_TRUE(runtime.try_submit(a));
+  EXPECT_FALSE(runtime.try_submit(b));  // full, non-blocking
+  EXPECT_EQ(runtime.run_wave(), 1u);    // frees the slot
+  EXPECT_TRUE(runtime.try_submit(b));
+  const auto report = runtime.drain();
+  EXPECT_EQ(report.completed_sessions, 2u);
+}
+
+TEST_F(SupervisorTest, HealthCountersTrackTheSchedule) {
+  const auto report = run_fleet(churn_options(2), 6);  // ids 0, 3 crash
+  auto& root = metrics::Registry::instance();
+  EXPECT_EQ(root.counter("server.admitted").value(), report.admitted);
+  EXPECT_EQ(root.counter("server.completed").value(),
+            report.completed_sessions);
+  EXPECT_EQ(root.counter("server.failed").value(), report.failed_attempts);
+  EXPECT_EQ(root.counter("server.retried").value(), report.retries);
+  EXPECT_EQ(root.counter("server.failed_sessions").value(),
+            report.failed_sessions);
+  EXPECT_EQ(root.gauge("server.queue_depth").value(), 0.0);
+  // Everything retried to success: the engine ends healthy.
+  EXPECT_EQ(report.failed_sessions, 0u);
+  EXPECT_EQ(root.gauge("server.degraded").value(), 0.0);
+}
+
+TEST_F(SupervisorTest, EngineRateMathNeverYieldsInfOrNaN) {
+  // Empty batch, zero wall clock.
+  server::EngineReport empty;
+  server::finalize_engine_report(empty);
+  EXPECT_EQ(empty.messages_per_sec, 0.0);
+  EXPECT_EQ(empty.p50_session_ms, 0.0);
+  EXPECT_EQ(empty.p95_session_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(empty.messages_per_sec));
+
+  // Instant batch: deliveries but wall_ms == 0 must not divide by zero.
+  server::EngineReport instant;
+  instant.sessions.resize(2);
+  instant.sessions[0].messages_delivered = 3;
+  instant.sessions[0].wall_ms = 1.5;
+  instant.sessions[1].messages_delivered = 4;
+  instant.sessions[1].wall_ms = 2.5;
+  instant.wall_ms = 0.0;
+  server::finalize_engine_report(instant);
+  EXPECT_EQ(instant.messages_delivered, 7u);
+  EXPECT_EQ(instant.messages_per_sec, 0.0);
+  EXPECT_TRUE(std::isfinite(instant.messages_per_sec));
+  // Nearest-rank with rounding: the midpoint of a two-sample batch rounds
+  // up to the second order statistic (the seed engine's behavior).
+  EXPECT_EQ(instant.p50_session_ms, 2.5);
+  EXPECT_EQ(instant.p95_session_ms, 2.5);
+
+  // percentile_sorted is total on empty samples.
+  EXPECT_EQ(server::percentile_sorted({}, 0.5), 0.0);
+
+  // And a drained-empty runtime reports all-zero rates, not NaN.
+  server::SupervisedRuntime runtime(server::SupervisorOptions{});
+  const auto report = runtime.drain();
+  EXPECT_EQ(report.admitted, 0u);
+  EXPECT_TRUE(std::isfinite(report.messages_per_sec));
+  EXPECT_EQ(report.p50_admit_to_complete_ms, 0.0);
+  EXPECT_EQ(report.retry_rate, 0.0);
+}
+
+TEST_F(SupervisorTest, BatchEngineContainsFailuresInsteadOfThrowing) {
+  // The rewrapped SessionEngine surfaces a dead session as a FailureRecord
+  // in EngineReport.failures; the healthy session is untouched.
+  server::SessionConfig bad = fleet_config(0);
+  bad.n = 2;  // violates the n >= 3 precondition inside the strand
+  server::SessionConfig good = fleet_config(1);
+  server::SessionEngine engine({kMasterSeed, 2});
+  engine.submit(bad);
+  engine.submit(good);
+  const auto report = engine.run_all();
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].session_id, bad.id);
+  ASSERT_EQ(report.sessions.size(), 2u);
+  EXPECT_EQ(report.sessions[0].recording.rounds.size(), 0u);  // placeholder
+  EXPECT_GT(report.sessions[1].messages_delivered, 0u);
+}
+
+TEST_F(SupervisorTest, ChurnSoakDrainsCleanAndReplayVerifies) {
+  // Bounded end-to-end churn soak: streaming admission, crashes, retries —
+  // then every completed transcript must replay byte-identically solo and
+  // every admitted session must be terminal.
+  server::SupervisorOptions sup = churn_options(4);
+  sup.queue_capacity = 3;
+  server::SupervisedRuntime runtime(sup);
+  constexpr std::size_t kSessions = 9;
+  std::atomic<bool> fed{false};
+  std::thread feeder([&] {
+    for (std::size_t i = 0; i < kSessions; ++i)
+      EXPECT_TRUE(runtime.submit(fleet_config(i)));
+    fed.store(true);
+  });
+  while (!fed.load() || !runtime.idle()) {
+    if (runtime.run_wave() == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  feeder.join();
+  const auto report = runtime.drain();
+
+  EXPECT_EQ(report.admitted, kSessions);
+  EXPECT_EQ(report.completed_sessions + report.failed_sessions, kSessions);
+  EXPECT_EQ(report.failed_sessions, 0u);  // crashes all retried to success
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_LE(report.queue_high_water, sup.queue_capacity);
+  for (const auto& result : report.completed) {
+    const auto divergence = server::replay_verify(result, kMasterSeed);
+    EXPECT_FALSE(divergence.has_value())
+        << "session " << result.config.id << " attempt " << result.attempt
+        << ": " << divergence->format();
+  }
+}
+
+}  // namespace
+}  // namespace gfor14
