@@ -16,13 +16,26 @@
 //                                            --gate, only gated keys block)
 //   gfor14-audit top        TELEMETRY.json   resource view over a telemetry
 //                                            document (counters with rates,
-//                                            RSS, round wall, alloc domains)
+//                                            RSS, round wall, alloc domains,
+//                                            engine SLO health)
+//   gfor14-audit critpath   RECORDING [--wall]
+//                                            per-round critical path through
+//                                            the causal event graph + phase
+//                                            attribution (logical weights;
+//                                            --wall adds recorded wall
+//                                            columns). Exit 1 on a malformed
+//                                            graph.
+//   gfor14-audit waterfall  RECORDING [--width N]
+//                                            per-round latency waterfall:
+//                                            recorded round wall split across
+//                                            the round's critical segments
 //
-// Exit codes: 0 clean, 1 unreadable input, 2 usage, 3 divergence or
-// regression found. Recordings come from `gfor14_cli ... --record PATH` or
-// the test harnesses; bench artifacts from the bench/ binaries; telemetry
-// documents from `gfor14_cli ... --telemetry PATH` or the `telemetry` block
-// of a schema-3 bench artifact.
+// Exit codes: 0 clean, 1 unreadable input or malformed event graph, 2
+// usage, 3 divergence or regression found. Recordings come from
+// `gfor14_cli ... --record PATH` or the test harnesses; bench artifacts
+// from the bench/ binaries; telemetry documents from
+// `gfor14_cli ... --telemetry PATH` or the `telemetry` block of a schema-3
+// bench artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +43,7 @@
 #include <string>
 
 #include "audit/bench_diff.hpp"
+#include "audit/critpath.hpp"
 #include "audit/replay.hpp"
 #include "audit/report.hpp"
 #include "common/json.hpp"
@@ -45,8 +59,10 @@ int usage() {
       "usage: gfor14-audit <matrix|timeline|blame|info> RECORDING\n"
       "       gfor14-audit diff RECORDING_A RECORDING_B\n"
       "       gfor14-audit bench-diff BASELINE.json CANDIDATE.json"
-      " [--threshold PCT] [--gate KEY=PCT,...]\n"
-      "       gfor14-audit top TELEMETRY.json\n");
+      " [--threshold PCT] [--gate KEY=PCT,...] [--max KEY=VALUE,...]\n"
+      "       gfor14-audit top TELEMETRY.json\n"
+      "       gfor14-audit critpath RECORDING [--wall]\n"
+      "       gfor14-audit waterfall RECORDING [--width N]\n");
   return 2;
 }
 
@@ -129,10 +145,33 @@ std::optional<std::vector<audit::GateSpec>> parse_gates(
   return gates;
 }
 
+/// "profiling.overhead_pct=5,wall_ms=2000" -> CeilingSpecs (absolute
+/// candidate-value bounds). Nullopt on malformed input.
+std::optional<std::vector<audit::CeilingSpec>> parse_ceilings(
+    const std::string& spec) {
+  std::vector<audit::CeilingSpec> ceilings;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.rfind('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    char* end = nullptr;
+    const double max = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1 || *end != '\0') return std::nullopt;
+    ceilings.push_back({item.substr(0, eq), max});
+    pos = comma + 1;
+  }
+  if (ceilings.empty()) return std::nullopt;
+  return ceilings;
+}
+
 int run_bench_diff(int argc, char** argv) {
   if (argc < 4) return usage();
   double threshold = 0.2;
   std::vector<audit::GateSpec> gates;
+  std::vector<audit::CeilingSpec> ceilings;
   for (int i = 4; i + 1 < argc; i += 2) {
     if (std::string(argv[i]) == "--threshold") {
       threshold = std::strtod(argv[i + 1], nullptr) / 100.0;
@@ -140,6 +179,10 @@ int run_bench_diff(int argc, char** argv) {
       auto parsed = parse_gates(argv[i + 1]);
       if (!parsed) return usage();
       gates.insert(gates.end(), parsed->begin(), parsed->end());
+    } else if (std::string(argv[i]) == "--max") {
+      auto parsed = parse_ceilings(argv[i + 1]);
+      if (!parsed) return usage();
+      ceilings.insert(ceilings.end(), parsed->begin(), parsed->end());
     } else {
       return usage();
     }
@@ -148,9 +191,42 @@ int run_bench_diff(int argc, char** argv) {
   const auto base = load_json(argv[2]);
   const auto cand = load_json(argv[3]);
   if (!base || !cand) return 1;
-  const auto result = audit::bench_diff(*base, *cand, threshold, gates);
+  const auto result =
+      audit::bench_diff(*base, *cand, threshold, gates, ceilings);
   std::printf("%s", result.format().c_str());
   return result.has_regression() ? 3 : 0;
+}
+
+int run_critpath(int argc, char** argv, bool waterfall) {
+  if (argc < 3) return usage();
+  bool with_wall = false;
+  std::size_t width = 48;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!waterfall && arg == "--wall") {
+      with_wall = true;
+    } else if (waterfall && arg == "--width" && i + 1 < argc) {
+      width = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (width == 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  const auto rec = load_recording(argv[2]);
+  if (!rec) return 1;
+  std::string error;
+  const auto report = audit::analyze(*rec, &error);
+  if (!report) {
+    // Malformed event graphs must fail loudly, never render a plausible
+    // profile (ISSUE acceptance: nonzero exit).
+    std::fprintf(stderr, "critical-path analysis failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (waterfall)
+    std::printf("%s", audit::render_waterfall(*report, width).c_str());
+  else
+    std::printf("%s", audit::render_critpath(*report, with_wall).c_str());
+  return 0;
 }
 
 int run_top(const std::string& path) {
@@ -187,5 +263,7 @@ int main(int argc, char** argv) {
     if (argc != 3) return usage();
     return run_top(argv[2]);
   }
+  if (cmd == "critpath") return run_critpath(argc, argv, false);
+  if (cmd == "waterfall") return run_critpath(argc, argv, true);
   return usage();
 }

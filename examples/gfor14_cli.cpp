@@ -10,6 +10,7 @@
 //                        [--faulty F] [--verify]
 //                        [--soak] [--churn] [--retries R] [--queue-cap Q]
 //                        [--round-budget B] [--crash-every E]
+//                        [--record-dir DIR] [SLO flags]
 //   gfor14_cli replay    RECORDING [--threads N|hw] [telemetry flags]
 //
 // Observability (any command):
@@ -73,6 +74,18 @@
 // injection (every --crash-every E-th session's strand crashes mid-protocol
 // on its first attempt, then retries clean). Exit status is non-zero when
 // any session permanently failed or --verify found a divergence.
+// --record-dir DIR writes every completed session's flight recording to
+// DIR/session-<id>.recording (DIR must exist) — the profiler CI job feeds
+// these to `gfor14-audit critpath`/`waterfall`.
+//
+// SLO targets (`serve --soak`, DESIGN.md §15) — each flag arms one
+// declarative target; the supervisor evaluates them at every wave barrier
+// and the summary (plus `gfor14-audit top` via the telemetry annotation)
+// reports structured DEGRADED reasons with since-wave anchors:
+//   --slo-round-wall-p95 US   environmental: p95 round wall <= US microsec
+//   --slo-min-mps X           environmental: >= X delivered messages/sec
+//   --slo-max-retry-rate X    deterministic: retries/admitted <= X
+//   --slo-min-honest X        deterministic: completed/terminal >= X
 //
 // Attacks: dense, unequal, wrongcopy, guessing, zero, fixed (mounted by
 // party 0, which is marked corrupt).
@@ -100,6 +113,7 @@
 #include "net/recorder.hpp"
 #include "pseudosig/broadcast_sim.hpp"
 #include "server/session_engine.hpp"
+#include "server/slo.hpp"
 #include "vss/schemes.hpp"
 
 using namespace gfor14;
@@ -136,6 +150,8 @@ struct Options {
   std::size_t queue_cap = 8;      // serve --soak: admission queue bound
   std::size_t round_budget = 0;   // serve --soak: per-attempt round budget
   std::size_t crash_every = 3;    // serve --soak --churn: crash id % E == 0
+  std::string record_dir;         // serve: per-session recordings, "" = off
+  server::SloTargets slo;         // serve --soak: declarative SLO targets
   std::shared_ptr<net::Recording> replay_reference;  // set by `replay`
 };
 
@@ -156,7 +172,10 @@ int usage() {
                " [--kappa K]\n"
                "        [--seed S] [--faulty F] [--verify]\n"
                "        [--soak] [--churn] [--retries R] [--queue-cap Q]\n"
-               "        [--round-budget B] [--crash-every E]\n"
+               "        [--round-budget B] [--crash-every E]"
+               " [--record-dir DIR]\n"
+               "        [--slo-round-wall-p95 US] [--slo-min-mps X]\n"
+               "        [--slo-max-retry-rate X] [--slo-min-honest X]\n"
                "        [--telemetry PATH|-] [--prom PATH]"
                " [--sample-every N] [--top]\n"
                "   or: gfor14_cli replay RECORDING [--threads N|hw]\n"
@@ -182,6 +201,16 @@ bool parse_size_strict(const std::string& value, std::size_t& out) {
   std::uint64_t v = 0;
   if (!parse_u64_strict(value, v)) return false;
   out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Non-negative decimal parse for the SLO flags ("250", "0.95").
+bool parse_double_strict(const std::string& value, double& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || v < 0.0) return false;
+  out = v;
   return true;
 }
 
@@ -314,6 +343,23 @@ bool parse(int argc, char** argv, Options& opt) {
         return complain_number(key, value);
       if (opt.crash_every == 0)
         return complain("--crash-every must be at least 1");
+    } else if (key == "--record-dir") {
+      opt.record_dir = value;
+    } else if (key == "--slo-round-wall-p95") {
+      if (!parse_double_strict(value, opt.slo.round_wall_p95_us) ||
+          opt.slo.round_wall_p95_us <= 0.0)
+        return complain_number(key, value);
+    } else if (key == "--slo-min-mps") {
+      if (!parse_double_strict(value, opt.slo.min_messages_per_sec) ||
+          opt.slo.min_messages_per_sec <= 0.0)
+        return complain_number(key, value);
+    } else if (key == "--slo-max-retry-rate") {
+      if (!parse_double_strict(value, opt.slo.max_retry_rate))
+        return complain_number(key, value);
+    } else if (key == "--slo-min-honest") {
+      if (!parse_double_strict(value, opt.slo.min_honest_delivery) ||
+          opt.slo.min_honest_delivery > 1.0)
+        return complain_number(key, value);
     } else {
       return complain("unknown option '%s'", key.c_str());
     }
@@ -673,6 +719,7 @@ int run_serve_soak(const Options& opt) {
   sup.retry.round_budget = opt.round_budget;
   sup.chaos.enabled = opt.churn;
   sup.chaos.every = opt.crash_every;
+  sup.slo = opt.slo;
   server::SupervisedRuntime runtime(sup);
 
   // The §11 telemetry surface, sampled per scheduling wave instead of per
@@ -740,11 +787,39 @@ int run_serve_soak(const Options& opt) {
   std::printf("throughput: %zu messages in %.2f ms = %.1f messages/sec\n",
               report.messages_delivered, report.wall_ms,
               report.messages_per_sec);
-  std::printf("engine state: %s\n",
-              report.failed_sessions > 0 ? "DEGRADED" : "healthy");
+  // Structured health (DESIGN.md §15): WHICH expectation broke, by how
+  // much and since which wave — not just a boolean.
+  const bool degraded = report.failed_sessions > 0 || report.slo.degraded();
+  std::printf("engine state: %s\n", degraded ? "DEGRADED" : "healthy");
+  if (report.slo.degraded())
+    for (const auto& b : report.slo.breaches)
+      std::printf("  slo breach: %s\n", b.describe().c_str());
+  else if (report.failed_sessions > 0)
+    std::printf("  %zu sessions permanently failed\n", report.failed_sessions);
   if (report.failed_sessions > 0) rc = 1;
 
+  if (!opt.record_dir.empty()) {
+    std::size_t written = 0;
+    for (const auto& s : report.completed) {
+      const std::string path =
+          opt.record_dir + "/session-" + std::to_string(s.config.id) +
+          ".recording";
+      if (s.recording.save(path)) {
+        ++written;
+      } else {
+        std::fprintf(stderr, "error: cannot write recording '%s'\n",
+                     path.c_str());
+        rc = 1;
+      }
+    }
+    std::printf("recordings: %zu sessions into %s/\n", written,
+                opt.record_dir.c_str());
+  }
+
   if (sampler) {
+    // Embed the structured SLO status so `gfor14-audit top` renders the
+    // breach reasons from the exported document.
+    sampler->set_annotation("slo", report.slo.to_json());
     if (opt.telemetry_path == "-") {
       std::printf("%s\n", sampler->to_json().dump(2).c_str());
     } else if (!opt.telemetry_path.empty()) {
@@ -803,6 +878,24 @@ int run_serve(const Options& opt) {
       }
     }
     std::printf("\n");
+  }
+  if (!opt.record_dir.empty()) {
+    std::size_t written = 0;
+    for (const auto& s : report.sessions) {
+      if (s.recording.rounds.empty()) continue;  // contained failure slot
+      const std::string path =
+          opt.record_dir + "/session-" + std::to_string(s.config.id) +
+          ".recording";
+      if (s.recording.save(path)) {
+        ++written;
+      } else {
+        std::fprintf(stderr, "error: cannot write recording '%s'\n",
+                     path.c_str());
+        rc = 1;
+      }
+    }
+    std::printf("recordings: %zu sessions into %s/\n", written,
+                opt.record_dir.c_str());
   }
   std::printf("throughput: %zu messages in %.2f ms = %.1f messages/sec | "
               "session latency p50 %.2f ms, p95 %.2f ms\n",

@@ -11,11 +11,21 @@ namespace {
 struct DiffCtx {
   BenchDiffResult& out;
   const std::vector<GateSpec>& gates;
+  const std::vector<CeilingSpec>& ceilings;
   /// Schema versions differ: one-sided fields are expected, collect them
   /// into a single skipped-keys note instead of one note each.
   bool tolerate_missing = false;
   std::vector<std::string> skipped;
 };
+
+/// GateSpec/CeilingSpec key matching: full dotted key or dotted suffix.
+bool key_matches(const std::string& key, const std::string& pattern) {
+  return key == pattern ||
+         (key.size() > pattern.size() + 1 &&
+          key.compare(key.size() - pattern.size(), pattern.size(), pattern) ==
+              0 &&
+          key[key.size() - pattern.size() - 1] == '.');
+}
 
 void note_missing(DiffCtx& ctx, std::size_t row, const std::string& key,
                   const char* side) {
@@ -31,11 +41,13 @@ void note_missing(DiffCtx& ctx, std::size_t row, const std::string& key,
 
 const GateSpec* match_gate(const DiffCtx& ctx, const std::string& key) {
   for (const auto& g : ctx.gates)
-    if (key == g.key ||
-        (key.size() > g.key.size() + 1 &&
-         key.compare(key.size() - g.key.size(), g.key.size(), g.key) == 0 &&
-         key[key.size() - g.key.size() - 1] == '.'))
-      return &g;
+    if (key_matches(key, g.key)) return &g;
+  return nullptr;
+}
+
+const CeilingSpec* match_ceiling(const DiffCtx& ctx, const std::string& key) {
+  for (const auto& c : ctx.ceilings)
+    if (key_matches(key, c.key)) return &c;
   return nullptr;
 }
 
@@ -48,6 +60,14 @@ void diff_value(const json::Value& base, const json::Value& cand,
     ++out.fields_compared;
     const double b = base.as_double();
     const double c = cand.as_double();
+    if (const CeilingSpec* lid = match_ceiling(ctx, key))
+      if (c > lid->max) {
+        // Absolute bound on the candidate: baseline slot carries the max so
+        // format() can print "value > max". Always blocks.
+        out.deltas.push_back(
+            {row, key, lid->max, c, 0.0, false, false, true});
+        return;
+      }
     if (b == c) return;
     const double rel = b == 0.0 ? (c > 0 ? 1e9 : -1e9)
                                 : (c - b) / std::fabs(b);
@@ -55,7 +75,7 @@ void diff_value(const json::Value& base, const json::Value& cand,
     const double threshold = gate ? gate->threshold : out.threshold;
     if (std::fabs(rel) > threshold)
       out.deltas.push_back(
-          {row, key, b, c, rel, higher_is_better(key), gate != nullptr});
+          {row, key, b, c, rel, higher_is_better(key), gate != nullptr, false});
     return;
   }
   if (base.is_object() && cand.is_object()) {
@@ -106,10 +126,12 @@ bool higher_is_better(const std::string& key) {
 
 BenchDiffResult bench_diff(const json::Value& baseline,
                            const json::Value& candidate, double threshold,
-                           const std::vector<GateSpec>& gates) {
+                           const std::vector<GateSpec>& gates,
+                           const std::vector<CeilingSpec>& ceilings) {
   BenchDiffResult out;
   out.threshold = threshold;
   out.gates_active = gates.size();
+  out.ceilings_active = ceilings.size();
   out.experiment = get_experiment(baseline);
 
   if (get_experiment(baseline) != get_experiment(candidate))
@@ -117,7 +139,7 @@ BenchDiffResult bench_diff(const json::Value& baseline,
                         get_experiment(baseline) + "', candidate '" +
                         get_experiment(candidate) + "'");
 
-  DiffCtx ctx{out, gates, false, {}};
+  DiffCtx ctx{out, gates, ceilings, false, {}};
   const double bschema = get_schema(baseline);
   const double cschema = get_schema(candidate);
   ctx.tolerate_missing = bschema != cschema;
@@ -162,10 +184,21 @@ std::string BenchDiffResult::format() const {
                   gates_active == 1 ? "" : "s");
     s += buf;
   }
+  if (ceilings_active > 0) {
+    std::snprintf(buf, sizeof buf, ", %zu ceiling%s (blocking)",
+                  ceilings_active, ceilings_active == 1 ? "" : "s");
+    s += buf;
+  }
   s += "\n";
   for (const auto& n : notes) s += "  note: " + n + "\n";
   for (const auto& d : deltas) {
-    const bool blocking = gates_active == 0 || d.gated;
+    if (d.ceiling) {
+      std::snprintf(buf, sizeof buf, "  CEILING EXCEEDED row %zu %s: %g > max %g\n",
+                    d.row, d.key.c_str(), d.candidate, d.baseline);
+      s += buf;
+      continue;
+    }
+    const bool blocking = gates_active + ceilings_active == 0 || d.gated;
     const char* label = !d.regression()       ? "improvement"
                         : d.gated             ? "GATE REGRESSION"
                         : blocking            ? "REGRESSION "

@@ -21,6 +21,12 @@
 // job can pin the deterministic keys (element throughput, logical alloc
 // bytes) without going flaky on wall-clock noise in the other fields, which
 // stay visible as informational lines.
+//
+// Ceilings (`--max KEY=VALUE`) are absolute bounds on the CANDIDATE value,
+// independent of the baseline: the profiler CI job pins
+// "profiling.overhead_pct" under its 5% budget this way (diffing an
+// artifact against itself makes every relative delta vanish while the
+// ceiling still applies). A breached ceiling always blocks.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +45,13 @@ struct GateSpec {
   double threshold = 0.15;  ///< relative change (0.15 = 15%)
 };
 
+/// A blocking absolute ceiling on the candidate's value for a key (same
+/// full-dotted-key-or-dotted-suffix matching as GateSpec).
+struct CeilingSpec {
+  std::string key;
+  double max = 0.0;  ///< candidate value above this blocks
+};
+
 /// One numeric field whose relative change exceeded its threshold.
 struct BenchDelta {
   std::size_t row = 0;  ///< row index in both artifacts
@@ -47,8 +60,11 @@ struct BenchDelta {
   double candidate = 0.0;
   double rel = 0.0;  ///< (candidate - baseline) / |baseline|
   bool higher_is_better = false;
-  bool gated = false;  ///< matched a GateSpec (compared at its threshold)
-  bool regression() const { return higher_is_better ? rel < 0 : rel > 0; }
+  bool gated = false;    ///< matched a GateSpec (compared at its threshold)
+  bool ceiling = false;  ///< breached a CeilingSpec (baseline holds the max)
+  bool regression() const {
+    return ceiling || (higher_is_better ? rel < 0 : rel > 0);
+  }
 };
 
 struct BenchDiffResult {
@@ -56,13 +72,17 @@ struct BenchDiffResult {
   double threshold = 0.2;
   std::size_t fields_compared = 0;
   std::size_t gates_active = 0;     ///< number of GateSpecs supplied
+  std::size_t ceilings_active = 0;  ///< number of CeilingSpecs supplied
   std::vector<BenchDelta> deltas;   ///< changes beyond threshold
   std::vector<std::string> notes;   ///< structural mismatches
   bool clean() const { return deltas.empty() && notes.empty(); }
-  /// With gates active only gated regressions block; otherwise any does.
+  /// With gates or ceilings active only gated/ceiling regressions block;
+  /// otherwise any does.
   bool has_regression() const {
     for (const auto& d : deltas)
-      if (d.regression() && (gates_active == 0 || d.gated)) return true;
+      if (d.regression() &&
+          (gates_active + ceilings_active == 0 || d.gated || d.ceiling))
+        return true;
     return false;
   }
   std::string format() const;
@@ -80,6 +100,7 @@ bool higher_is_better(const std::string& key);
 BenchDiffResult bench_diff(const json::Value& baseline,
                            const json::Value& candidate,
                            double threshold = 0.2,
-                           const std::vector<GateSpec>& gates = {});
+                           const std::vector<GateSpec>& gates = {},
+                           const std::vector<CeilingSpec>& ceilings = {});
 
 }  // namespace gfor14::audit

@@ -169,7 +169,12 @@ std::optional<Divergence> first_divergence(const net::Recording& reference,
 
 ReplayVerifier::ReplayVerifier(net::Recording reference)
     : reference_(std::move(reference)),
-      live_(net::Recorder::Options{reference_.payloads}) {}
+      // Match the reference's fidelity tier: a profile-fidelity reference
+      // (digests = false) only certifies the header stream, so the live
+      // recorder must not absorb digests either or every digest would
+      // "differ" from the recorded zeros.
+      live_(net::Recorder::Options{reference_.payloads,
+                                   reference_.digests}) {}
 
 void ReplayVerifier::on_round_end(const net::Network& net,
                                   const net::CostReport& delta) {

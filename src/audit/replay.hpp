@@ -48,7 +48,9 @@ struct Divergence {
 
 /// Compares two rounds captured with identical recorder options. Returns
 /// the first divergence in canonical order, or nullopt when byte-identical
-/// (messages, cost delta, tamper/fault/blame logs).
+/// (messages, cost delta, tamper/fault/blame logs). RoundProfile
+/// annotations are deliberately NOT compared: wall_us is environmental and
+/// the deterministic annotations are derived views, not transcript.
 std::optional<Divergence> diff_rounds(const net::RecordedRound& reference,
                                       const net::RecordedRound& candidate);
 

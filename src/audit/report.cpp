@@ -198,24 +198,47 @@ std::string render_top(const json::Value& doc) {
   out += prev ? "  (*rate over the last sampling interval)\n"
               : "  (rate averaged over the whole run)\n";
 
-  // Supervised-engine health (DESIGN.md §14): present only when server.*
-  // counters were sampled, i.e. the document came from a supervised run.
+  const json::Value* env = doc.find("environment");
+
+  // Supervised-engine health (DESIGN.md §14/§15): present only when
+  // server.* counters were sampled, i.e. the document came from a
+  // supervised run. When the run carried an SLO annotation, structured
+  // breach reasons replace the legacy any-session-failed boolean.
   if (counters) {
     const auto cval = [&](const char* key) {
       const json::Value* v = counters->find(key);
       return v ? v->as_double() : 0.0;
     };
     if (cval("server.admitted") > 0) {
-      const bool degraded = cval("server.failed_sessions") > 0;
+      const json::Value* slo = env ? env->find("slo") : nullptr;
+      const json::Value* breaches = slo ? slo->find("breaches") : nullptr;
+      const bool slo_degraded =
+          slo && slo->find("degraded") && slo->find("degraded")->as_bool();
+      const bool degraded = cval("server.failed_sessions") > 0 || slo_degraded;
       out += fmt("engine: %s | %.0f admitted, %.0f completed, %.0f retried, "
                  "%.0f attempts failed, %.0f sessions failed\n",
                  degraded ? "DEGRADED" : "healthy", cval("server.admitted"),
                  cval("server.completed"), cval("server.retried"),
                  cval("server.failed"), cval("server.failed_sessions"));
+      if (breaches)
+        for (const json::Value& b : breaches->items()) {
+          const auto field = [&](const char* key) {
+            const json::Value* v = b.find(key);
+            return v ? v->as_double() : 0.0;
+          };
+          const std::string name =
+              b.find("slo") ? b.find("slo")->as_string() : "?";
+          // Delivery/throughput targets are minima, the others maxima —
+          // same direction convention as server::SloBreach::describe().
+          const bool minimum =
+              name == "messages_per_sec" || name == "honest_delivery";
+          out += fmt("  slo breach: %s %.2f %s %.2f (since wave %.0f)\n",
+                     name.c_str(), field("actual"), minimum ? "<" : ">",
+                     field("target"), field("since_wave"));
+        }
     }
   }
 
-  const json::Value* env = doc.find("environment");
   if (env == nullptr) return out;
   out += "environment\n";
   if (const json::Value* rss = env->find("rss_bytes"))

@@ -6,14 +6,17 @@ namespace gfor14::trace {
 
 namespace {
 
-void emit_span(const SpanNode& node, double start_us, json::Value& events) {
+constexpr int kPid = 1;
+
+void emit_span(const SpanNode& node, double start_us, int tid,
+               json::Value& events) {
   json::Value e = json::Value::object();
   e.set("name", node.name);
   e.set("ph", "X");
   e.set("ts", start_us);
   e.set("dur", node.wall_us);
-  e.set("pid", 1);
-  e.set("tid", 1);
+  e.set("pid", kPid);
+  e.set("tid", tid);
   json::Value args = json::Value::object();
   args.set("costs", cost_to_json(node.costs));
   if (!node.metrics.empty()) {
@@ -26,9 +29,24 @@ void emit_span(const SpanNode& node, double start_us, json::Value& events) {
 
   double child_start = start_us;
   for (const auto& child : node.children) {
-    emit_span(*child, child_start, events);
+    emit_span(*child, child_start, tid, events);
     child_start += child->wall_us;
   }
+}
+
+/// "M"-phase metadata record naming a process or thread track, so viewers
+/// label tracks by what ran on them instead of bare tids.
+json::Value metadata_event(const char* what, int tid,
+                           const std::string& label) {
+  json::Value e = json::Value::object();
+  e.set("name", what);
+  e.set("ph", "M");
+  e.set("pid", kPid);
+  if (tid > 0) e.set("tid", tid);
+  json::Value args = json::Value::object();
+  args.set("name", label);
+  e.set("args", std::move(args));
+  return e;
 }
 
 }  // namespace
@@ -36,10 +54,17 @@ void emit_span(const SpanNode& node, double start_us, json::Value& events) {
 json::Value chrome_trace_document(const std::vector<const SpanNode*>& roots) {
   json::Value doc = json::Value::object();
   json::Value events = json::Value::array();
+  events.push_back(metadata_event("process_name", 0, "gfor14"));
+  // One track (tid) per root tree, labelled with the root span's name —
+  // per-session trees ("session/<id>") and per-lane worker trees each get a
+  // readable lane of their own.
   double cursor = 0.0;
+  int tid = 0;
   for (const SpanNode* root : roots) {
     if (root == nullptr) continue;
-    emit_span(*root, cursor, events);
+    ++tid;
+    events.push_back(metadata_event("thread_name", tid, root->name));
+    emit_span(*root, cursor, tid, events);
     cursor += root->wall_us;
   }
   doc.set("traceEvents", std::move(events));
@@ -54,8 +79,8 @@ json::Value chrome_trace_document() {
 }
 
 bool write_chrome_trace(const std::string& path) {
+  if (Tracer::instance().roots().empty()) return false;
   const json::Value doc = chrome_trace_document();
-  if (doc.find("traceEvents")->size() == 0) return false;
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out.is_open()) return false;
   out << doc.dump(2) << '\n';

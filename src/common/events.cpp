@@ -1,0 +1,100 @@
+#include "common/events.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace gfor14::events {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBarrier: return "barrier";
+    case EventKind::kCompute: return "compute";
+    case EventKind::kSend: return "send";
+    case EventKind::kAttempt: return "attempt";
+    case EventKind::kRetry: return "retry";
+  }
+  return "?";
+}
+
+std::size_t EventGraph::add(Event e) {
+  events_.push_back(std::move(e));
+  return events_.size() - 1;
+}
+
+void EventGraph::link(std::size_t from, std::size_t to) {
+  edges_.emplace_back(from, to);
+}
+
+std::optional<std::string> EventGraph::validate() const {
+  if (events_.empty()) return "event graph is empty";
+  for (const auto& [from, to] : edges_) {
+    if (from >= events_.size() || to >= events_.size())
+      return "edge endpoint out of range (" + std::to_string(from) + " -> " +
+             std::to_string(to) + ", " + std::to_string(events_.size()) +
+             " events)";
+    if (from == to) return "self-loop at event " + std::to_string(from);
+  }
+  if (!topo_order()) return "event graph contains a cycle";
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::size_t>> EventGraph::topo_order() const {
+  std::vector<std::size_t> indegree(events_.size(), 0);
+  std::vector<std::vector<std::size_t>> succ(events_.size());
+  for (const auto& [from, to] : edges_) {
+    succ[from].push_back(to);
+    ++indegree[to];
+  }
+  // Min-heap on node id: the resulting order (and thus every tie-break
+  // downstream) is a pure function of the graph.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      ready;
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    if (indegree[i] == 0) ready.push(i);
+  std::vector<std::size_t> order;
+  order.reserve(events_.size());
+  while (!ready.empty()) {
+    const std::size_t node = ready.top();
+    ready.pop();
+    order.push_back(node);
+    for (std::size_t next : succ[node])
+      if (--indegree[next] == 0) ready.push(next);
+  }
+  if (order.size() != events_.size()) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<std::size_t> EventGraph::critical_path() const {
+  const auto order = topo_order();
+  if (!order) return {};
+  std::vector<std::vector<std::size_t>> pred(events_.size());
+  for (const auto& [from, to] : edges_) pred[to].push_back(from);
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::uint64_t> best(events_.size(), 0);
+  std::vector<std::size_t> via(events_.size(), kNone);
+  for (std::size_t node : *order) {
+    best[node] = events_[node].weight;
+    // Predecessors sorted so equal weights resolve to the smallest id.
+    std::sort(pred[node].begin(), pred[node].end());
+    for (std::size_t p : pred[node])
+      if (via[node] == kNone || best[p] > best[via[node]]) via[node] = p;
+    if (via[node] != kNone) best[node] += best[via[node]];
+  }
+  std::size_t tail = 0;
+  for (std::size_t i = 1; i < events_.size(); ++i)
+    if (best[i] > best[tail]) tail = i;  // ties: smallest id wins
+  std::vector<std::size_t> path;
+  for (std::size_t node = tail; node != kNone; node = via[node])
+    path.push_back(node);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::uint64_t EventGraph::critical_weight() const {
+  std::uint64_t sum = 0;
+  for (std::size_t node : critical_path()) sum += events_[node].weight;
+  return sum;
+}
+
+}  // namespace gfor14::events

@@ -1,0 +1,89 @@
+// Typed causal event graph (DESIGN.md §15).
+//
+// The profiler's substrate: a DAG of typed events — round barriers, per-party
+// compute segments, per-message sends, session attempts — linked by causal
+// edges (compute happens after the previous barrier, a send happens after its
+// sender's compute, a barrier happens after every send it merges, a retry
+// happens after the attempt it retries). Builders in src/audit/critpath
+// assemble graphs from the two deterministic streams the repo already
+// records: the flight recording's canonical message order and the
+// supervisor's replayable ScheduleEvent log. Because those streams are
+// byte-identical for a fixed (seeds, plan) at any lane count (§8), so is any
+// graph derived from them — which is what makes critical-path output
+// testable rather than anecdotal.
+//
+// Weights are LOGICAL: element counts and unit charges, never wall-clock.
+// Wall time enters only downstream, when the waterfall view distributes a
+// round's recorded wall across the round's critical segments (critpath.hpp).
+//
+// The graph is adjacency-list, nodes append-only, edges validated by
+// validate(): endpoint range, self-loops and cycles all make a graph
+// malformed — the audit CLI turns that into a nonzero exit instead of
+// silently reporting a bogus path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gfor14::events {
+
+enum class EventKind : std::uint8_t {
+  kBarrier,  ///< round/wave barrier: merges everything the round produced
+  kCompute,  ///< one party's local work within a round
+  kSend,     ///< one delivered message
+  kAttempt,  ///< one session attempt (schedule graphs)
+  kRetry,    ///< a scheduled retry (schedule graphs)
+};
+const char* event_kind_name(EventKind kind);
+
+/// One node. `round` is the round index (message graphs) or wave (schedule
+/// graphs); `actor` the party or session id; `seq` disambiguates siblings
+/// (message sequence, attempt number). `weight` is the node's logical cost.
+struct Event {
+  EventKind kind = EventKind::kBarrier;
+  std::size_t round = 0;
+  std::uint64_t actor = 0;
+  std::size_t seq = 0;
+  std::uint64_t weight = 0;
+  std::string label;
+};
+
+/// Append-only DAG. Node ids are indices into events(), assigned by add();
+/// edges go predecessor -> successor.
+class EventGraph {
+ public:
+  std::size_t add(Event e);
+  /// Adds the causal edge from -> to. Endpoints are validated lazily by
+  /// validate() so builders can stream edges without try/catch noise.
+  void link(std::size_t from, std::size_t to);
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+
+  /// nullopt when the graph is a well-formed DAG; otherwise a diagnostic
+  /// (empty graph, edge endpoint out of range, self-loop, cycle).
+  std::optional<std::string> validate() const;
+
+  /// Maximum-weight path (sum of node weights), as node ids in causal
+  /// order. Ties break toward the smaller predecessor id, so the path is a
+  /// pure function of the graph. Requires validate() == nullopt.
+  std::vector<std::size_t> critical_path() const;
+
+  /// Total weight along critical_path().
+  std::uint64_t critical_weight() const;
+
+ private:
+  /// Topological order via Kahn's algorithm (smallest-id-first, so the
+  /// order is deterministic); nullopt when a cycle survives.
+  std::optional<std::vector<std::size_t>> topo_order() const;
+
+  std::vector<Event> events_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+}  // namespace gfor14::events

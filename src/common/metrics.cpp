@@ -30,6 +30,38 @@ double Histogram::quantile(double q) const {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+std::vector<std::uint64_t> Histogram::cumulative_counts(
+    const std::vector<double>& bounds) const {
+  std::vector<double> sorted;
+  std::size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = sample_;
+    total = summary_.count();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> out;
+  out.reserve(bounds.size());
+  for (double le : bounds) {
+    if (sorted.empty() || total == 0) {
+      out.push_back(0);
+      continue;
+    }
+    const std::size_t kept = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), le) - sorted.begin());
+    if (kept == sorted.size()) {
+      out.push_back(total);  // bound past the sample max: exact total
+      continue;
+    }
+    // Scale the systematic subsample back to the stream: monotone in `le`
+    // because kept is and the scale factor is shared.
+    out.push_back(static_cast<std::uint64_t>(
+        static_cast<double>(total) * static_cast<double>(kept) /
+        static_cast<double>(sorted.size())));
+  }
+  return out;
+}
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;
@@ -150,6 +182,25 @@ json::Value Registry::to_json() const {
       o.set("max", s.max());
       o.set("p50", h.quantile(0.5));
       o.set("p95", h.quantile(0.95));
+      if (name == "net.round_wall_us") {
+        // Fixed microsecond ladder for the round-wall distribution so the
+        // Prometheus exposition can render true histogram buckets (the
+        // other histograms stay summary-only). Cumulative counts estimated
+        // from the decimating sample; the +Inf bucket is the exact count.
+        static const std::vector<double> kRoundWallBoundsUs = {
+            100.0,    250.0,    500.0,    1000.0,    2500.0,   5000.0,
+            10000.0,  25000.0,  50000.0,  100000.0,  250000.0, 500000.0,
+            1000000.0};
+        const auto counts = h.cumulative_counts(kRoundWallBoundsUs);
+        json::Value buckets = json::Value::array();
+        for (std::size_t i = 0; i < kRoundWallBoundsUs.size(); ++i) {
+          json::Value b = json::Value::object();
+          b.set("le", kRoundWallBoundsUs[i]);
+          b.set("count", static_cast<double>(counts[i]));
+          buckets.push_back(std::move(b));
+        }
+        o.set("buckets", std::move(buckets));
+      }
       histograms.set(name, std::move(o));
     }
     root.set("histograms", std::move(histograms));

@@ -107,6 +107,13 @@ class Histogram {
   /// Empirical q-quantile (q in [0, 1]) of the kept sample, by linear
   /// interpolation between order statistics; 0 before any observation.
   double quantile(double q) const;
+  /// Estimated cumulative observation counts at the given ascending upper
+  /// bounds (Prometheus histogram semantics: count of observations <= le),
+  /// scaled from the decimating sample to the true observation count. The
+  /// estimates are monotone in the bounds; a final +infinity bound returns
+  /// the exact total.
+  std::vector<std::uint64_t> cumulative_counts(
+      const std::vector<double>& bounds) const;
   void reset() {
     std::lock_guard<std::mutex> lock(mu_);
     summary_ = Summary{};

@@ -43,36 +43,59 @@ void expose_level(const json::Value& doc, const std::string& scope,
                   std::string& out, std::vector<std::string>& typed) {
   const std::string label =
       scope.empty() ? std::string() : "{scope=\"" + scope + "\"}";
-  const auto type_line = [&](const std::string& metric, const char* type) {
-    // Emit each # TYPE header once, before the metric's first sample.
+  const auto header = [&](const std::string& metric, const char* type,
+                          const std::string& source) {
+    // Emit each # HELP/# TYPE header pair once, before the metric's first
+    // sample.
     if (std::find(typed.begin(), typed.end(), metric) != typed.end()) return;
     typed.push_back(metric);
+    out += "# HELP " + metric + " gfor14 " + type + " " + source + "\n";
     out += "# TYPE " + metric + " " + type + "\n";
   };
   if (const json::Value* counters = doc.find("counters")) {
     for (const auto& [name, v] : counters->members()) {
       const std::string metric = sanitize(name);
-      type_line(metric, "counter");
+      header(metric, "counter", name);
       out += metric + label + " " + fmt_double(v.as_double()) + "\n";
     }
   }
   if (const json::Value* gauges = doc.find("gauges")) {
     for (const auto& [name, v] : gauges->members()) {
       const std::string metric = sanitize(name);
-      type_line(metric, "gauge");
+      header(metric, "gauge", name);
       out += metric + label + " " + fmt_double(v.as_double()) + "\n";
     }
   }
   if (const json::Value* hists = doc.find("histograms")) {
     for (const auto& [name, h] : hists->members()) {
       const std::string metric = sanitize(name);
-      type_line(metric, "summary");
       const auto field = [&](const char* key) {
         const json::Value* v = h.find(key);
         return v ? v->as_double() : 0.0;
       };
       const std::string scope_attr =
           scope.empty() ? std::string() : ",scope=\"" + scope + "\"";
+      if (const json::Value* buckets = h.find("buckets")) {
+        // True histogram exposition (currently net.round_wall_us, whose
+        // registry document carries a fixed bucket ladder).
+        header(metric, "histogram", name);
+        for (const json::Value& b : buckets->items()) {
+          const json::Value* le = b.find("le");
+          const json::Value* count = b.find("count");
+          if (le == nullptr || count == nullptr) continue;
+          out += metric + "_bucket{le=\"" + fmt_double(le->as_double()) +
+                 "\"" + scope_attr + "} " + fmt_double(count->as_double()) +
+                 "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"" + scope_attr + "} " +
+               fmt_double(field("count")) + "\n";
+        out += metric + "_sum" + label + " " +
+               fmt_double(field("mean") * field("count")) + "\n";
+        out += metric + "_count" + label + " " + fmt_double(field("count")) +
+               "\n";
+        continue;
+      }
+      header(metric, "summary", name);
       out += metric + "{quantile=\"0.5\"" + scope_attr + "} " +
              fmt_double(field("p50")) + "\n";
       out += metric + "{quantile=\"0.95\"" + scope_attr + "} " +
@@ -188,8 +211,19 @@ json::Value TelemetrySampler::to_json() const {
     env.set("round_wall", std::move(o));
   }
   env.set("alloc_domains", alloc::domains_json());
+  for (const auto& [key, value] : annotations_) env.set(key, value);
   doc.set("environment", std::move(env));
   return doc;
+}
+
+void TelemetrySampler::set_annotation(const std::string& key,
+                                      json::Value value) {
+  for (auto& [k, v] : annotations_)
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  annotations_.emplace_back(key, std::move(value));
 }
 
 bool TelemetrySampler::write_json(const std::string& path) const {
@@ -229,6 +263,7 @@ std::string prometheus_text(
     const std::string metric = sanitize(name);
     if (std::find(typed.begin(), typed.end(), metric) == typed.end()) {
       typed.push_back(metric);
+      out += "# HELP " + metric + " gfor14 gauge " + name + "\n";
       out += "# TYPE " + metric + " gauge\n";
     }
     out += metric + " " + fmt_double(value) + "\n";

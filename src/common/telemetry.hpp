@@ -89,10 +89,15 @@ class TelemetrySampler : public net::RoundObserver {
   /// byte-identical for a fixed seed at any lane count.
   json::Value deterministic_json() const;
   /// deterministic_json() plus an "environment" object: wall/rss per
-  /// snapshot, peak RSS, round-wall p50/p95 of the watched scope, and the
-  /// allocation-domain ledger.
+  /// snapshot, peak RSS, round-wall p50/p95 of the watched scope, the
+  /// allocation-domain ledger, and any annotations set below.
   json::Value to_json() const;
   bool write_json(const std::string& path) const;
+
+  /// Attaches (or replaces) a caller-supplied JSON block under the given
+  /// key in the environment object — the serve soak uses this to embed the
+  /// structured SLO status that `gfor14-audit top` renders.
+  void set_annotation(const std::string& key, json::Value value);
 
   /// Point-in-time Prometheus text exposition of the watched scope (plus
   /// process RSS and the allocation domains). See prometheus_text().
@@ -108,6 +113,7 @@ class TelemetrySampler : public net::RoundObserver {
   std::size_t rounds_seen_ = 0;
   std::vector<Snapshot> ring_;
   std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, json::Value>> annotations_;
 };
 
 /// Renders a metrics document (Registry::to_json()) as Prometheus text

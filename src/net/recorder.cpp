@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/provenance.hpp"
+#include "common/trace.hpp"
 
 namespace gfor14::net {
 
@@ -94,10 +95,25 @@ std::optional<std::uint64_t> parse_hex_u64(std::string_view s) {
   return v;
 }
 
-Recorder::Recorder(Options opt, json::Value config) : opt_(opt) {
+Recorder::Recorder(Options opt, json::Value config)
+    : opt_(opt), prev_barrier_(std::chrono::steady_clock::now()) {
+  // Profile fidelity implies header-only: a payload copy without a digest
+  // would be an incoherent tier (bytes stored but nothing certifying them).
+  if (!opt_.digests) opt_.payloads = false;
   rec_.payloads = opt_.payloads;
+  rec_.digests = opt_.digests;
   rec_.provenance = provenance::collect();
   rec_.config = std::move(config);
+  // Baseline the profiled alloc counters at construction: the registry is
+  // process-scoped (Registry::current at Network construction), so without
+  // a baseline the first round would charge every earlier run in the same
+  // process and recordings would stop being a pure function of their own
+  // run. Recorders are built under the same attachment as their network.
+  metrics::Registry& reg = metrics::Registry::current();
+  prev_net_alloc_count_ = reg.counter("net.alloc.count").value();
+  prev_net_alloc_bytes_ = reg.counter("net.alloc.bytes").value();
+  prev_vss_alloc_count_ = reg.counter("vss.alloc.count").value();
+  prev_vss_alloc_bytes_ = reg.counter("vss.alloc.bytes").value();
 }
 
 void Recorder::on_round_end(const Network& net, const CostReport& delta) {
@@ -105,6 +121,29 @@ void Recorder::on_round_end(const Network& net, const CostReport& delta) {
   RecordedRound round;
   round.index = round_index_++;
   round.delta = delta;
+
+  // Profile annotations. end_round() rolls child scopes up before observers
+  // run, so the counter reads are barrier-exact; the first observed round
+  // charges everything since the recorder attached. Wall time spans barrier
+  // to barrier (first round: attach to barrier).
+  const auto now = std::chrono::steady_clock::now();
+  metrics::Registry& reg = net.registry();
+  const std::uint64_t nac = reg.counter("net.alloc.count").value();
+  const std::uint64_t nab = reg.counter("net.alloc.bytes").value();
+  const std::uint64_t vac = reg.counter("vss.alloc.count").value();
+  const std::uint64_t vab = reg.counter("vss.alloc.bytes").value();
+  round.profile.wall_us =
+      std::chrono::duration<double, std::micro>(now - prev_barrier_).count();
+  round.profile.net_alloc_count = nac - prev_net_alloc_count_;
+  round.profile.net_alloc_bytes = nab - prev_net_alloc_bytes_;
+  round.profile.vss_alloc_count = vac - prev_vss_alloc_count_;
+  round.profile.vss_alloc_bytes = vab - prev_vss_alloc_bytes_;
+  round.profile.phase = trace::Tracer::current_path();
+  prev_net_alloc_count_ = nac;
+  prev_net_alloc_bytes_ = nab;
+  prev_vss_alloc_count_ = vac;
+  prev_vss_alloc_bytes_ = vab;
+  prev_barrier_ = now;
 
   const RoundTraffic& tr = net.delivered();
   const auto record = [&](bool broadcast, PartyId from, PartyId to,
@@ -115,24 +154,28 @@ void Recorder::on_round_end(const Network& net, const CostReport& delta) {
     msg.to = broadcast ? 0 : to;
     msg.seq = seq;
     msg.elements = payload.size();
-    Digest64& ch =
-        channels_
-            .try_emplace(broadcast ? bcast_key(from) : p2p_key(from, to))
-            .first->second;
-    ch.absorb_u64(round.index);
-    ch.absorb_u64(seq);
-    ch.absorb_u64(payload.size());
-    transcript_.absorb_u64(broadcast ? 1 : 0);
-    transcript_.absorb_u64(from);
-    transcript_.absorb_u64(msg.to);
-    transcript_.absorb_u64(round.index);
-    transcript_.absorb_u64(seq);
-    transcript_.absorb_u64(payload.size());
-    for (Fld f : payload) {
-      ch.absorb_u64(f.to_u64());
-      transcript_.absorb_u64(f.to_u64());
+    if (opt_.digests) {
+      // The per-element absorption below is the recorder's dominant CPU
+      // cost; profile fidelity skips this whole block (msg.digest stays 0).
+      Digest64& ch =
+          channels_
+              .try_emplace(broadcast ? bcast_key(from) : p2p_key(from, to))
+              .first->second;
+      ch.absorb_u64(round.index);
+      ch.absorb_u64(seq);
+      ch.absorb_u64(payload.size());
+      transcript_.absorb_u64(broadcast ? 1 : 0);
+      transcript_.absorb_u64(from);
+      transcript_.absorb_u64(msg.to);
+      transcript_.absorb_u64(round.index);
+      transcript_.absorb_u64(seq);
+      transcript_.absorb_u64(payload.size());
+      for (Fld f : payload) {
+        ch.absorb_u64(f.to_u64());
+        transcript_.absorb_u64(f.to_u64());
+      }
+      msg.digest = ch.value();
     }
-    msg.digest = ch.value();
     if (opt_.payloads) {
       // Stored payload copies are the recorder's dominant allocation; the
       // kRecorder ledger is what `gfor14-audit top` reports for them.
@@ -190,7 +233,7 @@ json::Value Recording::to_json() const {
   doc.set("format", kFormat);
   doc.set("version", kVersion);
   doc.set("n", n);
-  doc.set("fidelity", payloads ? "full" : "headers");
+  doc.set("fidelity", payloads ? "full" : digests ? "headers" : "profile");
   doc.set("provenance", provenance);
   doc.set("config", config);
   json::Value rounds_json = json::Value::array();
@@ -198,6 +241,22 @@ json::Value Recording::to_json() const {
     json::Value ro = json::Value::object();
     ro.set("round", r.index);
     ro.set("costs", cost_report_to_json(r.delta));
+    {
+      // Digest-excluded profiling annotations (see RoundProfile). Always
+      // emitted so consumers need no per-round presence checks.
+      json::Value po = json::Value::object();
+      po.set("wall_us", r.profile.wall_us);
+      po.set("net_alloc_count",
+             static_cast<double>(r.profile.net_alloc_count));
+      po.set("net_alloc_bytes",
+             static_cast<double>(r.profile.net_alloc_bytes));
+      po.set("vss_alloc_count",
+             static_cast<double>(r.profile.vss_alloc_count));
+      po.set("vss_alloc_bytes",
+             static_cast<double>(r.profile.vss_alloc_bytes));
+      po.set("phase", r.profile.phase);
+      ro.set("profile", std::move(po));
+    }
     json::Value msgs = json::Value::array();
     for (const auto& m : r.messages) {
       json::Value mo = json::Value::object();
@@ -288,7 +347,10 @@ std::optional<Recording> Recording::from_json(const json::Value& v,
     return fail("missing 'fidelity'");
   if (fidelity->as_string() == "full") rec.payloads = true;
   else if (fidelity->as_string() == "headers") rec.payloads = false;
-  else return fail("unknown 'fidelity' value");
+  else if (fidelity->as_string() == "profile") {
+    rec.payloads = false;
+    rec.digests = false;
+  } else return fail("unknown 'fidelity' value");
   if (const json::Value* prov = v.find("provenance")) rec.provenance = *prov;
   if (const json::Value* config = v.find("config")) rec.config = *config;
 
@@ -304,6 +366,36 @@ std::optional<Recording> Recording::from_json(const json::Value& v,
     const json::Value* costs = ro.find("costs");
     if (costs == nullptr || !cost_report_from_json(*costs, round.delta))
       return fail("round entry missing or malformed 'costs'");
+    if (const json::Value* po = ro.find("profile")) {
+      // Optional (recordings predating the profile block parse with an
+      // all-zero one); fields that are present must be well-typed.
+      if (!po->is_object()) return fail("'profile' is not an object");
+      const auto num = [&](const char* key, double& dst) {
+        const json::Value* f = po->find(key);
+        if (f == nullptr) return true;
+        if (!f->is_number()) return false;
+        dst = f->as_double();
+        return true;
+      };
+      const auto u64 = [&](const char* key, std::uint64_t& dst) {
+        const json::Value* f = po->find(key);
+        if (f == nullptr) return true;
+        if (!f->is_number()) return false;
+        dst = f->as_u64();
+        return true;
+      };
+      RoundProfile& p = round.profile;
+      if (!num("wall_us", p.wall_us) ||
+          !u64("net_alloc_count", p.net_alloc_count) ||
+          !u64("net_alloc_bytes", p.net_alloc_bytes) ||
+          !u64("vss_alloc_count", p.vss_alloc_count) ||
+          !u64("vss_alloc_bytes", p.vss_alloc_bytes))
+        return fail("malformed 'profile' field");
+      if (const json::Value* phase = po->find("phase")) {
+        if (!phase->is_string()) return fail("'profile.phase' is not a string");
+        p.phase = phase->as_string();
+      }
+    }
     const json::Value* msgs = ro.find("messages");
     if (msgs == nullptr || !msgs->is_array())
       return fail("round entry missing 'messages'");

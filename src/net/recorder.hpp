@@ -29,8 +29,20 @@
 // Field elements are absorbed as their 64-bit representation (Fld::to_u64).
 // Header-only recordings skip payload storage but NOT payload absorption,
 // so their digests still certify full byte identity.
+//
+// Fidelity tiers: "full" (headers + digests + payloads, replayable to the
+// byte), "headers" (headers + digests; replay certifies bytes through the
+// digests), and "profile" (headers + per-round profile annotations only).
+// Profile fidelity skips every per-element pass — no payload copy, no
+// digest absorption — so its per-round cost is O(messages), not
+// O(traffic bytes); it exists so the §15 causal profiler can ride along a
+// run inside the <5% overhead budget. Profile recordings drive critpath /
+// waterfall / top exactly like the richer tiers, and replaying one still
+// checks the header stream (counts, shapes, fault/tamper/blame logs) but
+// certifies no payload bytes: every stored digest is zero by definition.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -62,10 +74,28 @@ struct RecordedMessage {
   Payload payload;              ///< empty in header-only recordings
 };
 
+/// Post-hoc profiling annotations of one round (DESIGN.md §15). The alloc
+/// deltas are barrier-exact differences of the deterministic `net.alloc.*` /
+/// `vss.alloc.*` counters and the phase string is the orchestrating thread's
+/// open-span path at the round barrier — both replay-stable under the §8
+/// contract. `wall_us` measures the machine and is environmental. None of
+/// these fields is absorbed into the frozen channel/transcript digests or
+/// compared by the replay differ; recordings written before this block parse
+/// with all-zero profiles.
+struct RoundProfile {
+  double wall_us = 0.0;  ///< environmental: wall time since the last barrier
+  std::uint64_t net_alloc_count = 0;
+  std::uint64_t net_alloc_bytes = 0;
+  std::uint64_t vss_alloc_count = 0;
+  std::uint64_t vss_alloc_bytes = 0;
+  std::string phase;  ///< Tracer::current_path(); empty when tracing is off
+};
+
 /// Everything the recorder captured about one round.
 struct RecordedRound {
   std::size_t index = 0;  ///< rounds since the recorder attached (0-based)
   CostReport delta;
+  RoundProfile profile;
   std::vector<RecordedMessage> messages;
   std::vector<TamperRecord> tampers;
   std::vector<FaultEvent> faults;
@@ -80,6 +110,7 @@ struct Recording {
 
   std::size_t n = 0;
   bool payloads = true;    ///< full fidelity vs. headers + digests only
+  bool digests = true;     ///< false = profile fidelity (headers only)
   json::Value provenance;  ///< provenance::collect() at record time
   json::Value config;      ///< caller-supplied (protocol, seeds, fault plan)
   std::vector<RecordedRound> rounds;
@@ -103,6 +134,10 @@ struct Recording {
 /// configuration without perturbing it.
 struct RecorderOptions {
   bool payloads = true;  ///< false = header coords + digests only
+  bool digests = true;   ///< false = profile fidelity (implies !payloads)
+
+  /// Profile fidelity: headers + round profiles, zero per-element work.
+  static RecorderOptions profile() { return {false, false}; }
 };
 
 class Recorder : public RoundObserver {
@@ -126,6 +161,13 @@ class Recorder : public RoundObserver {
   std::size_t faults_seen_ = 0;
   std::size_t tampers_seen_ = 0;
   std::map<PartyId, std::size_t> blames_seen_;  ///< per accuser bucket
+  /// Previous barrier's view of the profiled alloc counters / clock, so
+  /// each RoundProfile stores per-round deltas.
+  std::uint64_t prev_net_alloc_count_ = 0;
+  std::uint64_t prev_net_alloc_bytes_ = 0;
+  std::uint64_t prev_vss_alloc_count_ = 0;
+  std::uint64_t prev_vss_alloc_bytes_ = 0;
+  std::chrono::steady_clock::time_point prev_barrier_;
 };
 
 }  // namespace gfor14::net

@@ -1,0 +1,101 @@
+#include "server/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gfor14::server {
+
+namespace {
+
+std::string fmt_value(double v) {
+  char buf[64];
+  // Two decimals for small rates, integral style for big magnitudes.
+  if (v != 0.0 && (v >= 1000.0 || v <= -1000.0))
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SloBreach::describe() const {
+  // Direction: delivery/throughput targets are minima, the others maxima.
+  const bool minimum =
+      slo == "messages_per_sec" || slo == "honest_delivery";
+  return slo + " " + fmt_value(actual) + (minimum ? " < " : " > ") +
+         fmt_value(target) + " (since wave " + std::to_string(since_wave) +
+         ")";
+}
+
+std::string SloStatus::describe() const {
+  if (breaches.empty()) return "healthy";
+  std::string out = "DEGRADED (";
+  for (std::size_t i = 0; i < breaches.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += breaches[i].describe();
+  }
+  out += ")";
+  return out;
+}
+
+json::Value SloStatus::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("wave", static_cast<double>(wave));
+  doc.set("degraded", degraded());
+  json::Value list = json::Value::array();
+  for (const SloBreach& b : breaches) {
+    json::Value o = json::Value::object();
+    o.set("slo", b.slo);
+    o.set("target", b.target);
+    o.set("actual", b.actual);
+    o.set("since_wave", static_cast<double>(b.since_wave));
+    list.push_back(std::move(o));
+  }
+  doc.set("breaches", std::move(list));
+  return doc;
+}
+
+SloMonitor::SloMonitor(SloTargets targets) : targets_(targets) {}
+
+const SloStatus& SloMonitor::evaluate(const SloInputs& inputs,
+                                      std::size_t wave) {
+  status_.wave = wave;
+  status_.breaches.clear();
+  const auto check = [&](const char* name, bool violated, double target,
+                         double actual) {
+    auto anchor = std::find_if(
+        since_.begin(), since_.end(),
+        [&](const auto& entry) { return entry.first == name; });
+    if (!violated) {
+      if (anchor != since_.end()) since_.erase(anchor);  // recovery
+      return;
+    }
+    if (anchor == since_.end())
+      anchor = since_.insert(since_.end(), {name, wave});
+    SloBreach b;
+    b.slo = name;
+    b.target = target;
+    b.actual = actual;
+    b.since_wave = anchor->second;
+    status_.breaches.push_back(std::move(b));
+  };
+  if (targets_.round_wall_p95_us > 0.0)
+    check("round_wall_p95_us",
+          inputs.round_wall_p95_us > targets_.round_wall_p95_us,
+          targets_.round_wall_p95_us, inputs.round_wall_p95_us);
+  if (targets_.min_messages_per_sec > 0.0)
+    check("messages_per_sec",
+          inputs.messages_per_sec < targets_.min_messages_per_sec,
+          targets_.min_messages_per_sec, inputs.messages_per_sec);
+  if (targets_.max_retry_rate >= 0.0)
+    check("retry_rate", inputs.retry_rate > targets_.max_retry_rate,
+          targets_.max_retry_rate, inputs.retry_rate);
+  if (targets_.min_honest_delivery >= 0.0)
+    check("honest_delivery",
+          inputs.honest_delivery < targets_.min_honest_delivery,
+          targets_.min_honest_delivery, inputs.honest_delivery);
+  return status_;
+}
+
+}  // namespace gfor14::server

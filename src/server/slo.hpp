@@ -1,0 +1,102 @@
+// Declarative service-level objectives for the supervised runtime
+// (DESIGN.md §15).
+//
+// The supervisor's old health story was one boolean: `server.degraded` went
+// 1 whenever a session had permanently failed or a retry was waiting out its
+// backoff. That flag said nothing about WHICH expectation broke, by how
+// much, or since when — the three questions an operator (or a CI gate)
+// actually asks. This module replaces the presentation of that flag with
+// structured reasons: a SloTargets block declares the expectations, an
+// SloMonitor evaluates them against live scoped metrics at every wave
+// barrier, and each violated target becomes an SloBreach carrying the
+// target, the observed value and the first wave the breach was seen at.
+// Recovery is first-class: a target back inside its bound drops its breach
+// (and its since-wave anchor), which the 1-vs-4-lane transition tests pin.
+//
+// Determinism split, as everywhere in the repo: retry_rate and
+// honest-delivery fraction derive from the deterministic schedule, so their
+// breach/recovery waves replay exactly at any thread count. round-wall p95
+// and messages_per_sec measure the machine and are environmental — they
+// exist for operators, never for byte-identity claims.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace gfor14::server {
+
+/// Declarative targets. The zero-initialized block checks nothing — each
+/// target opts in: rates/fractions with a negative sentinel, the
+/// environmental bounds with 0 = off.
+struct SloTargets {
+  /// Environmental: p95 of net.round_wall_us over the root scope, in
+  /// microseconds. 0 = unchecked.
+  double round_wall_p95_us = 0.0;
+  /// Environmental: delivered messages per second since runtime start.
+  /// 0 = unchecked.
+  double min_messages_per_sec = 0.0;
+  /// Deterministic: retries / admitted. Negative = unchecked.
+  double max_retry_rate = -1.0;
+  /// Deterministic: completed / terminal sessions. Negative = unchecked.
+  double min_honest_delivery = -1.0;
+
+  bool any() const {
+    return round_wall_p95_us > 0.0 || min_messages_per_sec > 0.0 ||
+           max_retry_rate >= 0.0 || min_honest_delivery >= 0.0;
+  }
+};
+
+/// Live values the monitor evaluates a wave against.
+struct SloInputs {
+  double round_wall_p95_us = 0.0;
+  double messages_per_sec = 0.0;
+  double retry_rate = 0.0;
+  double honest_delivery = 1.0;
+};
+
+/// One currently-violated target.
+struct SloBreach {
+  std::string slo;  ///< "round_wall_p95_us" | "messages_per_sec" |
+                    ///< "retry_rate" | "honest_delivery"
+  double target = 0.0;
+  double actual = 0.0;
+  std::size_t since_wave = 0;  ///< first wave this breach was observed at
+
+  /// "retry_rate 0.50 > 0.25 (since wave 3)".
+  std::string describe() const;
+};
+
+/// Structured health at one wave barrier: healthy iff no breach.
+struct SloStatus {
+  std::size_t wave = 0;  ///< wave of the latest evaluation
+  std::vector<SloBreach> breaches;
+
+  bool degraded() const { return !breaches.empty(); }
+  /// "healthy" or "DEGRADED (reason; reason)".
+  std::string describe() const;
+  json::Value to_json() const;
+};
+
+/// Evaluates targets wave by wave, anchoring each breach to the first wave
+/// it appeared in and clearing the anchor on recovery.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloTargets targets = {});
+
+  const SloTargets& targets() const { return targets_; }
+  /// Re-evaluates every configured target; returns the updated status.
+  const SloStatus& evaluate(const SloInputs& inputs, std::size_t wave);
+  const SloStatus& status() const { return status_; }
+
+ private:
+  SloTargets targets_;
+  SloStatus status_;
+  /// since-wave anchors for breaches that persisted from earlier waves,
+  /// keyed by slo name; erased on recovery.
+  std::vector<std::pair<std::string, std::size_t>> since_;
+};
+
+}  // namespace gfor14::server

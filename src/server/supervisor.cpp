@@ -85,7 +85,9 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
 }
 
 SupervisedRuntime::SupervisedRuntime(SupervisorOptions options)
-    : options_(options), started_(std::chrono::steady_clock::now()) {
+    : options_(options),
+      started_(std::chrono::steady_clock::now()),
+      slo_(options.slo) {
   GFOR14_EXPECTS(options_.queue_capacity >= 1);
   GFOR14_EXPECTS(options_.retry.max_attempts >= 1);
   auto& root = metrics::Registry::instance();
@@ -96,6 +98,7 @@ SupervisedRuntime::SupervisedRuntime(SupervisorOptions options)
   meters_.failed_sessions = &root.counter("server.failed_sessions");
   meters_.queue_depth = &root.gauge("server.queue_depth");
   meters_.degraded = &root.gauge("server.degraded");
+  meters_.slo_breaches = &root.gauge("server.slo_breaches");
 }
 
 SupervisedRuntime::~SupervisedRuntime() { close(); }
@@ -126,7 +129,38 @@ void SupervisedRuntime::set_queue_gauges_locked() {
     if (entry.state == SessionState::kAdmitted && entry.attempt > 0)
       degraded = true;
   }
-  meters_.degraded->set(degraded ? 1.0 : 0.0);
+  // The gauge keeps its legacy meaning and additionally trips while any
+  // declared SLO is breached; the WHICH/by-how-much/since-when story lives
+  // in the structured SloStatus (slo_status(), RuntimeReport.slo).
+  meters_.degraded->set(degraded || slo_.status().degraded() ? 1.0 : 0.0);
+}
+
+void SupervisedRuntime::evaluate_slo_locked(std::size_t wave) {
+  SloInputs in;
+  in.retry_rate = entries_.empty()
+                      ? 0.0
+                      : static_cast<double>(retries_) /
+                            static_cast<double>(entries_.size());
+  const std::size_t terminal = completed_.size() + failed_sessions_;
+  in.honest_delivery =
+      terminal == 0 ? 1.0
+                    : static_cast<double>(completed_.size()) /
+                          static_cast<double>(terminal);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  in.messages_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(messages_delivered_) / elapsed_s
+                      : 0.0;
+  // Sessions observe their round walls into their own scope, which forwards
+  // to the root at observe time — the root histogram sees every co-scheduled
+  // session's rounds.
+  in.round_wall_p95_us =
+      metrics::Registry::instance().histogram("net.round_wall_us").quantile(
+          0.95);
+  const SloStatus& status = slo_.evaluate(in, wave);
+  meters_.slo_breaches->set(static_cast<double>(status.breaches.size()));
 }
 
 bool SupervisedRuntime::admit_locked(SessionConfig&& config,
@@ -291,6 +325,7 @@ std::size_t SupervisedRuntime::run_wave() {
           std::chrono::duration<double, std::milli>(wave_end -
                                                     work[i].admitted_at)
               .count());
+      messages_delivered_ += outcomes[i].result->messages_delivered;
       completed_.push_back(std::move(*outcomes[i].result));
       meters_.completed->add();
     } else {
@@ -318,12 +353,14 @@ std::size_t SupervisedRuntime::run_wave() {
         ScheduleEvent g = e;
         g.kind = ScheduleEvent::Kind::kGiveUp;
         schedule_.push_back(g);
+        ++failed_sessions_;
         meters_.failed_sessions->add();
       }
     }
   }
   wave_ = this_wave + 1;
   ++waves_run_;
+  evaluate_slo_locked(this_wave);
   set_queue_gauges_locked();
   space_.notify_all();
   return work.size();
@@ -369,7 +406,13 @@ RuntimeReport SupervisedRuntime::drain() {
   std::sort(lat.begin(), lat.end());
   report.p50_admit_to_complete_ms = percentile_sorted(lat, 0.50);
   report.p95_admit_to_complete_ms = percentile_sorted(lat, 0.95);
+  report.slo = slo_.status();
   return report;
+}
+
+SloStatus SupervisedRuntime::slo_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_.status();
 }
 
 }  // namespace gfor14::server

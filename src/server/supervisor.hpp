@@ -36,8 +36,12 @@
 //
 // Engine health surfaces through the root metrics registry:
 // server.{admitted,completed,failed,retried,failed_sessions} counters and
-// server.{queue_depth,degraded} gauges — exported via --prom / telemetry
-// and rendered (with the degraded flag) by `gfor14-audit top`.
+// server.{queue_depth,degraded,slo_breaches} gauges — exported via --prom /
+// telemetry. On top sits the declarative SLO layer (slo.hpp): targets from
+// SupervisorOptions::slo are re-evaluated at every wave barrier and each
+// violated one becomes a structured breach (target, actual, since-wave)
+// carried by slo_status() / RuntimeReport::slo and rendered by
+// `gfor14-audit top` and the serve summary in place of a bare boolean.
 #pragma once
 
 #include <condition_variable>
@@ -49,6 +53,7 @@
 #include <vector>
 
 #include "server/session.hpp"
+#include "server/slo.hpp"
 
 namespace gfor14::server {
 
@@ -118,6 +123,9 @@ struct SupervisorOptions {
   std::size_t queue_capacity = 64;
   RetryPolicy retry;
   ChaosOptions chaos;
+  /// Declarative health targets, re-evaluated at every wave barrier
+  /// (slo.hpp). The default block checks nothing.
+  SloTargets slo;
 };
 
 /// One entry of the replayable admit/fail/retry schedule. The sequence of
@@ -170,6 +178,11 @@ struct RuntimeReport {
   double messages_per_sec = 0.0;  ///< 0 when wall_ms == 0 (never inf/NaN)
   double p50_admit_to_complete_ms = 0.0;
   double p95_admit_to_complete_ms = 0.0;
+  /// Structured health at drain time: every still-violated target with its
+  /// since-wave anchor. The deterministic breaches (retry_rate,
+  /// honest_delivery) replay at any thread count; the environmental ones
+  /// (round wall, throughput) do not.
+  SloStatus slo;
 };
 
 /// q-quantile of an ascending-sorted sample (nearest-rank with rounding);
@@ -224,6 +237,10 @@ class SupervisedRuntime {
   /// (completed or failed) in the report — no leaked sessions.
   RuntimeReport drain();
 
+  /// Structured health as of the last wave barrier (or the initial empty
+  /// status before any wave ran).
+  SloStatus slo_status() const;
+
  private:
   struct Entry {
     SessionConfig config;
@@ -237,6 +254,9 @@ class SupervisedRuntime {
   bool admit_locked(SessionConfig&& config, std::unique_lock<std::mutex>&);
   std::size_t pending_locked() const;
   void set_queue_gauges_locked();
+  /// Re-evaluates the SLO targets against live scoped metrics at a wave
+  /// barrier and updates the server.slo_breaches gauge.
+  void evaluate_slo_locked(std::size_t wave);
   AttemptSpec make_attempt_spec(const Entry& entry) const;
 
   SupervisorOptions options_;
@@ -256,6 +276,9 @@ class SupervisedRuntime {
   std::vector<FailureRecord> failures_;
   std::vector<double> admit_to_complete_ms_;
   std::size_t retries_ = 0;
+  std::size_t failed_sessions_ = 0;      ///< give-ups so far
+  std::size_t messages_delivered_ = 0;   ///< across completed sessions
+  SloMonitor slo_;
 
   /// Root-registry health counters/gauges, resolved at construction.
   struct Meters {
@@ -266,6 +289,7 @@ class SupervisedRuntime {
     metrics::Counter* failed_sessions = nullptr;
     metrics::Gauge* queue_depth = nullptr;
     metrics::Gauge* degraded = nullptr;
+    metrics::Gauge* slo_breaches = nullptr;
   };
   Meters meters_;
 };

@@ -302,25 +302,48 @@ TEST(ChromeTrace, ExportsValidTraceEventJson) {
   const json::Value* events = reparsed->find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  ASSERT_EQ(events->size(), 3u);
+  // process_name + thread_name metadata, then the three spans.
+  ASSERT_EQ(events->size(), 5u);
+  std::size_t spans = 0, metadata = 0;
+  bool saw_process_name = false, saw_thread_name = false;
   double outer_ts = 0, outer_end = 0;
   for (std::size_t i = 0; i < events->size(); ++i) {
     const json::Value& e = events->at(i);
     ASSERT_NE(e.find("name"), nullptr);
     ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    if (e.find("ph")->as_string() == "M") {
+      ++metadata;
+      const json::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("name"), nullptr);
+      if (e.find("name")->as_string() == "process_name")
+        saw_process_name = true;
+      if (e.find("name")->as_string() == "thread_name") {
+        saw_thread_name = true;
+        // Tracks are labelled by the root span that ran on them.
+        EXPECT_EQ(args->find("name")->as_string(), "outer");
+      }
+      continue;
+    }
+    ++spans;
     EXPECT_EQ(e.find("ph")->as_string(), "X");
     ASSERT_NE(e.find("ts"), nullptr);
     ASSERT_NE(e.find("dur"), nullptr);
-    ASSERT_NE(e.find("pid"), nullptr);
     ASSERT_NE(e.find("tid"), nullptr);
     if (e.find("name")->as_string() == "outer") {
       outer_ts = e.find("ts")->as_double();
       outer_end = outer_ts + e.find("dur")->as_double();
     }
   }
+  EXPECT_EQ(spans, 3u);
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
   // Children nest inside the parent on the synthetic timeline.
   for (std::size_t i = 0; i < events->size(); ++i) {
     const json::Value& e = events->at(i);
+    if (e.find("ph")->as_string() != "X") continue;
     if (e.find("name")->as_string() == "outer") continue;
     EXPECT_GE(e.find("ts")->as_double(), outer_ts);
     EXPECT_LE(e.find("ts")->as_double() + e.find("dur")->as_double(),

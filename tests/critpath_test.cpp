@@ -1,0 +1,336 @@
+// Causal critical-path profiler suite (DESIGN.md §15).
+//
+// Pins the three contracts the profiler adds on top of the §10 recorder:
+//
+//  1. Graph integrity: EventGraph::validate() rejects every malformed shape
+//     (empty graph, out-of-range edge endpoint, self-loop, cycle) with a
+//     diagnostic, and analyze() turns a malformed recording into a failure
+//     instead of a plausible-looking profile — the audit CLI's nonzero-exit
+//     contract rests on exactly this.
+//  2. Determinism: the critical path is a pure function of the graph (ties
+//     break to the smaller node id), so the default critpath report — built
+//     from LOGICAL weights only — is byte-identical for the same (seeds,
+//     fault plan) at 1 and 4 worker lanes, like the recording it came from.
+//  3. Reconciliation: wall-clock enters only via the waterfall distribution,
+//     and there each round's segment walls sum bit-for-bit to the round's
+//     recorded wall (the ISSUE acceptance criterion); the deterministic
+//     phase attribution re-adds to the recording's own alloc/message totals.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anonchan/anonchan.hpp"
+#include "audit/critpath.hpp"
+#include "common/events.hpp"
+#include "net/adversary.hpp"
+#include "net/faultplan.hpp"
+#include "net/recorder.hpp"
+#include "vss/schemes.hpp"
+
+namespace gfor14 {
+namespace {
+
+/// Same rich configuration the recorder suite uses: RB anonymous channel at
+/// n = 5 under a fault plan and a rushing share-corrupting adversary.
+net::Recording record_run(std::uint64_t seed, std::size_t threads,
+                          net::Recorder::Options opt = {}) {
+  net::Network net(5, seed);
+  net.set_threads(threads);
+  net.corrupt_first(1);
+  net.attach_adversary(std::make_shared<net::ShareCorruptingAdversary>());
+  net::FaultPlan plan;
+  plan.corrupt_element(2, 0, net::kAllReceivers, 2).drop(4, 0, 2);
+  net.attach_faults(std::make_shared<net::FaultEngine>(plan, seed));
+  auto recorder = std::make_shared<net::Recorder>(opt);
+  net.attach_observer(recorder);
+  auto vss = vss::make_vss(vss::SchemeKind::kRB, net);
+  anonchan::AnonChan chan(net, *vss, anonchan::Params::practical(5, 3));
+  std::vector<Fld> inputs;
+  for (std::size_t i = 0; i < 5; ++i)
+    inputs.push_back(i + 1 < 5 ? Fld::from_u64(100 + i) : Fld::zero());
+  chan.run(4, inputs);
+  return recorder->take();
+}
+
+// --- EventGraph integrity --------------------------------------------------
+
+TEST(EventGraph, ValidateDiagnosesEveryMalformedShape) {
+  // Empty graph.
+  events::EventGraph empty;
+  auto problem = empty.validate();
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("empty"), std::string::npos);
+
+  // Edge endpoint past the node array.
+  events::EventGraph dangling;
+  dangling.add({events::EventKind::kBarrier, 0, 0, 0, 1, "b"});
+  dangling.link(0, 5);
+  problem = dangling.validate();
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("out of range"), std::string::npos);
+
+  // Self-loop.
+  events::EventGraph looped;
+  looped.add({events::EventKind::kCompute, 0, 0, 0, 1, "c"});
+  looped.link(0, 0);
+  problem = looped.validate();
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("self-loop"), std::string::npos);
+
+  // Cycle.
+  events::EventGraph cyclic;
+  cyclic.add({events::EventKind::kCompute, 0, 0, 0, 1, "a"});
+  cyclic.add({events::EventKind::kCompute, 0, 1, 0, 1, "b"});
+  cyclic.link(0, 1);
+  cyclic.link(1, 0);
+  problem = cyclic.validate();
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("cycle"), std::string::npos);
+
+  // A well-formed chain validates clean.
+  events::EventGraph chain;
+  chain.add({events::EventKind::kCompute, 0, 0, 0, 2, "c"});
+  chain.add({events::EventKind::kBarrier, 0, 0, 0, 1, "b"});
+  chain.link(0, 1);
+  EXPECT_FALSE(chain.validate().has_value());
+}
+
+TEST(EventGraph, CriticalPathIsMaxWeightWithSmallestIdTieBreak) {
+  // Diamond with equal-weight branches: the path must pick the smaller
+  // branch id, making the answer a pure function of the graph.
+  events::EventGraph g;
+  const std::size_t src = g.add({events::EventKind::kBarrier, 0, 0, 0, 1, "s"});
+  const std::size_t a = g.add({events::EventKind::kCompute, 0, 0, 0, 2, "a"});
+  const std::size_t b = g.add({events::EventKind::kCompute, 0, 1, 0, 2, "b"});
+  const std::size_t sink =
+      g.add({events::EventKind::kBarrier, 1, 0, 0, 1, "t"});
+  g.link(src, a);
+  g.link(src, b);
+  g.link(a, sink);
+  g.link(b, sink);
+  ASSERT_FALSE(g.validate().has_value());
+  const std::vector<std::size_t> expected{src, a, sink};
+  EXPECT_EQ(g.critical_path(), expected);
+  EXPECT_EQ(g.critical_weight(), 4u);
+
+  // Heavier branch wins regardless of id order.
+  events::EventGraph h;
+  h.add({events::EventKind::kBarrier, 0, 0, 0, 1, "s"});
+  h.add({events::EventKind::kCompute, 0, 0, 0, 2, "light"});
+  h.add({events::EventKind::kCompute, 0, 1, 0, 7, "heavy"});
+  h.add({events::EventKind::kBarrier, 1, 0, 0, 1, "t"});
+  h.link(0, 1);
+  h.link(0, 2);
+  h.link(1, 3);
+  h.link(2, 3);
+  const std::vector<std::size_t> heavy{0, 2, 3};
+  EXPECT_EQ(h.critical_path(), heavy);
+  EXPECT_EQ(h.critical_weight(), 9u);
+}
+
+// --- analyze() on a recorded run -------------------------------------------
+
+TEST(CritPath, AnalyzeNamesPerRoundDominantsAndCrossChecksTheGraph) {
+  const net::Recording rec = record_run(2014, 1);
+  std::string error;
+  const auto report = audit::analyze(rec, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  ASSERT_EQ(report->rounds.size(), rec.rounds.size());
+
+  std::uint64_t weight_sum = 0;
+  for (const auto& rc : report->rounds) {
+    SCOPED_TRACE("round " + std::to_string(rc.round));
+    EXPECT_LT(rc.dominant, rec.n);
+    // The chain weight is the sum of its segments, and the segment list
+    // always ends at the merge barrier.
+    std::uint64_t seg_sum = 0;
+    for (const auto& s : rc.segments) seg_sum += s.weight;
+    EXPECT_EQ(seg_sum, rc.weight);
+    ASSERT_FALSE(rc.segments.empty());
+    EXPECT_EQ(rc.segments.front().name, "compute");
+    EXPECT_EQ(rc.segments.back().name, "merge");
+    // Dominance means no other party's compute+send chain outweighs it.
+    std::vector<std::uint64_t> chains(rec.n, 1);  // compute unit charge
+    for (const auto& m : rec.rounds[rc.round].messages) {
+      chains[m.from] += m.elements;           // compute share
+      chains[m.from] += 1 + m.elements;       // send
+    }
+    for (std::size_t p = 0; p < rec.n; ++p)
+      EXPECT_LE(chains[p], chains[rc.dominant]);
+    weight_sum += rc.weight;
+  }
+  EXPECT_EQ(weight_sum, report->total_weight);
+  // The generic longest-path over the built DAG agrees with the layered
+  // per-round computation analyze() reports.
+  events::EventGraph graph = audit::build_event_graph(rec);
+  ASSERT_FALSE(graph.validate().has_value());
+  EXPECT_EQ(graph.critical_weight(), report->total_weight);
+  EXPECT_GT(report->dominant_rounds, 0u);
+}
+
+TEST(CritPath, SegmentWallsReconcileWithTheRecordedRoundWall) {
+  const net::Recording rec = record_run(2014, 1);
+  std::string error;
+  const auto report = audit::analyze(rec, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  std::size_t timed_rounds = 0;
+  for (const auto& rc : report->rounds) {
+    SCOPED_TRACE("round " + std::to_string(rc.round));
+    EXPECT_EQ(rc.wall_us, rec.rounds[rc.round].profile.wall_us);
+    double sum = 0.0;
+    for (const auto& s : rc.segments) sum += s.wall_us;
+    // Exact, not approximate: the last segment takes the remainder, so the
+    // left-to-right sum reproduces the recorded wall bit-for-bit.
+    EXPECT_EQ(sum, rc.wall_us);
+    if (rc.wall_us > 0.0) ++timed_rounds;
+  }
+  EXPECT_GT(timed_rounds, 0u);  // a real run measures nonzero walls
+}
+
+TEST(CritPath, DeterministicReportIsByteIdenticalAcrossLaneCounts) {
+  const net::Recording serial = record_run(2014, 1);
+  const net::Recording parallel = record_run(2014, 4);
+  std::string error;
+  const auto a = audit::analyze(serial, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  const auto b = audit::analyze(parallel, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  // The default critpath view and the wall-free JSON block carry logical
+  // weights only — they must match the §8 byte-identity contract.
+  EXPECT_EQ(audit::render_critpath(*a, false),
+            audit::render_critpath(*b, false));
+  EXPECT_EQ(a->to_json(false).dump(2), b->to_json(false).dump(2));
+  EXPECT_EQ(a->total_weight, b->total_weight);
+  EXPECT_EQ(a->dominant_party, b->dominant_party);
+}
+
+TEST(CritPath, ProfileFidelityRecordingsProfileIdenticallyToFullOnes) {
+  // Profile fidelity (the <5%-overhead tier the bench gate measures) drops
+  // payloads and digests but keeps everything the profiler consumes, so the
+  // deterministic critpath report must be byte-for-byte the one a full
+  // flight recording of the same run yields.
+  const net::Recording full = record_run(2014, 1);
+  const net::Recording profile =
+      record_run(2014, 1, net::Recorder::Options::profile());
+
+  EXPECT_TRUE(full.payloads);
+  EXPECT_TRUE(full.digests);
+  EXPECT_FALSE(profile.payloads);
+  EXPECT_FALSE(profile.digests);
+  for (const auto& round : profile.rounds)
+    for (const auto& m : round.messages) {
+      EXPECT_EQ(m.digest, 0u);
+      EXPECT_TRUE(m.payload.empty());
+    }
+
+  std::string error;
+  const auto a = audit::analyze(full, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  const auto b = audit::analyze(profile, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  EXPECT_EQ(audit::render_critpath(*a, false),
+            audit::render_critpath(*b, false));
+  EXPECT_EQ(a->to_json(false).dump(2), b->to_json(false).dump(2));
+
+  // The tier round-trips through JSON under the "profile" fidelity tag.
+  const json::Value doc = profile.to_json();
+  ASSERT_TRUE(doc.find("fidelity") != nullptr);
+  EXPECT_EQ(doc.find("fidelity")->as_string(), "profile");
+  const auto back = net::Recording::from_json(doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_FALSE(back->payloads);
+  EXPECT_FALSE(back->digests);
+  const auto c = audit::analyze(*back, &error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(b->to_json(false).dump(2), c->to_json(false).dump(2));
+}
+
+TEST(CritPath, PhaseAttributionReAddsToTheRecordingTotals) {
+  const net::Recording rec = record_run(2014, 1);
+  std::string error;
+  const auto report = audit::analyze(rec, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+
+  std::size_t rec_messages = 0, rec_elements = 0;
+  std::uint64_t rec_net_bytes = 0, rec_vss_bytes = 0;
+  for (const auto& round : rec.rounds) {
+    rec_messages += round.messages.size();
+    for (const auto& m : round.messages) rec_elements += m.elements;
+    rec_net_bytes += round.profile.net_alloc_bytes;
+    rec_vss_bytes += round.profile.vss_alloc_bytes;
+  }
+  std::size_t attr_rounds = 0, attr_messages = 0, attr_elements = 0;
+  std::uint64_t attr_net_bytes = 0, attr_vss_bytes = 0;
+  for (const auto& p : report->phases) {
+    attr_rounds += p.rounds;
+    attr_messages += p.messages;
+    attr_elements += p.elements;
+    attr_net_bytes += p.net_alloc_bytes;
+    attr_vss_bytes += p.vss_alloc_bytes;
+  }
+  EXPECT_EQ(attr_rounds, rec.rounds.size());
+  EXPECT_EQ(attr_messages, rec_messages);
+  EXPECT_EQ(attr_elements, rec_elements);
+  EXPECT_EQ(attr_net_bytes, rec_net_bytes);
+  EXPECT_EQ(attr_vss_bytes, rec_vss_bytes);
+  // record_run traces nothing, so every round lands in the untraced bucket.
+  ASSERT_EQ(report->phases.size(), 1u);
+  EXPECT_EQ(report->phases[0].phase, "(untraced)");
+}
+
+TEST(CritPath, MalformedRecordingsFailLoudly) {
+  // No rounds at all.
+  net::Recording empty;
+  empty.n = 5;
+  std::string error;
+  EXPECT_FALSE(audit::analyze(empty, &error).has_value());
+  EXPECT_NE(error.find("no rounds"), std::string::npos);
+
+  // A sender outside [0, n) — the hand-edited-recording case the CLI must
+  // exit nonzero on.
+  net::Recording rec = record_run(2014, 1);
+  ASSERT_FALSE(rec.rounds.empty());
+  ASSERT_FALSE(rec.rounds[0].messages.empty());
+  rec.rounds[0].messages[0].from = 99;
+  error.clear();
+  EXPECT_FALSE(audit::analyze(rec, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  // The derived graph itself is malformed, not just pre-screened.
+  events::EventGraph graph = audit::build_event_graph(rec);
+  const auto problem = graph.validate();
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("out of range"), std::string::npos);
+}
+
+// --- schedule graphs -------------------------------------------------------
+
+TEST(CritPath, ScheduleGraphThreadsRetryLineageThroughWaves) {
+  using SR = audit::ScheduleRecord;
+  // Session 0 fails at wave 0, retries with a 2-wave backoff and completes
+  // at wave 2; session 1 completes at wave 0.
+  std::vector<SR> log;
+  log.push_back({SR::Kind::kAdmit, 0, 0, 0, 0});
+  log.push_back({SR::Kind::kFail, 0, 0, 0, 0});
+  log.push_back({SR::Kind::kRetry, 0, 0, 0, 2});
+  log.push_back({SR::Kind::kComplete, 0, 1, 0, 0});
+  log.push_back({SR::Kind::kComplete, 2, 0, 1, 0});
+
+  events::EventGraph g = audit::build_schedule_graph(log);
+  ASSERT_FALSE(g.validate().has_value());
+  // fail(w1) -> retry(w2: the backoff) -> attempt#1(w2) -> wave-2 barrier(w1)
+  // outweighs session 1's clean chain through both barriers.
+  EXPECT_EQ(g.critical_weight(), 6u);
+  bool path_has_retry = false;
+  for (std::size_t node : g.critical_path())
+    if (g.events()[node].kind == events::EventKind::kRetry)
+      path_has_retry = true;
+  EXPECT_TRUE(path_has_retry);
+  // Admits and give-ups carry no logical work: only 3 attempts, 1 retry and
+  // 2 wave barriers materialize.
+  EXPECT_EQ(g.events().size(), 6u);
+}
+
+}  // namespace
+}  // namespace gfor14

@@ -424,6 +424,124 @@ TEST_F(SupervisorTest, BatchEngineContainsFailuresInsteadOfThrowing) {
   EXPECT_GT(report.sessions[1].messages_delivered, 0u);
 }
 
+TEST_F(SupervisorTest, RetryRateSloBreachesAndRecoversIdenticallyAcrossLanes) {
+  // Deterministic SLO: retry_rate derives from the replayable schedule, so
+  // its breach wave, its since-wave anchor and its recovery wave must be
+  // byte-identical at 1 and 4 engine threads.
+  const auto drive = [](std::size_t threads) {
+    metrics::Registry::reset_for_test();
+    server::SupervisorOptions sup = churn_options(threads);
+    sup.slo.max_retry_rate = 0.25;
+    server::SupervisedRuntime runtime(sup);
+    std::vector<server::SloStatus> statuses;
+    // Wave 0: id 0 crashes (chaos), ids 1-2 complete — rate 1/3 breaches.
+    for (std::size_t id : {0u, 1u, 2u})
+      EXPECT_TRUE(runtime.try_submit(fleet_config(id)));
+    EXPECT_EQ(runtime.run_wave(), 3u);
+    statuses.push_back(runtime.slo_status());
+    // Wave 2 (the retry's backoff skips wave 1): the retry completes; the
+    // rate is unchanged, so the breach persists with its wave-0 anchor.
+    // Legacy degradation (pending retry) has cleared — the gauge now trips
+    // on the SLO alone.
+    EXPECT_EQ(runtime.run_wave(), 1u);
+    statuses.push_back(runtime.slo_status());
+    EXPECT_EQ(metrics::Registry::instance().gauge("server.degraded").value(),
+              1.0);
+    // Wave 3: six clean arrivals dilute the rate to 1/9 — recovery.
+    for (std::size_t id : {4u, 5u, 7u, 8u, 10u, 11u})
+      EXPECT_TRUE(runtime.try_submit(fleet_config(id)));
+    EXPECT_EQ(runtime.run_wave(), 6u);
+    statuses.push_back(runtime.slo_status());
+    const auto report = runtime.drain();
+    EXPECT_EQ(report.failed_sessions, 0u);
+    EXPECT_FALSE(report.slo.degraded());
+    statuses.push_back(report.slo);
+    return statuses;
+  };
+
+  const auto serial = drive(1);
+  const auto parallel = drive(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("transition " + std::to_string(i));
+    EXPECT_EQ(serial[i].to_json().dump(2), parallel[i].to_json().dump(2));
+  }
+
+  ASSERT_EQ(serial[0].breaches.size(), 1u);
+  EXPECT_EQ(serial[0].wave, 0u);
+  EXPECT_EQ(serial[0].breaches[0].slo, "retry_rate");
+  EXPECT_EQ(serial[0].breaches[0].target, 0.25);
+  EXPECT_EQ(serial[0].breaches[0].actual, 1.0 / 3.0);
+  EXPECT_EQ(serial[0].breaches[0].since_wave, 0u);
+  EXPECT_EQ(serial[0].describe(),
+            "DEGRADED (retry_rate 0.33 > 0.25 (since wave 0))");
+  // Anchored, not restamped: wave 2 still reports "since wave 0".
+  ASSERT_EQ(serial[1].breaches.size(), 1u);
+  EXPECT_EQ(serial[1].wave, 2u);
+  EXPECT_EQ(serial[1].breaches[0].since_wave, 0u);
+  // Recovered: the breach and its anchor are gone.
+  EXPECT_EQ(serial[2].wave, 3u);
+  EXPECT_FALSE(serial[2].degraded());
+  EXPECT_EQ(serial[2].describe(), "healthy");
+  EXPECT_EQ(metrics::Registry::instance().gauge("server.slo_breaches").value(),
+            0.0);
+}
+
+TEST_F(SupervisorTest, HonestDeliverySloSeparatesFromTheLegacyFlag) {
+  // honest_delivery = completed / terminal sessions. A permanent give-up
+  // breaches it immediately; later clean completions raise the fraction
+  // back to the target — structured recovery even though the legacy boolean
+  // (any failed session, ever) stays tripped forever.
+  const auto drive = [](std::size_t threads) {
+    metrics::Registry::reset_for_test();
+    server::SupervisorOptions sup = churn_options(threads);
+    sup.retry.max_attempts = 1;  // the chaos crash becomes a give-up
+    sup.slo.min_honest_delivery = 0.9;
+    server::SupervisedRuntime runtime(sup);
+    std::vector<server::SloStatus> statuses;
+    // Wave 0: id 0 gives up, id 1 completes — honest 1/2.
+    for (std::size_t id : {0u, 1u})
+      EXPECT_TRUE(runtime.try_submit(fleet_config(id)));
+    EXPECT_EQ(runtime.run_wave(), 2u);
+    statuses.push_back(runtime.slo_status());
+    // Wave 1: four clean completions — 5/6 still under 0.9.
+    for (std::size_t id : {4u, 5u, 7u, 8u})
+      EXPECT_TRUE(runtime.try_submit(fleet_config(id)));
+    EXPECT_EQ(runtime.run_wave(), 4u);
+    statuses.push_back(runtime.slo_status());
+    // Wave 2: four more — 9/10 meets the target exactly, recovery.
+    for (std::size_t id : {10u, 11u, 13u, 14u})
+      EXPECT_TRUE(runtime.try_submit(fleet_config(id)));
+    EXPECT_EQ(runtime.run_wave(), 4u);
+    statuses.push_back(runtime.slo_status());
+    const auto report = runtime.drain();
+    EXPECT_EQ(report.failed_sessions, 1u);  // legacy story: still failed
+    EXPECT_FALSE(report.slo.degraded());    // structured story: recovered
+    statuses.push_back(report.slo);
+    return statuses;
+  };
+
+  const auto serial = drive(1);
+  const auto parallel = drive(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("transition " + std::to_string(i));
+    EXPECT_EQ(serial[i].to_json().dump(2), parallel[i].to_json().dump(2));
+  }
+
+  ASSERT_EQ(serial[0].breaches.size(), 1u);
+  EXPECT_EQ(serial[0].breaches[0].slo, "honest_delivery");
+  EXPECT_EQ(serial[0].breaches[0].actual, 0.5);
+  EXPECT_EQ(serial[0].breaches[0].since_wave, 0u);
+  ASSERT_EQ(serial[1].breaches.size(), 1u);
+  EXPECT_EQ(serial[1].breaches[0].actual, 5.0 / 6.0);
+  EXPECT_EQ(serial[1].breaches[0].since_wave, 0u);  // anchored at first sight
+  EXPECT_EQ(serial[1].describe(),
+            "DEGRADED (honest_delivery 0.83 < 0.90 (since wave 0))");
+  EXPECT_FALSE(serial[2].degraded());
+  EXPECT_FALSE(serial[3].degraded());
+}
+
 TEST_F(SupervisorTest, ChurnSoakDrainsCleanAndReplayVerifies) {
   // Bounded end-to-end churn soak: streaming admission, crashes, retries —
   // then every completed transcript must replay byte-identically solo and

@@ -168,6 +168,42 @@ TEST_F(TelemetryTest, RingDecimationDoublesStrideAndKeepsAlignment) {
         << "round " << s.round << " stride " << sampler->stride();
 }
 
+TEST_F(TelemetryTest, RingSurvivesThousandsOfWavesWithExactAlignment) {
+  // Long-haul decimation, driven through the wave entry point the serve
+  // runtime uses: 1200 waves through a ring of 8 must double the stride at
+  // waves 8, 16, ..., 1024 — seven doublings to 256 — and end with exactly
+  // the four aligned survivors {256, 512, 768, 1024}, every slot j holding
+  // wave (j+1)*stride. All of it a pure function of the wave count.
+  auto scope = metrics::Registry::instance().scope("t/longring");
+  metrics::RegistryAttachment attach(scope);
+  telemetry::TelemetrySampler sampler(
+      scope, telemetry::TelemetrySampler::Options{1, 8});
+  constexpr std::size_t kWaves = 1200;
+  for (std::size_t w = 0; w < kWaves; ++w) {
+    scope->counter("server.waves").add();
+    sampler.sample_wave();
+    // The bound holds at every wave, not just at the end.
+    ASSERT_LT(sampler.snapshots().size(), 8u);
+  }
+  EXPECT_EQ(sampler.rounds_seen(), kWaves);
+  EXPECT_EQ(sampler.stride(), 256u);
+  ASSERT_EQ(sampler.snapshots().size(), 4u);
+  for (std::size_t j = 0; j < sampler.snapshots().size(); ++j) {
+    const auto& s = sampler.snapshots()[j];
+    EXPECT_EQ(s.round, (j + 1) * sampler.stride());
+    // Decimation dropped rounds, never counter history: slot j's counter
+    // value is exactly its round count.
+    std::uint64_t waves_at_snapshot = 0;
+    for (const auto& [name, value] : s.counters)
+      if (name == "server.waves") waves_at_snapshot = value;
+    EXPECT_EQ(waves_at_snapshot, s.round);
+  }
+  // The exported series carries the effective stride for consumers.
+  const json::Value doc = sampler.deterministic_json();
+  ASSERT_NE(doc.find("stride"), nullptr);
+  EXPECT_EQ(doc.find("stride")->as_double(), 256.0);
+}
+
 TEST_F(TelemetryTest, DeterministicCounterAllowlist) {
   EXPECT_TRUE(telemetry::deterministic_counter("net.alloc.bytes"));
   EXPECT_TRUE(telemetry::deterministic_counter("vss.alloc.count"));
@@ -194,10 +230,12 @@ TEST_F(TelemetryTest, PrometheusExpositionParsesAsTextFormat) {
   const std::string text = sampler->prometheus();
   ASSERT_FALSE(text.empty());
 
-  // Golden-format walk: every line is either "# TYPE <name> <kind>" or
-  // "<name>[{labels}] <value>", names are gfor14_-prefixed and sanitized,
+  // Golden-format walk: every line is "# HELP <name> <text>",
+  // "# TYPE <name> <kind>", or "<name>[{labels}] <value>"; names are
+  // gfor14_-prefixed and sanitized; every # TYPE is preceded by its # HELP
   // and every sample line's metric was typed beforehand.
   std::vector<std::string> typed;
+  std::vector<std::string> helped;
   std::size_t samples = 0;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -206,13 +244,22 @@ TEST_F(TelemetryTest, PrometheusExpositionParsesAsTextFormat) {
     const std::string line = text.substr(pos, eol - pos);
     pos = eol + 1;
     ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      helped.push_back(line.substr(7, sp - 7));
+      continue;
+    }
     if (line.rfind("# TYPE ", 0) == 0) {
       const std::size_t sp = line.find(' ', 7);
       ASSERT_NE(sp, std::string::npos) << line;
       const std::string name = line.substr(7, sp - 7);
       const std::string kind = line.substr(sp + 1);
-      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary" ||
+                  kind == "histogram")
           << line;
+      EXPECT_NE(std::find(helped.begin(), helped.end(), name), helped.end())
+          << "# TYPE before # HELP: " << line;
       typed.push_back(name);
       continue;
     }
@@ -224,8 +271,8 @@ TEST_F(TelemetryTest, PrometheusExpositionParsesAsTextFormat) {
     for (char c : name)
       EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
           << line;
-    // Histogram series append _sum/_count to a typed summary name.
-    for (const char* suffix : {"_sum", "_count"}) {
+    // Histogram/summary series append _sum/_count/_bucket to a typed name.
+    for (const char* suffix : {"_sum", "_count", "_bucket"}) {
       const std::string s(suffix);
       if (name.size() > s.size() &&
           name.compare(name.size() - s.size(), s.size(), s) == 0) {
@@ -244,9 +291,16 @@ TEST_F(TelemetryTest, PrometheusExpositionParsesAsTextFormat) {
     ++samples;
   }
   EXPECT_GT(samples, 0u);
+  EXPECT_NE(text.find("# HELP gfor14_net_alloc_bytes"), std::string::npos);
   EXPECT_NE(text.find("# TYPE gfor14_net_alloc_bytes counter"),
             std::string::npos);
   EXPECT_NE(text.find("# TYPE gfor14_process_rss_bytes gauge"),
+            std::string::npos);
+  // The round-wall distribution renders as a true histogram with cumulative
+  // buckets and a closing +Inf bucket.
+  EXPECT_NE(text.find("# TYPE gfor14_net_round_wall_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gfor14_net_round_wall_us_bucket{le=\"+Inf\""),
             std::string::npos);
 }
 
